@@ -1,0 +1,49 @@
+//! Criterion micro-benchmarks for the chip model: per-cycle stepping
+//! cost across thread counts and instruction mixes.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use audit_cpu::{ChipConfig, ChipSim, Program};
+use audit_stressmark::manual;
+
+fn chip(n: u32, program: &Program) -> ChipSim {
+    let cfg = ChipConfig::bulldozer();
+    let placement = cfg.spread_placement(n);
+    ChipSim::new(&cfg, &placement, &vec![program.clone(); n as usize]).unwrap()
+}
+
+fn bench_chip_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cpu/chip_step_1k_cycles");
+    for (name, program, threads) in [
+        ("nops_1t", Program::nops(64), 1u32),
+        ("sm_res_4t", manual::sm_res(), 4),
+        ("sm_res_8t", manual::sm_res(), 8),
+        ("sm1_4t", manual::sm1(), 4),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || chip(threads, &program),
+                |mut chip| {
+                    let mut acc = 0.0;
+                    for _ in 0..1_000 {
+                        acc += chip.step().amps;
+                    }
+                    black_box(acc)
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_workload_synthesis(c: &mut Criterion) {
+    let profile = audit_stressmark::workloads::by_name("zeusmp").unwrap();
+    c.bench_function("cpu/synthesize_zeusmp_4k", |b| {
+        b.iter(|| black_box(profile.synthesize(4_000, 1)));
+    });
+}
+
+criterion_group!(benches, bench_chip_step, bench_workload_synthesis);
+criterion_main!(benches);

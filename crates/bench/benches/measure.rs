@@ -1,0 +1,69 @@
+//! Criterion micro-benchmarks for the measurement substrate: scope
+//! sampling, histogram statistics, FFT spectra, and the literal
+//! dithering sweep.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use audit_core::dither::{dithered_droop, DitherPlan};
+use audit_core::harness::Rig;
+use audit_measure::{spectrum, Histogram, Oscilloscope};
+use audit_stressmark::manual;
+
+fn bench_scope_sampling(c: &mut Criterion) {
+    c.bench_function("measure/scope_sample_10k", |b| {
+        b.iter_batched(
+            || {
+                Oscilloscope::new(1.2)
+                    .with_trigger(1.12)
+                    .with_envelope_decimation(32)
+            },
+            |mut scope| {
+                for i in 0..10_000u64 {
+                    let v = 1.2 - 0.05 * ((i % 30) as f64 / 30.0);
+                    scope.sample(v);
+                }
+                black_box(scope.max_droop())
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_histogram_quantiles(c: &mut Criterion) {
+    let mut h = Histogram::new(0.9, 1.3, 200);
+    for i in 0..100_000 {
+        h.record(1.0 + (i % 997) as f64 * 3e-4);
+    }
+    c.bench_function("measure/histogram_quantile", |b| {
+        b.iter(|| black_box(h.quantile(black_box(0.001))));
+    });
+}
+
+fn bench_fft_spectrum(c: &mut Criterion) {
+    let fs = 3.2e9;
+    let trace: Vec<f64> = (0..16_384)
+        .map(|i| (2.0 * std::f64::consts::PI * 1.06e8 * i as f64 / fs).sin())
+        .collect();
+    c.bench_function("measure/power_spectrum_16k", |b| {
+        b.iter(|| black_box(spectrum::power_spectrum(black_box(&trace), fs)));
+    });
+}
+
+fn bench_dither_sweep(c: &mut Criterion) {
+    let rig = Rig::bulldozer();
+    let program = manual::sm_res();
+    c.bench_function("measure/dither_sweep_2t", |b| {
+        b.iter(|| {
+            let plan = DitherPlan::exact(2, 30, 300);
+            black_box(dithered_droop(&rig, &program, plan, &[0, 13], 100_000).max_droop())
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_scope_sampling, bench_histogram_quantiles, bench_fft_spectrum, bench_dither_sweep
+}
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Criterion micro-benchmarks for the OS-interference model.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use audit_cpu::{ChipConfig, ChipSim};
+use audit_os::{BarrierRelease, OsConfig, OsModel};
+use audit_stressmark::manual;
+
+fn chip() -> ChipSim {
+    let cfg = ChipConfig::bulldozer();
+    let placement = cfg.spread_placement(4);
+    ChipSim::new(&cfg, &placement, &vec![manual::sm_res(); 4]).unwrap()
+}
+
+fn bench_tick_overhead(c: &mut Criterion) {
+    c.bench_function("os/chip_with_ticks_5k_cycles", |b| {
+        b.iter_batched(
+            || {
+                (
+                    chip(),
+                    OsModel::new(OsConfig::compressed(500).with_seed(7), 4),
+                )
+            },
+            |(mut chip, mut os)| {
+                let mut acc = 0.0;
+                for now in 0..5_000u64 {
+                    os.pre_cycle(now, &mut chip);
+                    acc += chip.step().amps;
+                }
+                black_box(acc)
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_chip_without_ticks(c: &mut Criterion) {
+    c.bench_function("os/chip_without_ticks_5k_cycles", |b| {
+        b.iter_batched(
+            chip,
+            |mut chip| {
+                let mut acc = 0.0;
+                for _ in 0..5_000u64 {
+                    acc += chip.step().amps;
+                }
+                black_box(acc)
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_barrier_draws(c: &mut Criterion) {
+    c.bench_function("os/barrier_offsets_1k_episodes", |b| {
+        b.iter_batched(
+            || BarrierRelease::bulldozer_like(3),
+            |mut rel| {
+                let mut acc = 0u64;
+                for _ in 0..1_000 {
+                    acc += rel.draw_offsets(8).iter().sum::<u64>();
+                }
+                black_box(acc)
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_tick_overhead, bench_chip_without_ticks, bench_barrier_draws
+}
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion micro-benchmarks for the PDN substrate: transient step
+//! throughput and AC impedance sweeps. The transient step is the hot
+//! inner loop of every AUDIT fitness evaluation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use audit_pdn::{trapezoidal::TrapezoidalTransient, ImpedanceSweep, PdnModel, Transient};
+
+fn bench_transient_step(c: &mut Criterion) {
+    let pdn = PdnModel::bulldozer_board();
+    c.bench_function("pdn/transient_step", |b| {
+        let mut t = Transient::new(&pdn, 3.2e9);
+        let mut amps = 20.0;
+        b.iter(|| {
+            amps = if amps > 50.0 { 20.0 } else { amps + 1.0 };
+            black_box(t.step(black_box(amps)))
+        });
+    });
+}
+
+fn bench_transient_resonant_window(c: &mut Criterion) {
+    let pdn = PdnModel::bulldozer_board();
+    c.bench_function("pdn/resonant_window_10k_cycles", |b| {
+        b.iter_batched(
+            || Transient::new(&pdn, 3.2e9),
+            |mut t| {
+                let mut min_v = f64::INFINITY;
+                for cycle in 0..10_000u64 {
+                    let amps = if (cycle / 15) % 2 == 0 { 80.0 } else { 10.0 };
+                    min_v = min_v.min(t.step(amps));
+                }
+                black_box(min_v)
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_impedance_sweep(c: &mut Criterion) {
+    let pdn = PdnModel::bulldozer_board();
+    c.bench_function("pdn/impedance_sweep_1024", |b| {
+        let sweep = ImpedanceSweep::new(pdn.clone()).with_points(1024);
+        b.iter(|| black_box(sweep.resonances()));
+    });
+}
+
+fn bench_trapezoidal_step(c: &mut Criterion) {
+    let pdn = PdnModel::bulldozer_board();
+    c.bench_function("pdn/trapezoidal_step", |b| {
+        let mut t = TrapezoidalTransient::new(&pdn, 3.2e9);
+        let mut amps = 20.0;
+        b.iter(|| {
+            amps = if amps > 50.0 { 20.0 } else { amps + 1.0 };
+            black_box(t.step(black_box(amps)))
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_transient_step,
+    bench_transient_resonant_window,
+    bench_impedance_sweep,
+    bench_trapezoidal_step
+);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Extension experiment: AUDIT vs a *dynamic* di/dt limiter.
+//!
+//! The paper evaluates a static FPU throttle (§5.B) and cites the
+//! reactive mitigation class — limiting the rate of change of activity
+//! (Grochowski et al., Joseph et al., Powell & Vijaykumar) — without
+//! evaluating one. This extension closes that loop: a chip-level
+//! controller watches the cycle-to-cycle current slew and throttles the
+//! front end when a burst begins. We measure (a) how well it suppresses
+//! the existing stressmarks, (b) its throughput cost on benchmarks, and
+//! (c) whether AUDIT can regenerate a stressmark that defeats it.
+
+use audit_bench::{audit_options, banner, benchmark, emit, reporting_spec, rig};
+use audit_core::audit::Audit;
+use audit_core::report::{mv, rel, Table};
+use audit_cpu::DidtLimiter;
+use audit_stressmark::manual;
+
+fn main() {
+    banner("extension", "dynamic di/dt limiter vs AUDIT");
+    let base = rig();
+    let limiter = DidtLimiter::default_tuning();
+    let protected = base.clone().with_didt_limiter(limiter);
+    let spec = reporting_spec();
+
+    let audit = Audit::new(base.clone(), audit_options());
+    eprintln!("generating A-Res (unprotected)…");
+    let a_res = audit.generate_resonant(4);
+
+    // AUDIT regenerates against the limiter.
+    let audit_lim = Audit::new(protected.clone(), audit_options());
+    eprintln!("generating A-Res-Lim (limiter enabled)…");
+    let a_res_lim = audit_lim.generate_resonant(4);
+
+    let sm1_ref = base
+        .measure_aligned(&vec![manual::sm1(); 4], spec)
+        .max_droop();
+
+    let mut t = Table::new(vec!["config", "workload", "max droop", "rel. 4T SM1"]);
+    let entries = [
+        ("SM-Res", manual::sm_res()),
+        ("A-Res", a_res.program.clone()),
+    ];
+    for (name, program) in &entries {
+        let d = base
+            .measure_aligned(&vec![program.clone(); 4], spec)
+            .max_droop();
+        t.row(vec![
+            "no limiter".into(),
+            name.to_string(),
+            mv(d),
+            rel(d, sm1_ref),
+        ]);
+    }
+    for (name, program) in &entries {
+        let d = protected
+            .measure_aligned(&vec![program.clone(); 4], spec)
+            .max_droop();
+        t.row(vec![
+            "di/dt limiter".into(),
+            name.to_string(),
+            mv(d),
+            rel(d, sm1_ref),
+        ]);
+    }
+    let d = protected
+        .measure_aligned(&vec![a_res_lim.program.clone(); 4], spec)
+        .max_droop();
+    t.row(vec![
+        "di/dt limiter".into(),
+        "A-Res-Lim (regenerated)".into(),
+        mv(d),
+        rel(d, sm1_ref),
+    ]);
+    emit(&t);
+
+    // Performance cost on a standard benchmark.
+    let z = benchmark("zeusmp");
+    let ipc_free = base.measure_aligned(&vec![z.clone(); 4], spec).ipc;
+    let ipc_lim = protected.measure_aligned(&vec![z; 4], spec).ipc;
+    println!(
+        "zeusmp 4T IPC: {ipc_free:.2} → {ipc_lim:.2} under the limiter ({:+.1}%)",
+        (ipc_lim / ipc_free - 1.0) * 100.0
+    );
+    println!();
+    println!("expected shape: the limiter crushes the existing resonant stressmarks");
+    println!("but taxes bursty benchmarks, and the regenerated A-Res-Lim recovers a");
+    println!("large part of the droop by shaping its ramp under the slew trigger —");
+    println!("the same cat-and-mouse the paper demonstrates for the FPU throttle.");
+}

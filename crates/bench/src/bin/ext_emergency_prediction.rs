@@ -1,0 +1,69 @@
+//! Extension experiment: voltage-emergency prediction (Reddi et al.,
+//! the paper's reference [22]).
+//!
+//! A signature predictor learns the current-slew patterns that precede
+//! emergencies on a training window and is evaluated on a held-out
+//! window. Expected contrast: near-perfect coverage on the repetitive
+//! resonant stressmark, much weaker on an irregular benchmark — which is
+//! exactly the gap that made signature-based throttling attractive for
+//! production code but useless against an adversarial stressmark.
+
+use audit_bench::{banner, benchmark, emit, fast_mode, rig};
+use audit_core::report::Table;
+use audit_core::MeasureSpec;
+use audit_measure::predictor::{PredictorConfig, SignaturePredictor};
+use audit_stressmark::manual;
+
+fn main() {
+    banner("extension", "signature-based voltage-emergency prediction");
+    let rig = rig();
+    let cycles: u64 = if fast_mode() { 20_000 } else { 120_000 };
+    let spec = MeasureSpec {
+        record_cycles: cycles,
+        ..MeasureSpec::ga_eval()
+    }
+    .with_traces();
+
+    let mut t = Table::new(vec![
+        "workload",
+        "threshold (mV below nom.)",
+        "signatures",
+        "emergencies",
+        "coverage",
+        "precision",
+    ]);
+    for (name, program) in [
+        ("SM-Res (4T)", manual::sm_res()),
+        ("SM1 (4T)", manual::sm1()),
+        ("zeusmp (4T)", benchmark("zeusmp")),
+    ] {
+        // Train and test on disjoint halves of one capture. Each
+        // workload gets a threshold at 80 % of its own worst droop, so
+        // every run has emergencies to predict.
+        let m = rig.measure_aligned(&vec![program; 4], spec);
+        let v_emergency = rig.pdn.nominal_voltage() - 0.8 * m.max_droop();
+        let half = m.current_trace.len() / 2;
+        let (ci, vi) = (&m.current_trace[..half], &m.voltage_trace[..half]);
+        let (ct, vt) = (&m.current_trace[half..], &m.voltage_trace[half..]);
+
+        let mut p = SignaturePredictor::new(PredictorConfig::default_tuning(v_emergency));
+        p.train(ci, vi);
+        let stats = p.evaluate(ct, vt);
+        t.row(vec![
+            name.to_string(),
+            format!("{:.1}", 0.8 * m.max_droop() * 1e3),
+            p.signature_count().to_string(),
+            (stats.covered + stats.missed).to_string(),
+            format!("{:.0}%", stats.coverage() * 100.0),
+            format!("{:.0}%", stats.precision() * 100.0),
+        ]);
+    }
+    emit(&t);
+
+    println!("expected shape: on a deterministic simulator every loop eventually");
+    println!("repeats, so *coverage* saturates — the differentiator is precision");
+    println!("and signature count: the resonant stressmark needs ~a dozen crisp");
+    println!("signatures at high precision, while irregular workloads need hundreds");
+    println!("and still fire mostly false alarms. A predictor-driven mitigation");
+    println!("would tame A-Res — and AUDIT would regenerate around it, as in §5.B.");
+}

@@ -1,0 +1,84 @@
+//! Extension experiment: dithering at many-core scale.
+//!
+//! §3.B: "the time required for alignment becomes prohibitively large
+//! for more than four cores" — the approximate algorithm is the answer.
+//! This binary extends the paper's cost table to a 16-thread part and
+//! then *runs* an approximate dither on 8 aligned-unknown threads, which
+//! the exact algorithm could never finish in simulation.
+
+use audit_bench::{banner, emit, fast_mode, rig};
+use audit_core::dither::{dithered_droop, DitherPlan};
+use audit_core::harness::{MeasureSpec, Rig};
+use audit_core::report::{mv, Table};
+use audit_cpu::ChipConfig;
+use audit_stressmark::manual;
+
+fn main() {
+    banner("extension", "dithering at many-core scale");
+    let clock = 3.2e9;
+    let (period, m) = (32u32, 960u64);
+
+    let mut t = Table::new(vec![
+        "cores",
+        "exact sweep",
+        "approx (δ=3)",
+        "approx (δ=15)",
+    ]);
+    for cores in [4u32, 8, 16] {
+        let exact = DitherPlan::exact(cores, period, m).sweep_seconds(clock);
+        let d3 = DitherPlan::approximate(cores, period, m, 3).sweep_seconds(clock);
+        let d15 = DitherPlan::approximate(cores, period, m, 15).sweep_seconds(clock);
+        t.row(vec![cores.to_string(), human(exact), human(d3), human(d15)]);
+    }
+    emit(&t);
+
+    // Live: 8 threads on the many-core part, coarse approximate dither.
+    let mut many = rig();
+    many.chip = ChipConfig::manycore();
+    run_live(&many, 8, if fast_mode() { 15 } else { 7 });
+}
+
+fn run_live(rig: &Rig, threads: u32, delta: u32) {
+    let program = manual::sm_res();
+    let aligned = rig
+        .measure_aligned(
+            &vec![program.clone(); threads as usize],
+            MeasureSpec::ga_eval(),
+        )
+        .max_droop();
+    // L+H must divide by δ+1: pad the loop period to 32 for δ ∈ {7, 15}.
+    let plan = DitherPlan::approximate(threads, 32, 320, delta);
+    let offsets: Vec<u64> = (0..threads as u64).map(|i| (i * 13) % 32).collect();
+    let outcome = dithered_droop(rig, &program, plan, &offsets, 80_000_000);
+    println!(
+        "live {threads}-thread approximate dither (δ={delta}): swept {} alignments in {} cycles",
+        plan.alignment_count(),
+        outcome.cycles
+    );
+    println!("  aligned reference : {}", mv(aligned));
+    println!("  dithered worst    : {}", mv(outcome.max_droop()));
+    println!(
+        "  recovery          : {:.0}%",
+        100.0 * outcome.max_droop() / aligned
+    );
+    println!();
+    println!("expected shape: the exact sweep is minutes-to-months beyond 8 cores;");
+    println!("the approximate sweep stays in the milliseconds and still recovers");
+    println!("most of the aligned worst case.");
+}
+
+fn human(seconds: f64) -> String {
+    if seconds < 1e-3 {
+        format!("{:.1} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.1} ms", seconds * 1e3)
+    } else if seconds < 120.0 {
+        format!("{seconds:.1} s")
+    } else if seconds < 7200.0 {
+        format!("{:.1} min", seconds / 60.0)
+    } else if seconds < 48.0 * 3600.0 {
+        format!("{:.1} h", seconds / 3600.0)
+    } else {
+        format!("{:.0} days", seconds / 86400.0)
+    }
+}

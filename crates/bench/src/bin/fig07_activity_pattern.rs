@@ -1,0 +1,54 @@
+//! Figure 7: the periodic activity waveform for inducing power-supply
+//! resonance, and its compilation into an executable kernel.
+
+use audit_bench::{banner, emit, rig};
+use audit_core::patterns::ActivityPattern;
+use audit_core::report::Table;
+use audit_stressmark::nasm;
+
+fn main() {
+    banner("Fig. 7", "periodic high/low activity waveform");
+    let rig = rig();
+    let pattern = ActivityPattern::new(15, 15, 15 * 40);
+
+    println!(
+        "H = {} cycles, L = {} cycles, M = {} cycles (≈{} periods held)",
+        pattern.h,
+        pattern.l,
+        pattern.m,
+        pattern.m / pattern.period()
+    );
+    println!(
+        "pattern frequency at {:.1} GHz: {:.0} MHz\n",
+        rig.chip.clock_hz / 1e9,
+        pattern.frequency_hz(rig.chip.clock_hz) / 1e6
+    );
+
+    // The waveform itself.
+    let wave: String = (0..60)
+        .map(|c| if pattern.is_high(c) { '█' } else { '_' })
+        .collect();
+    println!("activity: {wave}\n");
+
+    // Its executable form.
+    let kernel = pattern.to_kernel(&rig.chip);
+    let mut t = Table::new(vec!["region", "instructions", "content"]);
+    t.row(vec![
+        "high power".into(),
+        kernel.hp().len().to_string(),
+        "SIMD FMA / SIMD multiply / integer add mix".into(),
+    ]);
+    t.row(vec![
+        "low power".into(),
+        kernel.lp_nops().to_string(),
+        "NOPs".into(),
+    ]);
+    emit(&t);
+
+    // First lines of the NASM rendering (the paper's codegen output).
+    let asm = nasm::emit(&kernel.to_program(), 1_000_000);
+    println!("NASM head:");
+    for line in asm.lines().take(24) {
+        println!("  {line}");
+    }
+}

@@ -1,0 +1,59 @@
+//! Fig. 5 (simulation path): per-cycle current profile → SPICE deck.
+//!
+//! The paper's simulation path runs the candidate on a cycle-accurate
+//! simulator, converts the per-cycle current profile into a current sink,
+//! and hands a lumped-RLC PDN model to HSPICE. This binary reproduces the
+//! handoff artifacts: it captures a current trace for the hand-tuned
+//! resonant stressmark, emits (a) the transient deck with the trace as a
+//! PWL sink and (b) the AC-sweep deck, and writes both next to the
+//! repository's target directory.
+
+use std::fs;
+
+use audit_bench::{banner, rig};
+use audit_core::MeasureSpec;
+use audit_pdn::spice;
+use audit_stressmark::manual;
+
+fn main() {
+    banner("Fig. 5", "simulation path: current trace → SPICE deck");
+    let rig = rig();
+
+    // Capture the per-cycle current profile (the "cycle-accurate
+    // simulator" output of the paper's flow).
+    let spec = MeasureSpec {
+        record_cycles: 2_000,
+        ..MeasureSpec::ga_eval()
+    }
+    .with_traces();
+    let m = rig.measure_aligned(&vec![manual::sm_res(); 4], spec);
+    println!(
+        "captured {} current samples (mean {:.1} A, max droop {:.1} mV)",
+        m.current_trace.len(),
+        m.mean_amps,
+        m.max_droop() * 1e3
+    );
+
+    let tran = spice::emit_deck(&rig.pdn, &m.current_trace, rig.chip.clock_hz, 1_000);
+    let ac = spice::emit_ac_deck(&rig.pdn, 1e4, 1e9);
+
+    let out_dir = std::path::Path::new("target/spice");
+    fs::create_dir_all(out_dir).expect("create target/spice");
+    fs::write(out_dir.join("pdn_tran.sp"), &tran).expect("write transient deck");
+    fs::write(out_dir.join("pdn_ac.sp"), &ac).expect("write AC deck");
+
+    println!(
+        "\nwrote target/spice/pdn_tran.sp ({} lines):",
+        tran.lines().count()
+    );
+    for line in tran.lines().take(14) {
+        println!("  {line}");
+    }
+    println!("  …");
+    println!(
+        "\nwrote target/spice/pdn_ac.sp ({} lines)",
+        ac.lines().count()
+    );
+    println!("\nrun with e.g. `ngspice -b target/spice/pdn_tran.sp` to cross-check");
+    println!("the built-in RK4 transient solver against an external simulator.");
+}

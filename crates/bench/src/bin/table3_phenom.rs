@@ -1,0 +1,89 @@
+//! Table III: AUDIT on a different processor (§5.C).
+//!
+//! The Bulldozer-class part is swapped for the older Phenom-class part
+//! on the same board: private FPUs, no multi-threading, a 3-wide
+//! pipeline, no FMA, weaker clock gating, and a shifted first-droop
+//! resonance. SM1 cannot even run (incompatible instructions); AUDIT
+//! regenerates a resonant stressmark for the new part with zero manual
+//! effort and beats the remaining hand stressmark, SM2.
+
+use audit_bench::{audit_options, banner, benchmark, emit, reporting_spec};
+use audit_core::audit::Audit;
+use audit_core::harness::Rig;
+use audit_core::report::{rel, vf_rel, Table};
+use audit_cpu::{ChipSim, Program};
+use audit_stressmark::manual;
+
+fn main() {
+    banner(
+        "Table III",
+        "droop and failure on the Phenom-class processor",
+    );
+    let rig = Rig::phenom();
+    let spec = reporting_spec();
+
+    // SM1 is rejected by the chip — reproduce the paper's observation.
+    let placement = rig.placement(1);
+    match ChipSim::new(&rig.chip, &placement, &[manual::sm1()]) {
+        Err(e) => println!("SM1 on Phenom-class part: {e}\n"),
+        Ok(_) => println!("unexpected: SM1 ran on the Phenom-class part\n"),
+    }
+
+    let audit = Audit::new(rig.clone(), audit_options());
+    eprintln!("regenerating A-Res for the Phenom-class part…");
+    let a_res = audit.generate_resonant(4);
+    println!(
+        "detected resonance on this part: {} cycles ({:.0} MHz)\n",
+        a_res.resonance.period_cycles,
+        a_res.resonance.frequency_hz / 1e6
+    );
+
+    let workloads: Vec<(&str, Program)> = vec![
+        ("zeusmp", benchmark("zeusmp")),
+        ("SM2", manual::sm2()),
+        ("A-Res", a_res.program.clone()),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, program) in &workloads {
+        eprintln!("measuring {name}…");
+        let programs = vec![program.clone(); 4];
+        let offsets: Vec<u64> = if *name == "zeusmp" {
+            (0..4u64).map(|i| i * 37 + 11).collect()
+        } else {
+            vec![0; 4]
+        };
+        let droop = rig
+            .measure_with_offsets(&programs, &offsets, spec)
+            .max_droop();
+        let vf = rig.voltage_at_failure_with_offsets(&programs, &offsets, spec);
+        rows.push((*name, droop, vf));
+    }
+
+    let sm2_droop = rows.iter().find(|(n, _, _)| *n == "SM2").unwrap().1;
+    let sm2_vf = rows
+        .iter()
+        .find(|(n, _, _)| *n == "SM2")
+        .and_then(|(_, _, vf)| *vf)
+        .expect("SM2 must fail within range on the Phenom-class part");
+
+    let mut t = Table::new(vec![
+        "workload",
+        "rel. droop (SM2 = 1)",
+        "failure point (rel. SM2)",
+    ]);
+    for (name, droop, vf) in &rows {
+        t.row(vec![
+            name.to_string(),
+            rel(*droop, sm2_droop),
+            vf.map(|v| vf_rel(v, sm2_vf))
+                .unwrap_or_else(|| "no failure above floor".into()),
+        ]);
+    }
+    emit(&t);
+
+    println!("expected shape (paper Table III): zeusmp below SM2 in droop and failure;");
+    println!("the regenerated A-Res above SM2 in droop (paper: 1.10×) and failing at");
+    println!("least as high — automatic generation matches hand tuning on a part it");
+    println!("has never seen.");
+}

@@ -1,0 +1,87 @@
+//! §5.A.5 (text): why A-Res sprinkles NOPs in its high-power region.
+//!
+//! The paper replaced the NOPs in A-Res's HP region with independent
+//! integer ADDs — nominally *higher-power* ops — and measured a *smaller*
+//! droop (−40 mV), with the loop's di/dt frequency shifting below the
+//! resonance. NOPs consume only fetch/decode, so they keep the loop on
+//! period; ADDs contend for schedulers, physical registers, and issue
+//! slots, stretching the loop off resonance.
+
+use audit_bench::{audit_options, banner, emit, reporting_spec, rig};
+use audit_core::audit::Audit;
+use audit_core::report::{mv, Table};
+use audit_cpu::{Inst, Opcode};
+
+fn main() {
+    banner("§5.A.5", "A-Res loop analysis: NOPs vs independent ADDs");
+    let rig = rig();
+    let spec = reporting_spec();
+    let threads = 4;
+
+    let audit = Audit::new(rig.clone(), audit_options());
+    eprintln!("generating A-Res (4T)…");
+    let a_res = audit.generate_resonant(threads);
+    let hp_nops = a_res
+        .kernel
+        .hp()
+        .iter()
+        .filter(|i| i.opcode.is_nop())
+        .count();
+    println!(
+        "A-Res HP region: {} instructions, {} of them NOPs; int/FP mix: {:.0}% FP\n",
+        a_res.kernel.hp().len(),
+        hp_nops,
+        100.0 * a_res.program.fp_density()
+    );
+
+    // The paper's substitution: HP NOPs → independent integer ADDs.
+    let modified = a_res
+        .kernel
+        .with_hp_nops_replaced(Inst::new(Opcode::IAdd).int_dst(7).int_srcs(12, 13));
+
+    let orig = rig.measure_aligned(&vec![a_res.program.clone(); threads], spec);
+    let with_adds = rig.measure_aligned(&vec![modified.to_program(); threads], spec);
+
+    // Loop-period probe: retired instructions per loop iteration is
+    // fixed, so IPC measures loop duration directly.
+    let body_orig = a_res.program.len() as f64;
+    let body_mod = modified.to_program().len() as f64;
+    let period_orig = body_orig / orig.ipc * threads as f64;
+    let period_mod = body_mod / with_adds.ipc * threads as f64;
+
+    let mut t = Table::new(vec![
+        "variant",
+        "max droop",
+        "mean amps",
+        "loop period (cycles)",
+        "loop freq (MHz)",
+    ]);
+    t.row(vec![
+        "A-Res (NOPs in HP)".into(),
+        mv(orig.max_droop()),
+        format!("{:.1}", orig.mean_amps),
+        format!("{period_orig:.2}"),
+        format!("{:.1}", rig.chip.clock_hz / period_orig / 1e6),
+    ]);
+    t.row(vec![
+        "A-Res (NOPs → ADDs)".into(),
+        mv(with_adds.max_droop()),
+        format!("{:.1}", with_adds.mean_amps),
+        format!("{period_mod:.2}"),
+        format!("{:.1}", rig.chip.clock_hz / period_mod / 1e6),
+    ]);
+    emit(&t);
+
+    println!(
+        "resonant target: {:.0} MHz",
+        a_res.resonance.frequency_hz / 1e6
+    );
+    println!(
+        "droop change from substitution: {}",
+        mv(with_adds.max_droop() - orig.max_droop())
+    );
+    println!("expected shape (paper §5.A.5): the ADD variant draws *more average*");
+    println!("current yet droops *less*, and its loop frequency falls below the");
+    println!("resonance — structural hazards stretched the loop. The GA had used");
+    println!("NOPs to absorb fetch slots without touching back-end resources.");
+}

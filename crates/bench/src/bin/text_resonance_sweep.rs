@@ -1,0 +1,54 @@
+//! §3 (text): AUDIT's automatic resonance-frequency detection.
+//!
+//! A trivial loop of high-power instructions and NOPs is swept in length;
+//! the loop length with the worst droop exercises the PDN's resonant
+//! frequency. Cross-checked here against the PDN's own AC analysis —
+//! something the real framework cannot do (it has no circuit model),
+//! which is exactly why it needs the sweep.
+
+use audit_bench::{banner, emit, rig};
+use audit_core::report::{mv, Table};
+use audit_core::{resonance, MeasureSpec};
+use audit_pdn::ImpedanceSweep;
+
+fn main() {
+    banner("§3", "automatic resonance-frequency sweep");
+    let rig = rig();
+
+    let result = resonance::find_resonance(
+        &rig,
+        4,
+        resonance::default_periods(),
+        MeasureSpec::ga_eval(),
+    );
+
+    let mut t = Table::new(vec!["loop period (cycles)", "loop freq (MHz)", "max droop"]);
+    for (period, droop) in &result.samples {
+        t.row(vec![
+            period.to_string(),
+            format!("{:.0}", rig.chip.clock_hz / *period as f64 / 1e6),
+            mv(*droop),
+        ]);
+    }
+    emit(&t);
+
+    let ac = ImpedanceSweep::new(rig.pdn.clone())
+        .first_droop()
+        .expect("first droop");
+    println!(
+        "sweep says:      {} cycles → {:.0} MHz (droop {})",
+        result.period_cycles,
+        result.frequency_hz / 1e6,
+        mv(result.peak_droop())
+    );
+    println!(
+        "AC analysis says: {:.0} MHz (peak |Z| = {:.2} mΩ)",
+        ac.frequency_hz / 1e6,
+        ac.impedance_ohms * 1e3
+    );
+    println!(
+        "agreement: {:.0}%  (the sweep finds the electrical resonance through the\n\
+         pipeline alone — the property that lets AUDIT adapt to unknown boards)",
+        100.0 * (1.0 - (result.frequency_hz - ac.frequency_hz).abs() / ac.frequency_hz)
+    );
+}

@@ -1,0 +1,198 @@
+//! The `audit` subcommands.
+
+use std::fs;
+
+use audit_core::audit::Audit;
+use audit_core::report::{mv, Table};
+use audit_core::resonance;
+use audit_stressmark::{nasm, workloads};
+
+use crate::args::{ArgError, Args};
+use crate::platform;
+
+/// Help text.
+pub const USAGE: &str = "\
+audit — automated di/dt stressmark generation (AUDIT, MICRO 2012)
+
+USAGE:
+  audit resonance  [--chip bulldozer|phenom] [--threads N] [--fast]
+      Sweep trivial loops for the platform's resonant period.
+
+  audit generate   [--chip C] [--threads N] [--kind res|ex] [--seed S]
+                   [--cost droop|droop-per-amp|sensitive] [--throttle N]
+                   [--out file.asm] [--save file.prog] [--iterations N] [--fast]
+      Evolve a stressmark; --out writes NASM, --save archives the
+      lossless .prog form for later `audit measure --file`.
+
+  audit measure    (--workload NAME | --stressmark NAME | --file X.prog)
+                   [--threads N] [--chip C] [--volts V] [--throttle N]
+                   [--cycles N] [--fast]
+      Run a workload and report droop, power, and IPC.
+
+  audit failure    (--workload NAME | --stressmark NAME | --file X.prog)
+                   [--threads N] [--chip C] [--throttle N] [--fast]
+      Lower Vdd in 12.5 mV steps until the part fails.
+
+  audit list
+      List available workloads and manual stressmarks.
+
+  audit spice      [--chip C] [--out file.sp] [--cycles N]
+      Capture a current trace and emit a SPICE deck of the PDN.
+";
+
+/// `audit resonance`.
+pub fn resonance(args: &Args) -> Result<(), ArgError> {
+    let rig = platform::rig_from(args)?;
+    let threads = args.num_flag("--threads", 4usize)?;
+    let spec = platform::spec_from(args)?;
+    args.reject_unknown()?;
+
+    let result = resonance::find_resonance(&rig, threads, resonance::default_periods(), spec);
+    let mut t = Table::new(vec!["period (cycles)", "frequency (MHz)", "max droop"]);
+    for (p, d) in &result.samples {
+        t.row(vec![
+            p.to_string(),
+            format!("{:.0}", rig.chip.clock_hz / *p as f64 / 1e6),
+            mv(*d),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "resonance: {} cycles ({:.0} MHz), droop {}",
+        result.period_cycles,
+        result.frequency_hz / 1e6,
+        mv(result.peak_droop())
+    );
+    Ok(())
+}
+
+/// `audit generate`.
+pub fn generate(args: &Args) -> Result<(), ArgError> {
+    let rig = platform::rig_from(args)?;
+    let threads = args.num_flag("--threads", 4usize)?;
+    let kind = args.str_flag("--kind", "res");
+    let opts = platform::options_from(args)?;
+    let out = args.opt_flag("--out");
+    let save = args.opt_flag("--save");
+    let iterations = args.num_flag("--iterations", 100_000_000u64)?;
+    args.reject_unknown()?;
+
+    let audit = Audit::new(rig, opts);
+    let run = match kind.as_str() {
+        "res" => audit.generate_resonant(threads),
+        "ex" => audit.generate_excitation(threads),
+        other => return Err(ArgError(format!("unknown kind `{other}` (res | ex)"))),
+    };
+
+    println!("{}:", run.name);
+    println!(
+        "  resonance    : {} cycles ({:.0} MHz)",
+        run.resonance.period_cycles,
+        run.resonance.frequency_hz / 1e6
+    );
+    println!("  best droop   : {}", mv(run.best_droop));
+    println!(
+        "  GA           : {} generations, {} evaluations",
+        run.ga.generations_run, run.ga.evaluations
+    );
+    println!(
+        "  loop         : {} instructions ({} HP + {} LP NOPs)",
+        run.program.len(),
+        run.kernel.hp().len(),
+        run.kernel.lp_nops()
+    );
+
+    if let Some(path) = out {
+        let asm = nasm::emit(&run.program, iterations);
+        fs::write(&path, asm).map_err(|e| ArgError(format!("writing {path}: {e}")))?;
+        println!("  wrote        : {path}");
+    }
+    if let Some(path) = save {
+        let text = audit_stressmark::progfile::emit(&run.program);
+        fs::write(&path, text).map_err(|e| ArgError(format!("writing {path}: {e}")))?;
+        println!("  saved        : {path}");
+    }
+    Ok(())
+}
+
+/// `audit measure`.
+pub fn measure(args: &Args) -> Result<(), ArgError> {
+    let rig = platform::rig_from(args)?;
+    let threads = args.num_flag("--threads", 4usize)?;
+    let spec = platform::spec_from(args)?;
+    let program = platform::program_from(args)?;
+    args.reject_unknown()?;
+
+    let m = rig.measure_aligned(&vec![program.clone(); threads], spec);
+    println!("{} × {threads}T on {}:", program.name(), rig.chip.name);
+    println!("  max droop    : {}", mv(m.max_droop()));
+    println!("  overshoot    : {}", mv(m.stats.overshoot()));
+    println!("  mean current : {:.1} A", m.mean_amps);
+    println!("  IPC (chip)   : {:.2}", m.ipc);
+    println!("  droop events : {}", m.trigger_events);
+    println!("  failed       : {}", m.failed);
+    Ok(())
+}
+
+/// `audit failure`.
+pub fn failure(args: &Args) -> Result<(), ArgError> {
+    let rig = platform::rig_from(args)?;
+    let threads = args.num_flag("--threads", 4usize)?;
+    let spec = platform::spec_from(args)?;
+    let program = platform::program_from(args)?;
+    args.reject_unknown()?;
+
+    println!(
+        "searching from {:.4} V in 12.5 mV steps…",
+        rig.pdn.nominal_voltage()
+    );
+    match rig.voltage_at_failure(&vec![program.clone(); threads], spec) {
+        Some(vf) => println!("{} × {threads}T fails at {vf:.4} V", program.name()),
+        None => println!(
+            "{} × {threads}T never failed above the search floor",
+            program.name()
+        ),
+    }
+    Ok(())
+}
+
+/// `audit list`.
+pub fn list(args: &Args) -> Result<(), ArgError> {
+    args.reject_unknown()?;
+    println!("workloads (synthetic SPEC CPU2006):");
+    for p in workloads::spec2006() {
+        println!("  {}", p.name);
+    }
+    println!("workloads (synthetic PARSEC):");
+    for p in workloads::parsec() {
+        println!("  {}", p.name);
+    }
+    println!("manual stressmarks:");
+    for name in ["SM1", "SM2", "SM-Res", "barrier"] {
+        println!("  {name}");
+    }
+    Ok(())
+}
+
+/// `audit spice`.
+pub fn spice(args: &Args) -> Result<(), ArgError> {
+    use audit_core::harness::MeasureSpec;
+    let rig = platform::rig_from(args)?;
+    let out = args.str_flag("--out", "pdn_tran.sp");
+    let cycles = args.num_flag("--cycles", 2_000u64)?;
+    let fast = args.bool_flag("--fast");
+    let _ = fast;
+    args.reject_unknown()?;
+
+    let spec = MeasureSpec {
+        record_cycles: cycles,
+        ..MeasureSpec::ga_eval()
+    }
+    .with_traces();
+    let program = platform::stressmark_by_name("sm-res").expect("built-in stressmark");
+    let m = rig.measure_aligned(&vec![program; 4], spec);
+    let deck = audit_pdn::spice::emit_deck(&rig.pdn, &m.current_trace, rig.chip.clock_hz, 1_000);
+    fs::write(&out, deck).map_err(|e| ArgError(format!("writing {out}: {e}")))?;
+    println!("captured {} samples; wrote {out}", m.current_trace.len());
+    Ok(())
+}

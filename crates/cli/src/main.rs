@@ -1,0 +1,55 @@
+//! `audit` — command-line front end for the AUDIT di/dt stressmark
+//! framework.
+//!
+//! ```text
+//! audit resonance  [--chip bulldozer|phenom] [--threads N] [--fast]
+//! audit generate   [--chip C] [--threads N] [--kind res|ex] [--seed S]
+//!                  [--cost droop|droop-per-amp|sensitive] [--throttle N]
+//!                  [--out file.asm] [--iterations N] [--fast]
+//! audit measure    (--workload NAME | --stressmark NAME) [--threads N]
+//!                  [--chip C] [--volts V] [--throttle N] [--cycles N] [--fast]
+//! audit failure    (--workload NAME | --stressmark NAME) [--threads N] [--chip C] [--fast]
+//! audit list
+//! audit spice      [--chip C] [--out file.sp] [--cycles N]
+//! ```
+
+mod args;
+mod commands;
+mod platform;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    match run(raw) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("audit: {msg}");
+            eprintln!("run `audit help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(raw: Vec<String>) -> Result<(), String> {
+    let parsed = args::Args::parse(raw).map_err(|e| e.to_string())?;
+    let command = parsed
+        .positionals()
+        .first()
+        .map(String::as_str)
+        .unwrap_or("help");
+    let result = match command {
+        "resonance" => commands::resonance(&parsed),
+        "generate" => commands::generate(&parsed),
+        "measure" => commands::measure(&parsed),
+        "failure" => commands::failure(&parsed),
+        "list" => commands::list(&parsed),
+        "spice" => commands::spice(&parsed),
+        "help" | "--help" | "-h" => {
+            print!("{}", commands::USAGE);
+            Ok(())
+        }
+        other => Err(args::ArgError(format!("unknown command `{other}`"))),
+    };
+    result.map_err(|e| e.to_string())
+}

@@ -1,0 +1,189 @@
+//! Shared command plumbing: rig construction and workload lookup.
+
+use audit_core::audit::AuditOptions;
+use audit_core::harness::{MeasureSpec, Rig};
+use audit_cpu::Program;
+use audit_stressmark::{manual, progfile, workloads};
+
+use crate::args::{ArgError, Args};
+
+/// Builds the rig from `--chip`, `--volts`, and `--throttle`.
+///
+/// # Errors
+///
+/// Returns [`ArgError`] for an unknown chip or malformed numbers.
+pub fn rig_from(args: &Args) -> Result<Rig, ArgError> {
+    let chip = args.str_flag("--chip", "bulldozer");
+    let mut rig = match chip.as_str() {
+        "bulldozer" => Rig::bulldozer(),
+        "phenom" => Rig::phenom(),
+        other => {
+            return Err(ArgError(format!(
+                "unknown chip `{other}` (expected bulldozer or phenom)"
+            )))
+        }
+    };
+    if let Some(v) = args.opt_flag("--volts") {
+        let volts: f64 = v
+            .parse()
+            .map_err(|_| ArgError(format!("--volts: cannot parse `{v}`")))?;
+        rig = rig.at_voltage(volts);
+    }
+    if let Some(cap) = args.opt_flag("--throttle") {
+        let cap: u32 = cap
+            .parse()
+            .map_err(|_| ArgError(format!("--throttle: cannot parse `{cap}`")))?;
+        rig = rig.with_fpu_throttle(cap);
+    }
+    Ok(rig)
+}
+
+/// Generation options from `--fast`, `--seed`, `--cost`.
+///
+/// # Errors
+///
+/// Returns [`ArgError`] for an unknown cost function.
+pub fn options_from(args: &Args) -> Result<AuditOptions, ArgError> {
+    let mut opts = if args.bool_flag("--fast") {
+        AuditOptions::fast_demo()
+    } else {
+        AuditOptions::paper()
+    };
+    if let Some(seed) = args.opt_flag("--seed") {
+        let seed: u64 = seed
+            .parse()
+            .map_err(|_| ArgError(format!("--seed: cannot parse `{seed}`")))?;
+        opts = opts.with_seed(seed);
+    }
+    if let Some(cost) = args.opt_flag("--cost") {
+        use audit_core::ga::CostFunction;
+        opts = opts.with_cost(match cost.as_str() {
+            "droop" => CostFunction::MaxDroop,
+            "droop-per-amp" => CostFunction::DroopPerAmp,
+            "sensitive" => CostFunction::SensitivePathDroop,
+            other => {
+                return Err(ArgError(format!(
+                    "unknown cost `{other}` (droop | droop-per-amp | sensitive)"
+                )))
+            }
+        });
+    }
+    Ok(opts)
+}
+
+/// Measurement spec from `--cycles` and `--fast`.
+///
+/// # Errors
+///
+/// Returns [`ArgError`] for a malformed cycle count.
+pub fn spec_from(args: &Args) -> Result<MeasureSpec, ArgError> {
+    let mut spec = if args.bool_flag("--fast") {
+        MeasureSpec::ga_eval()
+    } else {
+        MeasureSpec::reporting()
+    };
+    if let Some(c) = args.opt_flag("--cycles") {
+        let cycles: u64 = c
+            .parse()
+            .map_err(|_| ArgError(format!("--cycles: cannot parse `{c}`")))?;
+        spec.record_cycles = cycles;
+    }
+    Ok(spec)
+}
+
+/// Resolves `--workload <benchmark>`, `--stressmark <name>`, or
+/// `--file <path.prog>` to a program.
+///
+/// # Errors
+///
+/// Returns [`ArgError`] when no selector is given, the name is unknown,
+/// or the file fails to read/parse.
+pub fn program_from(args: &Args) -> Result<Program, ArgError> {
+    if let Some(path) = args.opt_flag("--file") {
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| ArgError(format!("reading {path}: {e}")))?;
+        return progfile::parse(&text).map_err(|e| ArgError(format!("{path}: {e}")));
+    }
+    if let Some(name) = args.opt_flag("--workload") {
+        return workloads::by_name(&name)
+            .map(|p| p.synthesize(4_000, 1))
+            .ok_or_else(|| ArgError(format!("unknown workload `{name}` (see `audit list`)")));
+    }
+    if let Some(name) = args.opt_flag("--stressmark") {
+        return stressmark_by_name(&name)
+            .ok_or_else(|| ArgError(format!("unknown stressmark `{name}` (see `audit list`)")));
+    }
+    Err(ArgError(
+        "need --workload <name>, --stressmark <name>, or --file <path>".into(),
+    ))
+}
+
+/// Named manual stressmarks.
+pub fn stressmark_by_name(name: &str) -> Option<Program> {
+    match name.to_ascii_lowercase().as_str() {
+        "sm1" => Some(manual::sm1()),
+        "sm2" => Some(manual::sm2()),
+        "sm-res" | "smres" => Some(manual::sm_res()),
+        "barrier" => Some(manual::barrier_burst()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Args {
+        Args::parse(words.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn rig_selects_chip_and_voltage() {
+        let rig = rig_from(&parse(&["--chip", "phenom", "--volts", "1.1"])).unwrap();
+        assert_eq!(rig.chip.name, "phenom-x4");
+        assert!((rig.pdn.nominal_voltage() - 1.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rig_rejects_unknown_chip() {
+        assert!(rig_from(&parse(&["--chip", "epyc"])).is_err());
+    }
+
+    #[test]
+    fn throttle_is_applied() {
+        let rig = rig_from(&parse(&["--throttle", "1"])).unwrap();
+        assert_eq!(rig.chip.module.fp_throttle, Some(1));
+    }
+
+    #[test]
+    fn program_lookup_both_kinds() {
+        assert_eq!(
+            program_from(&parse(&["--workload", "zeusmp"]))
+                .unwrap()
+                .name(),
+            "zeusmp"
+        );
+        assert_eq!(
+            program_from(&parse(&["--stressmark", "SM-Res"]))
+                .unwrap()
+                .name(),
+            "SM-Res"
+        );
+        assert!(program_from(&parse(&["--workload", "crysis"])).is_err());
+        assert!(program_from(&parse(&[])).is_err());
+    }
+
+    #[test]
+    fn options_cost_parse() {
+        assert!(options_from(&parse(&["--cost", "droop-per-amp"])).is_ok());
+        assert!(options_from(&parse(&["--cost", "cheapest"])).is_err());
+        let fast = options_from(&parse(&["--fast"])).unwrap();
+        assert!(fast.ga.population <= 8);
+    }
+
+    #[test]
+    fn spec_cycles_override() {
+        let spec = spec_from(&parse(&["--cycles", "1234"])).unwrap();
+        assert_eq!(spec.record_cycles, 1234);
+    }
+}

@@ -1,0 +1,169 @@
+//! End-to-end tests driving the compiled `audit` binary.
+
+use std::process::Command;
+
+fn audit(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_audit"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout(out: &std::process::Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &std::process::Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn help_lists_every_command() {
+    let out = audit(&["help"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    for cmd in [
+        "resonance",
+        "generate",
+        "measure",
+        "failure",
+        "list",
+        "spice",
+    ] {
+        assert!(text.contains(cmd), "help missing `{cmd}`");
+    }
+}
+
+#[test]
+fn no_arguments_prints_help() {
+    let out = audit(&[]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("USAGE"));
+}
+
+#[test]
+fn list_names_benchmarks_and_stressmarks() {
+    let out = audit(&["list"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    for name in ["zeusmp", "swaptions", "SM1", "SM-Res"] {
+        assert!(text.contains(name), "list missing `{name}`");
+    }
+}
+
+#[test]
+fn unknown_command_fails_with_message() {
+    let out = audit(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("frobnicate"));
+}
+
+#[test]
+fn unknown_flag_fails_loudly() {
+    let out = audit(&["list", "--turbo"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("--turbo"));
+}
+
+#[test]
+fn unknown_workload_names_the_culprit() {
+    let out = audit(&["measure", "--workload", "crysis", "--fast"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("crysis"));
+}
+
+#[test]
+fn measure_reports_droop() {
+    let out = audit(&[
+        "measure",
+        "--stressmark",
+        "sm-res",
+        "--threads",
+        "2",
+        "--fast",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("max droop"));
+    assert!(text.contains("mV"));
+}
+
+#[test]
+fn measure_respects_chip_flag() {
+    let out = audit(&[
+        "measure",
+        "--stressmark",
+        "sm2",
+        "--chip",
+        "phenom",
+        "--fast",
+    ]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("phenom"));
+    // SM1 must be refused on the Phenom-class part.
+    let out = audit(&[
+        "measure",
+        "--stressmark",
+        "sm1",
+        "--chip",
+        "phenom",
+        "--fast",
+    ]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn generate_saves_and_replays_a_prog_file() {
+    let dir = std::env::temp_dir().join("audit-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let prog = dir.join("gen.prog");
+    let asm = dir.join("gen.asm");
+
+    let out = audit(&[
+        "generate",
+        "--fast",
+        "--threads",
+        "2",
+        "--save",
+        prog.to_str().unwrap(),
+        "--out",
+        asm.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert!(stdout(&out).contains("best droop"));
+
+    // The NASM artifact looks like assembly.
+    let asm_text = std::fs::read_to_string(&asm).unwrap();
+    assert!(asm_text.contains("BITS 64"));
+
+    // The .prog artifact replays through `measure --file`.
+    let out = audit(&[
+        "measure",
+        "--file",
+        prog.to_str().unwrap(),
+        "--threads",
+        "2",
+        "--fast",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert!(stdout(&out).contains("max droop"));
+}
+
+#[test]
+fn spice_writes_a_deck() {
+    let dir = std::env::temp_dir().join("audit-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let deck = dir.join("pdn.sp");
+    let out = audit(&[
+        "spice",
+        "--out",
+        deck.to_str().unwrap(),
+        "--cycles",
+        "500",
+        "--fast",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = std::fs::read_to_string(&deck).unwrap();
+    assert!(text.contains(".tran"));
+    assert!(text.contains("PWL("));
+}

@@ -1,0 +1,325 @@
+//! The generational GA engine.
+
+use audit_cpu::Opcode;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use super::genome::Gene;
+
+/// GA hyper-parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaConfig {
+    /// Population size.
+    pub population: usize,
+    /// Hard generation cap.
+    pub generations: usize,
+    /// Tournament size for parent selection.
+    pub tournament: usize,
+    /// Probability of crossover (vs cloning the fitter parent).
+    pub crossover_rate: f64,
+    /// Per-slot mutation probability.
+    pub mutation_rate: f64,
+    /// Individuals copied unchanged into the next generation.
+    pub elitism: usize,
+    /// Exit early after this many generations without improvement — the
+    /// paper's exit condition ("the maximum voltage droop produced by
+    /// AUDIT does not increase for several generations").
+    pub stall_generations: usize,
+    /// RNG seed (runs are fully deterministic).
+    pub seed: u64,
+}
+
+impl Default for GaConfig {
+    fn default() -> Self {
+        GaConfig {
+            population: 24,
+            generations: 40,
+            tournament: 3,
+            crossover_rate: 0.85,
+            mutation_rate: 0.08,
+            elitism: 2,
+            stall_generations: 8,
+            seed: 0xA0D17,
+        }
+    }
+}
+
+/// Result of a GA run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaRun {
+    /// Fittest genome found.
+    pub best: Vec<Gene>,
+    /// Its fitness.
+    pub best_fitness: f64,
+    /// Best fitness after each generation (convergence curve).
+    pub history: Vec<f64>,
+    /// Generations actually run (≤ the cap when the stall exit fires).
+    pub generations_run: usize,
+    /// Total fitness evaluations performed.
+    pub evaluations: u64,
+}
+
+/// Evolves genomes of `genome_len` slots over the opcode `menu`,
+/// maximizing `fitness`. Optionally accepts `seeds`: existing genomes
+/// injected into the initial population (the paper's "seeded with
+/// existing benchmarks or stressmarks to improve the convergence rate").
+///
+/// # Example
+///
+/// ```
+/// use audit_core::ga::{evolve, GaConfig, Gene};
+/// use audit_cpu::Opcode;
+///
+/// // A toy objective: count FMA slots.
+/// let cfg = GaConfig { population: 8, generations: 5, ..GaConfig::default() };
+/// let run = evolve(&cfg, &Opcode::stress_menu(), 6, &[], |g: &[Gene]| {
+///     g.iter().filter(|x| x.opcode == Opcode::SimdFma).count() as f64
+/// });
+/// assert!(run.best_fitness >= 1.0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the menu is empty, `genome_len` is zero, or the population
+/// is smaller than 2.
+pub fn evolve(
+    cfg: &GaConfig,
+    menu: &[Opcode],
+    genome_len: usize,
+    seeds: &[Vec<Gene>],
+    mut fitness: impl FnMut(&[Gene]) -> f64,
+) -> GaRun {
+    assert!(!menu.is_empty(), "opcode menu must not be empty");
+    assert!(genome_len > 0, "genome length must be positive");
+    assert!(cfg.population >= 2, "population must be at least 2");
+
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut population: Vec<Vec<Gene>> = Vec::with_capacity(cfg.population);
+    for seed in seeds.iter().take(cfg.population) {
+        let mut g = seed.clone();
+        g.resize_with(genome_len, || Gene::random(menu, &mut rng));
+        g.truncate(genome_len);
+        population.push(g);
+    }
+    while population.len() < cfg.population {
+        population.push(
+            (0..genome_len)
+                .map(|_| Gene::random(menu, &mut rng))
+                .collect(),
+        );
+    }
+
+    let mut evaluations = 0u64;
+    let mut scores: Vec<f64> = population
+        .iter()
+        .map(|g| {
+            evaluations += 1;
+            fitness(g)
+        })
+        .collect();
+
+    let mut history = Vec::new();
+    let mut best_idx = argmax(&scores);
+    let mut best = population[best_idx].clone();
+    let mut best_fitness = scores[best_idx];
+    history.push(best_fitness);
+
+    let mut stalled = 0;
+    let mut generation = 0;
+    while generation < cfg.generations && stalled < cfg.stall_generations {
+        generation += 1;
+
+        // Elites survive unchanged.
+        let mut order: Vec<usize> = (0..population.len()).collect();
+        order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
+        let mut next: Vec<Vec<Gene>> = order
+            .iter()
+            .take(cfg.elitism)
+            .map(|&i| population[i].clone())
+            .collect();
+
+        while next.len() < cfg.population {
+            let a = tournament(cfg, &scores, &mut rng);
+            let b = tournament(cfg, &scores, &mut rng);
+            let mut child = if rng.gen_bool(cfg.crossover_rate) {
+                crossover(&population[a], &population[b], &mut rng)
+            } else if scores[a] >= scores[b] {
+                population[a].clone()
+            } else {
+                population[b].clone()
+            };
+            for gene in &mut child {
+                if rng.gen_bool(cfg.mutation_rate) {
+                    gene.mutate(menu, &mut rng);
+                }
+            }
+            next.push(child);
+        }
+
+        population = next;
+        scores = population
+            .iter()
+            .map(|g| {
+                evaluations += 1;
+                fitness(g)
+            })
+            .collect();
+
+        best_idx = argmax(&scores);
+        if scores[best_idx] > best_fitness {
+            best_fitness = scores[best_idx];
+            best = population[best_idx].clone();
+            stalled = 0;
+        } else {
+            stalled += 1;
+        }
+        history.push(best_fitness);
+    }
+
+    GaRun {
+        best,
+        best_fitness,
+        history,
+        generations_run: generation,
+        evaluations,
+    }
+}
+
+fn argmax(scores: &[f64]) -> usize {
+    scores
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .expect("non-empty scores")
+}
+
+fn tournament(cfg: &GaConfig, scores: &[f64], rng: &mut SmallRng) -> usize {
+    let mut winner = rng.gen_range(0..scores.len());
+    for _ in 1..cfg.tournament.max(1) {
+        let challenger = rng.gen_range(0..scores.len());
+        if scores[challenger] > scores[winner] {
+            winner = challenger;
+        }
+    }
+    winner
+}
+
+fn crossover(a: &[Gene], b: &[Gene], rng: &mut SmallRng) -> Vec<Gene> {
+    let cut = rng.gen_range(0..a.len());
+    a[..cut].iter().chain(&b[cut..]).copied().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn menu() -> Vec<Opcode> {
+        Opcode::stress_menu()
+    }
+
+    /// A cheap synthetic fitness: count SimdFma slots. The GA must
+    /// saturate it.
+    fn fma_count(g: &[Gene]) -> f64 {
+        g.iter().filter(|x| x.opcode == Opcode::SimdFma).count() as f64
+    }
+
+    #[test]
+    fn ga_maximizes_synthetic_objective() {
+        let cfg = GaConfig {
+            population: 20,
+            generations: 60,
+            stall_generations: 60,
+            ..GaConfig::default()
+        };
+        let run = evolve(&cfg, &menu(), 12, &[], fma_count);
+        assert!(run.best_fitness >= 10.0, "best {}", run.best_fitness);
+    }
+
+    #[test]
+    fn history_is_monotone_nondecreasing() {
+        let cfg = GaConfig {
+            population: 10,
+            generations: 20,
+            ..GaConfig::default()
+        };
+        let run = evolve(&cfg, &menu(), 8, &[], fma_count);
+        assert!(
+            run.history.windows(2).all(|w| w[1] >= w[0]),
+            "{:?}",
+            run.history
+        );
+    }
+
+    #[test]
+    fn stall_exit_fires() {
+        // Constant fitness: improvement never happens after gen 0.
+        let cfg = GaConfig {
+            population: 8,
+            generations: 100,
+            stall_generations: 4,
+            ..GaConfig::default()
+        };
+        let run = evolve(&cfg, &menu(), 8, &[], |_| 1.0);
+        assert_eq!(run.generations_run, 4);
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_seed() {
+        let cfg = GaConfig {
+            population: 10,
+            generations: 10,
+            ..GaConfig::default()
+        };
+        let a = evolve(&cfg, &menu(), 8, &[], fma_count);
+        let b = evolve(&cfg, &menu(), 8, &[], fma_count);
+        assert_eq!(a, b);
+        let other = GaConfig { seed: 999, ..cfg };
+        let c = evolve(&other, &menu(), 8, &[], fma_count);
+        assert_ne!(a.best, c.best);
+    }
+
+    #[test]
+    fn seeded_population_starts_ahead() {
+        let perfect: Vec<Gene> = (0..8)
+            .map(|i| Gene {
+                opcode: Opcode::SimdFma,
+                dst: i,
+                src1: 8,
+                src2: 9,
+                miss: false,
+            })
+            .collect();
+        let cfg = GaConfig {
+            population: 10,
+            generations: 0,
+            ..GaConfig::default()
+        };
+        let run = evolve(&cfg, &menu(), 8, &[perfect], fma_count);
+        assert_eq!(run.best_fitness, 8.0);
+        assert_eq!(run.generations_run, 0);
+    }
+
+    #[test]
+    fn evaluation_count_is_reported() {
+        let cfg = GaConfig {
+            population: 10,
+            generations: 5,
+            stall_generations: 100,
+            ..GaConfig::default()
+        };
+        let run = evolve(&cfg, &menu(), 8, &[], fma_count);
+        assert_eq!(run.evaluations, 10 * 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "population")]
+    fn tiny_population_rejected() {
+        let cfg = GaConfig {
+            population: 1,
+            ..GaConfig::default()
+        };
+        let _ = evolve(&cfg, &menu(), 8, &[], fma_count);
+    }
+}

@@ -1,0 +1,19 @@
+//! The genetic search at the heart of AUDIT (paper §3, Fig. 5).
+//!
+//! A candidate stressmark is a *genome*: the instruction slots of one
+//! high-power sub-block (hierarchical generation, §3.C — the sub-block is
+//! replicated `S` times to form the HP region, and the LP region is
+//! NOPs). The engine evolves a population of genomes against a fitness
+//! supplied by the measurement harness, with tournament selection,
+//! single-point crossover, per-slot mutation, elitism, and the paper's
+//! exit condition (no improvement for several generations).
+
+pub mod cost;
+pub mod engine;
+pub mod genome;
+pub mod study;
+
+pub use cost::CostFunction;
+pub use engine::{evolve, GaConfig, GaRun};
+pub use genome::Gene;
+pub use study::{run_study, StudySummary};

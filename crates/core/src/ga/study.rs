@@ -1,0 +1,179 @@
+//! Multi-seed convergence studies.
+//!
+//! A single GA run proves existence; claims about the *framework* —
+//! "converges in a few hours", "sub-blocking is 19 % better" — need
+//! statistics over seeds. This module runs the same search under several
+//! seeds and summarizes the distribution of outcomes.
+
+use audit_cpu::Opcode;
+use serde::{Deserialize, Serialize};
+
+use super::engine::{evolve, GaConfig, GaRun};
+use super::genome::Gene;
+
+/// Summary statistics of a multi-seed study.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StudySummary {
+    /// Seeds used, in run order.
+    pub seeds: Vec<u64>,
+    /// Best fitness per seed.
+    pub best: Vec<f64>,
+    /// Generations run per seed (stall exits make these differ).
+    pub generations: Vec<usize>,
+    /// Fitness evaluations per seed.
+    pub evaluations: Vec<u64>,
+}
+
+impl StudySummary {
+    /// Mean of the per-seed best fitness.
+    pub fn mean_best(&self) -> f64 {
+        mean(&self.best)
+    }
+
+    /// Sample standard deviation of the per-seed best fitness (0 for a
+    /// single seed).
+    pub fn std_best(&self) -> f64 {
+        if self.best.len() < 2 {
+            return 0.0;
+        }
+        let m = self.mean_best();
+        let var =
+            self.best.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (self.best.len() - 1) as f64;
+        var.sqrt()
+    }
+
+    /// Worst seed's best fitness — the framework's floor.
+    pub fn min_best(&self) -> f64 {
+        self.best.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Best seed's best fitness.
+    pub fn max_best(&self) -> f64 {
+        self.best.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Coefficient of variation (σ/μ) — low means the search is robust
+    /// to its random seed.
+    pub fn cv(&self) -> f64 {
+        let m = self.mean_best();
+        if m == 0.0 {
+            0.0
+        } else {
+            self.std_best() / m
+        }
+    }
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Runs the same evolution under each seed and summarizes.
+///
+/// `fitness` is shared across runs (it must be deterministic per
+/// genome, which every AUDIT fitness is).
+///
+/// # Panics
+///
+/// Panics if `seeds` is empty or the underlying engine rejects the
+/// configuration.
+pub fn run_study(
+    cfg: &GaConfig,
+    menu: &[Opcode],
+    genome_len: usize,
+    seeds_list: &[u64],
+    seed_genomes: &[Vec<Gene>],
+    mut fitness: impl FnMut(&[Gene]) -> f64,
+) -> StudySummary {
+    assert!(!seeds_list.is_empty(), "study needs at least one seed");
+    let mut summary = StudySummary {
+        seeds: seeds_list.to_vec(),
+        best: Vec::new(),
+        generations: Vec::new(),
+        evaluations: Vec::new(),
+    };
+    for &seed in seeds_list {
+        let cfg = GaConfig {
+            seed,
+            ..cfg.clone()
+        };
+        let run: GaRun = evolve(&cfg, menu, genome_len, seed_genomes, &mut fitness);
+        summary.best.push(run.best_fitness);
+        summary.generations.push(run.generations_run);
+        summary.evaluations.push(run.evaluations);
+    }
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fma_count(g: &[Gene]) -> f64 {
+        g.iter().filter(|x| x.opcode == Opcode::SimdFma).count() as f64
+    }
+
+    fn cfg() -> GaConfig {
+        GaConfig {
+            population: 12,
+            generations: 25,
+            stall_generations: 25,
+            ..GaConfig::default()
+        }
+    }
+
+    #[test]
+    fn study_runs_every_seed() {
+        let s = run_study(
+            &cfg(),
+            &Opcode::stress_menu(),
+            10,
+            &[1, 2, 3],
+            &[],
+            fma_count,
+        );
+        assert_eq!(s.best.len(), 3);
+        assert_eq!(s.generations.len(), 3);
+        assert_eq!(s.evaluations.len(), 3);
+        assert!(s.min_best() <= s.max_best());
+    }
+
+    #[test]
+    fn synthetic_objective_is_robust_across_seeds() {
+        let big = GaConfig {
+            population: 24,
+            generations: 80,
+            stall_generations: 80,
+            ..GaConfig::default()
+        };
+        let s = run_study(
+            &big,
+            &Opcode::stress_menu(),
+            10,
+            &[1, 2, 3, 4, 5],
+            &[],
+            fma_count,
+        );
+        // Every seed should come close to saturating the 10-slot cap.
+        assert!(s.min_best() >= 7.0, "floor {}", s.min_best());
+        assert!(s.cv() < 0.25, "cv {}", s.cv());
+    }
+
+    #[test]
+    fn single_seed_statistics_are_defined() {
+        let s = run_study(&cfg(), &Opcode::stress_menu(), 6, &[9], &[], fma_count);
+        assert_eq!(s.std_best(), 0.0);
+        assert_eq!(s.mean_best(), s.best[0]);
+        assert_eq!(s.min_best(), s.max_best());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one seed")]
+    fn empty_seed_list_rejected() {
+        let _ = run_study(&cfg(), &Opcode::stress_menu(), 6, &[], &[], fma_count);
+    }
+}

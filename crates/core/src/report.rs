@@ -1,0 +1,255 @@
+//! Plain-text and CSV table emission for the experiment binaries.
+//!
+//! Every figure/table binary in `audit-bench` prints its rows through
+//! this module, so the output format is uniform and machine-readable.
+
+use std::fmt;
+
+/// A simple column-aligned table with CSV export.
+///
+/// # Example
+///
+/// ```
+/// use audit_core::report::Table;
+///
+/// let mut t = Table::new(vec!["workload", "droop_mV"]);
+/// t.row(vec!["zeusmp".into(), "41.2".into()]);
+/// let text = t.to_string();
+/// assert!(text.contains("zeusmp"));
+/// assert_eq!(t.to_csv().lines().count(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `headers` is empty.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        assert!(!headers.is_empty(), "table needs at least one column");
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// CSV rendering (headers + rows). Cells containing commas or
+    /// quotes are quoted.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |cell: &str| {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        for row in &self.rows {
+            out.push('\n');
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{cell:<w$}")?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.headers)?;
+        let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        line(f, &rule)?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats volts as signed millivolts ("-62.5 mV").
+pub fn mv(volts: f64) -> String {
+    format!("{:.1} mV", volts * 1e3)
+}
+
+/// Formats a ratio relative to a baseline ("1.39").
+pub fn rel(value: f64, baseline: f64) -> String {
+    if baseline == 0.0 {
+        "n/a".to_string()
+    } else {
+        format!("{:.2}", value / baseline)
+    }
+}
+
+/// Formats a failure point relative to a reference voltage, in the
+/// paper's Table I style: "VF" for the reference itself, "VF - 62 mV"
+/// below it.
+pub fn vf_rel(v: f64, v_ref: f64) -> String {
+    let delta_mv = ((v_ref - v) * 1e3).round();
+    if delta_mv.abs() < 0.5 {
+        "VF".to_string()
+    } else if delta_mv > 0.0 {
+        format!("VF - {delta_mv:.0} mV")
+    } else {
+        format!("VF + {:.0} mV", -delta_mv)
+    }
+}
+
+/// Renders a numeric series as a one-line Unicode sparkline
+/// (`▁▂▃▄▅▆▇█`), resampled to at most `width` columns.
+///
+/// Flat series render as a line of mid-level blocks; empty series as an
+/// empty string. Used by the figure binaries to sketch waveforms inline.
+///
+/// # Example
+///
+/// ```
+/// use audit_core::report::sparkline;
+///
+/// let s = sparkline(&[0.0, 0.5, 1.0, 0.5, 0.0], 5);
+/// assert_eq!(s.chars().count(), 5);
+/// assert!(s.contains('█'));
+/// ```
+pub fn sparkline(values: &[f64], width: usize) -> String {
+    const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() || width == 0 {
+        return String::new();
+    }
+    // Resample by bucket-mean to the requested width.
+    let cols = width.min(values.len());
+    let resampled: Vec<f64> = (0..cols)
+        .map(|c| {
+            let lo = c * values.len() / cols;
+            let hi = ((c + 1) * values.len() / cols).max(lo + 1);
+            values[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+        })
+        .collect();
+    let min = resampled.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = resampled.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = max - min;
+    resampled
+        .iter()
+        .map(|v| {
+            if span <= 0.0 {
+                LEVELS[3]
+            } else {
+                let idx = ((v - min) / span * 7.0).round() as usize;
+                LEVELS[idx.min(7)]
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_aligns_columns() {
+        let mut t = Table::new(vec!["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["longer".into(), "22".into()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].starts_with("----"));
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["x,y".into(), "plain".into()]);
+        assert_eq!(t.to_csv(), "a,b\n\"x,y\",plain");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(mv(0.0625), "62.5 mV");
+        assert_eq!(rel(1.39, 1.0), "1.39");
+        assert_eq!(rel(1.0, 0.0), "n/a");
+        assert_eq!(vf_rel(1.0, 1.0), "VF");
+        assert_eq!(vf_rel(0.938, 1.0), "VF - 62 mV");
+        assert_eq!(vf_rel(1.05, 1.0), "VF + 50 mV");
+    }
+
+    #[test]
+    fn sparkline_shapes() {
+        // Monotone ramp: first char lowest, last char highest.
+        let s: Vec<char> = sparkline(&[0.0, 1.0, 2.0, 3.0], 4).chars().collect();
+        assert_eq!(s[0], '▁');
+        assert_eq!(s[3], '█');
+        // Flat series renders mid-level, not empty.
+        let flat = sparkline(&[5.0; 10], 10);
+        assert_eq!(flat.chars().count(), 10);
+        assert!(flat.chars().all(|c| c == '▄'));
+        // Degenerate inputs.
+        assert_eq!(sparkline(&[], 10), "");
+        assert_eq!(sparkline(&[1.0], 0), "");
+        // Resampling caps width.
+        assert_eq!(sparkline(&[0.0, 1.0], 10).chars().count(), 2);
+        assert_eq!(sparkline(&vec![1.0; 100], 20).chars().count(), 20);
+    }
+
+    #[test]
+    fn empty_and_len() {
+        let mut t = Table::new(vec!["x"]);
+        assert!(t.is_empty());
+        t.row(vec!["1".into()]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests for the AUDIT framework's pure components:
+//! dithering arithmetic, genome lowering, activity patterns, cost
+//! functions, and report tables.
+
+use audit_core::dither::DitherPlan;
+use audit_core::ga::{CostFunction, Gene};
+use audit_core::patterns::ActivityPattern;
+use audit_core::report::{vf_rel, Table};
+use audit_cpu::Opcode;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The dithering sweep arithmetic: `sweep = M · k^(C−1)` with
+    /// `k = (L+H)/(δ+1)`, and padding periods are geometric.
+    #[test]
+    fn dither_plan_arithmetic(cores in 1u32..9, k in 1u32..16, delta in 0u32..4, m in 1u64..10_000) {
+        let period = k * (delta + 1); // guarantee divisibility
+        let plan = DitherPlan::approximate(cores, period, m, delta);
+        prop_assert_eq!(plan.k(), k as u64);
+        prop_assert_eq!(plan.alignment_count(), (k as u128).pow(cores - 1));
+        prop_assert_eq!(plan.sweep_cycles(), m as u128 * (k as u128).pow(cores - 1));
+        for c in 1..cores {
+            prop_assert_eq!(plan.padding_period(c), m as u128 * (k as u128).pow(c - 1));
+            // Each padding period divides the full sweep.
+            prop_assert_eq!(plan.sweep_cycles() % plan.padding_period(c), 0);
+        }
+    }
+
+    /// Coarser δ never enlarges the sweep.
+    #[test]
+    fn approximate_never_slower(cores in 2u32..9, k in 1u32..12, m in 1u64..1_000) {
+        for delta in 0u32..4 {
+            let period = k * (delta + 1) * 4; // divisible by both quanta
+            if period % (delta + 1) != 0 {
+                continue;
+            }
+            let exact = DitherPlan::exact(cores, period, m);
+            let approx = DitherPlan::approximate(cores, period, m, delta);
+            prop_assert!(approx.sweep_cycles() <= exact.sweep_cycles());
+        }
+    }
+
+    /// Gene lowering always targets the right register file and honours
+    /// the miss flag only on loads.
+    #[test]
+    fn gene_lowering_invariants(op_idx in 0usize..Opcode::ALL.len(),
+                                dst in any::<u8>(), s1 in any::<u8>(), s2 in any::<u8>(),
+                                miss in any::<bool>()) {
+        let opcode = Opcode::ALL[op_idx];
+        let gene = Gene { opcode, dst, src1: s1, src2: s2, miss };
+        let inst = gene.to_inst();
+        prop_assert_eq!(inst.opcode, opcode);
+        prop_assert_eq!(inst.toggle, 1.0);
+        if let Some(d) = inst.dst {
+            prop_assert_eq!(d.is_fp(), opcode.props().fp_dst);
+        }
+        let misses = !matches!(inst.mem, audit_cpu::MemBehavior::L1Hit);
+        prop_assert_eq!(misses, miss && opcode == Opcode::Load);
+    }
+
+    /// The activity waveform has exactly H high cycles per period.
+    #[test]
+    fn activity_pattern_duty(h in 1u32..64, l in 1u32..64) {
+        let p = ActivityPattern::new(h, l, 0);
+        let period = p.period() as u64;
+        let highs = (0..period).filter(|&c| p.is_high(c)).count() as u32;
+        prop_assert_eq!(highs, h);
+        // Periodicity.
+        for c in 0..period {
+            prop_assert_eq!(p.is_high(c), p.is_high(c + period));
+        }
+    }
+
+    /// vf_rel formats deltas consistently with its inputs.
+    #[test]
+    fn vf_rel_roundtrips(delta_mv in -400i32..400) {
+        let v_ref = 1.0;
+        let v = v_ref - delta_mv as f64 / 1e3;
+        let s = vf_rel(v, v_ref);
+        if delta_mv == 0 {
+            prop_assert_eq!(s, "VF");
+        } else if delta_mv > 0 {
+            prop_assert_eq!(s, format!("VF - {delta_mv} mV"));
+        } else {
+            prop_assert_eq!(s, format!("VF + {} mV", -delta_mv));
+        }
+    }
+
+    /// Tables render one line per row plus header and rule, and CSV has
+    /// one line per row plus header.
+    #[test]
+    fn table_rendering_counts(rows in prop::collection::vec(
+        prop::collection::vec("[a-z0-9 ]{0,12}", 3..4), 0..20)) {
+        let mut t = Table::new(vec!["a", "b", "c"]);
+        for r in &rows {
+            t.row(r.clone());
+        }
+        prop_assert_eq!(t.to_string().lines().count(), rows.len() + 2);
+        prop_assert_eq!(t.to_csv().lines().count(), rows.len() + 1);
+        prop_assert_eq!(t.len(), rows.len());
+    }
+}
+
+/// Cost functions rank deeper droops higher, all else equal.
+#[test]
+fn cost_functions_monotone_in_droop() {
+    use audit_core::harness::{MeasureSpec, Rig};
+    use audit_stressmark::manual;
+
+    // Two real measurements with different droop, similar structure.
+    let rig = Rig::bulldozer();
+    let strong = rig.measure_aligned(&vec![manual::sm_res(); 4], MeasureSpec::ga_eval());
+    let weak = rig.measure_aligned(&vec![manual::sm_res(); 1], MeasureSpec::ga_eval());
+    for cost in [CostFunction::MaxDroop, CostFunction::SensitivePathDroop] {
+        assert!(
+            cost.score(&strong) > cost.score(&weak),
+            "{cost:?} did not rank 4T above 1T"
+        );
+    }
+}

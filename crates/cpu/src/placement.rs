@@ -1,0 +1,113 @@
+//! Thread-to-core placement.
+//!
+//! The paper assigns threads the way SPECrate does (§5.A): for 1T/2T/4T
+//! runs each thread gets its own module (shared module resources make
+//! droops larger when threads are spatially distributed); the 8T run
+//! fills both cores of every module.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::ChipConfig;
+
+/// A slot on the chip: `(module index, core-within-module index)`.
+pub type Slot = (u32, u32);
+
+/// An assignment of thread programs to hardware slots.
+///
+/// The `i`-th entry names the slot that runs the `i`-th program handed to
+/// [`crate::ChipSim::new`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Placement {
+    slots: Vec<Slot>,
+}
+
+impl Placement {
+    /// Creates a placement from explicit slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is empty or contains duplicates.
+    pub fn new(slots: Vec<Slot>) -> Self {
+        assert!(
+            !slots.is_empty(),
+            "placement must contain at least one slot"
+        );
+        for (i, a) in slots.iter().enumerate() {
+            for b in &slots[i + 1..] {
+                assert_ne!(a, b, "duplicate placement slot {a:?}");
+            }
+        }
+        Placement { slots }
+    }
+
+    /// The paper's spreading policy: one thread per module first, then
+    /// second cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or exceeds the chip's thread count.
+    pub fn spread(config: &ChipConfig, n: u32) -> Self {
+        assert!(n >= 1, "need at least one thread");
+        assert!(
+            n <= config.total_threads(),
+            "{n} threads exceed chip capacity {}",
+            config.total_threads()
+        );
+        let slots = (0..n)
+            .map(|i| (i % config.modules, i / config.modules))
+            .collect();
+        Placement { slots }
+    }
+
+    /// The slots, in thread order.
+    pub fn slots(&self) -> &[Slot] {
+        &self.slots
+    }
+
+    /// Number of threads placed.
+    pub fn thread_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True if any module hosts more than one of these threads (the
+    /// configuration where shared-FPU interference appears, §5.A.2).
+    pub fn shares_modules(&self) -> bool {
+        let mut seen = std::collections::HashSet::new();
+        self.slots.iter().any(|(m, _)| !seen.insert(*m))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ChipConfig;
+
+    #[test]
+    fn spread_fills_modules_first() {
+        let c = ChipConfig::bulldozer();
+        let p = Placement::spread(&c, 4);
+        assert_eq!(p.slots(), &[(0, 0), (1, 0), (2, 0), (3, 0)]);
+        assert!(!p.shares_modules());
+    }
+
+    #[test]
+    fn spread_eight_threads_shares_modules() {
+        let c = ChipConfig::bulldozer();
+        let p = Placement::spread(&c, 8);
+        assert_eq!(p.thread_count(), 8);
+        assert!(p.shares_modules());
+        assert_eq!(p.slots()[4], (0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed chip capacity")]
+    fn spread_rejects_too_many_threads() {
+        let _ = Placement::spread(&ChipConfig::phenom(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn new_rejects_duplicates() {
+        let _ = Placement::new(vec![(0, 0), (0, 0)]);
+    }
+}

@@ -1,0 +1,39 @@
+//! Voltage measurement and failure analysis.
+//!
+//! The reproduction's stand-in for the paper's lab bench (Fig. 8): a
+//! Tektronix oscilloscope with a differential probe at the package/die
+//! connection, triggering on large droops, plus the *failure* side of the
+//! methodology — lowering Vdd in 12.5 mV decrements until the part
+//! malfunctions (§5.A.4).
+//!
+//! Components:
+//!
+//! * [`Oscilloscope`] — streaming envelope sampler with droop trigger and
+//!   event histogram (Figs. 6, 9, 10),
+//! * [`DroopStats`] — min/max/mean and droop summary of a capture,
+//! * [`Histogram`] — the droop-event frequency plots of Fig. 10,
+//! * [`failure`] — critical-path failure model and the voltage-at-failure
+//!   stepping search of Table I, capturing the paper's insight that droop
+//!   magnitude alone does not determine the failure point,
+//! * [`spectrum`] — FFT-based power spectra of captured traces, for
+//!   locating resonant energy in measurements,
+//! * [`traceio`] — CSV persistence for captured waveforms,
+//! * [`predictor`] — signature-based voltage-emergency prediction
+//!   (Reddi et al., the paper's reference \[22\]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod failure;
+pub mod histogram;
+pub mod predictor;
+pub mod scope;
+pub mod spectrum;
+pub mod stats;
+pub mod traceio;
+
+pub use failure::{FailureModel, VoltageAtFailure};
+pub use histogram::Histogram;
+pub use scope::Oscilloscope;
+pub use spectrum::SpectralLine;
+pub use stats::DroopStats;

@@ -1,0 +1,165 @@
+//! Capture summary statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Streaming summary of a voltage capture.
+///
+/// Matches what the paper reports per run: the maximum droop (relative
+/// to nominal), overshoot, and the AC-only droop below the capture mean
+/// (useful because the paper disables the VRM load line to exclude DC
+/// effects, §5.A).
+///
+/// # Example
+///
+/// ```
+/// use audit_measure::DroopStats;
+///
+/// let mut s = DroopStats::new(1.2);
+/// for v in [1.19, 1.15, 1.21, 1.18] {
+///     s.record(v);
+/// }
+/// assert!((s.max_droop() - 0.05).abs() < 1e-12);
+/// assert!((s.overshoot() - 0.01).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DroopStats {
+    nominal: f64,
+    v_min: f64,
+    v_max: f64,
+    sum: f64,
+    count: u64,
+}
+
+impl DroopStats {
+    /// Creates an empty summary against the given nominal voltage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nominal` is not positive and finite.
+    pub fn new(nominal: f64) -> Self {
+        assert!(
+            nominal.is_finite() && nominal > 0.0,
+            "nominal voltage must be positive"
+        );
+        DroopStats {
+            nominal,
+            v_min: f64::INFINITY,
+            v_max: f64::NEG_INFINITY,
+            sum: 0.0,
+            count: 0,
+        }
+    }
+
+    /// Records one voltage sample.
+    pub fn record(&mut self, v: f64) {
+        self.v_min = self.v_min.min(v);
+        self.v_max = self.v_max.max(v);
+        self.sum += v;
+        self.count += 1;
+    }
+
+    /// Nominal voltage the capture was taken against.
+    pub fn nominal(&self) -> f64 {
+        self.nominal
+    }
+
+    /// Minimum sampled voltage. `NaN`-free only once a sample exists.
+    pub fn v_min(&self) -> f64 {
+        self.v_min
+    }
+
+    /// Maximum sampled voltage.
+    pub fn v_max(&self) -> f64 {
+        self.v_max
+    }
+
+    /// Mean of all samples (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Maximum droop below nominal, in volts (the paper's headline
+    /// metric, Fig. 9). Zero when nothing dipped below nominal.
+    pub fn max_droop(&self) -> f64 {
+        (self.nominal - self.v_min).max(0.0)
+    }
+
+    /// Maximum overshoot above nominal, in volts.
+    pub fn overshoot(&self) -> f64 {
+        (self.v_max - self.nominal).max(0.0)
+    }
+
+    /// Maximum droop below the capture mean — the AC-only component.
+    pub fn max_droop_below_mean(&self) -> f64 {
+        (self.mean() - self.v_min).max(0.0)
+    }
+
+    /// Peak-to-peak swing of the capture.
+    pub fn peak_to_peak(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.v_max - self.v_min
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_extremes_and_mean() {
+        let mut s = DroopStats::new(1.2);
+        for v in [1.1, 1.2, 1.3] {
+            s.record(v);
+        }
+        assert_eq!(s.v_min(), 1.1);
+        assert_eq!(s.v_max(), 1.3);
+        assert!((s.mean() - 1.2).abs() < 1e-12);
+        assert_eq!(s.count(), 3);
+        assert!((s.peak_to_peak() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn droop_clamps_at_zero_when_above_nominal() {
+        let mut s = DroopStats::new(1.0);
+        s.record(1.05);
+        assert_eq!(s.max_droop(), 0.0);
+        assert!((s.overshoot() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_benign() {
+        let s = DroopStats::new(1.2);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.peak_to_peak(), 0.0);
+    }
+
+    #[test]
+    fn droop_below_mean_removes_dc() {
+        // A capture with a DC offset: min 1.0, mean 1.1, nominal 1.3.
+        let mut s = DroopStats::new(1.3);
+        for v in [1.0, 1.1, 1.2] {
+            s.record(v);
+        }
+        assert!((s.max_droop() - 0.3).abs() < 1e-12);
+        assert!((s.max_droop_below_mean() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "nominal")]
+    fn rejects_bad_nominal() {
+        let _ = DroopStats::new(-1.0);
+    }
+}

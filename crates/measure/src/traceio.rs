@@ -1,0 +1,139 @@
+//! Trace persistence: CSV export/import for captured waveforms.
+//!
+//! Lab workflows archive scope captures; the reproduction does the same
+//! so traces can be post-processed outside the simulator (plotted,
+//! diffed across runs, or replayed through alternative PDN models). The
+//! format is deliberately plain: a header line, then one row per sample.
+
+use std::io::{self, BufRead, Write};
+
+/// Writes a trace as two-column CSV (`cycle,value`).
+///
+/// # Errors
+///
+/// Propagates any I/O error from the writer.
+///
+/// # Example
+///
+/// ```
+/// use audit_measure::traceio;
+///
+/// let mut buf = Vec::new();
+/// traceio::write_csv(&mut buf, "v_die", &[1.2, 1.19]).unwrap();
+/// let text = String::from_utf8(buf).unwrap();
+/// assert!(text.starts_with("cycle,v_die\n"));
+/// ```
+pub fn write_csv<W: Write>(mut w: W, column: &str, trace: &[f64]) -> io::Result<()> {
+    writeln!(w, "cycle,{column}")?;
+    for (i, v) in trace.iter().enumerate() {
+        writeln!(w, "{i},{v:.9}")?;
+    }
+    Ok(())
+}
+
+/// Error from [`read_csv`].
+#[derive(Debug)]
+pub enum TraceReadError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A data row did not parse.
+    Malformed {
+        /// 1-based line number of the offending row.
+        line: usize,
+    },
+}
+
+impl std::fmt::Display for TraceReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceReadError::Io(e) => write!(f, "trace read failed: {e}"),
+            TraceReadError::Malformed { line } => write!(f, "malformed trace row at line {line}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceReadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceReadError::Io(e) => Some(e),
+            TraceReadError::Malformed { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceReadError {
+    fn from(e: io::Error) -> Self {
+        TraceReadError::Io(e)
+    }
+}
+
+/// Reads a trace written by [`write_csv`] (header skipped; the value is
+/// the last comma-separated field of each row).
+///
+/// # Errors
+///
+/// Returns [`TraceReadError::Malformed`] with the offending line number
+/// on parse failure, or [`TraceReadError::Io`] on read failure.
+pub fn read_csv<R: BufRead>(r: R) -> Result<Vec<f64>, TraceReadError> {
+    let mut out = Vec::new();
+    for (idx, line) in r.lines().enumerate() {
+        let line = line?;
+        if idx == 0 || line.trim().is_empty() {
+            continue; // header / trailing newline
+        }
+        let value = line
+            .rsplit(',')
+            .next()
+            .and_then(|f| f.trim().parse::<f64>().ok())
+            .ok_or(TraceReadError::Malformed { line: idx + 1 })?;
+        out.push(value);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_preserves_values() {
+        let trace = vec![1.2, 1.199999, 1.05, 0.987654321];
+        let mut buf = Vec::new();
+        write_csv(&mut buf, "v", &trace).unwrap();
+        let back = read_csv(buf.as_slice()).unwrap();
+        assert_eq!(back.len(), trace.len());
+        for (a, b) in trace.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let mut buf = Vec::new();
+        write_csv(&mut buf, "v", &[]).unwrap();
+        assert!(read_csv(buf.as_slice()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn malformed_row_is_located() {
+        let text = "cycle,v\n0,1.2\n1,not-a-number\n";
+        let err = read_csv(text.as_bytes()).unwrap_err();
+        match err {
+            TraceReadError::Malformed { line } => assert_eq!(line, 3),
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn header_and_blank_lines_are_skipped() {
+        let text = "cycle,v\n0,1.0\n\n1,2.0\n";
+        let back = read_csv(text.as_bytes()).unwrap();
+        assert_eq!(back, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = TraceReadError::Malformed { line: 7 };
+        assert_eq!(e.to_string(), "malformed trace row at line 7");
+    }
+}

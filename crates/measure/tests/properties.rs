@@ -1,0 +1,121 @@
+//! Property-based tests for the measurement substrate.
+
+use audit_measure::{spectrum, traceio, DroopStats, Histogram, Oscilloscope, VoltageAtFailure};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The histogram never loses samples, whatever the values.
+    #[test]
+    fn histogram_conserves_count(values in prop::collection::vec(-10.0f64..10.0, 0..500)) {
+        let mut h = Histogram::new(0.0, 2.0, 40);
+        for &v in &values {
+            h.record(v);
+        }
+        prop_assert_eq!(h.total(), values.len() as u64);
+    }
+
+    /// Quantiles are monotone in q and bounded by the bin range.
+    #[test]
+    fn histogram_quantiles_monotone(values in prop::collection::vec(0.0f64..2.0, 1..500)) {
+        let mut h = Histogram::new(0.0, 2.0, 64);
+        for &v in &values {
+            h.record(v);
+        }
+        let mut prev = f64::NEG_INFINITY;
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0] {
+            let x = h.quantile(q);
+            prop_assert!(x >= prev, "quantile({q}) = {x} < {prev}");
+            prop_assert!((0.0..=2.0).contains(&x));
+            prev = x;
+        }
+    }
+
+    /// DroopStats equals the brute-force fold over any sample sequence.
+    #[test]
+    fn stats_match_brute_force(values in prop::collection::vec(0.5f64..1.5, 1..300)) {
+        let mut s = DroopStats::new(1.2);
+        for &v in &values {
+            s.record(v);
+        }
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        prop_assert_eq!(s.v_min(), min);
+        prop_assert_eq!(s.v_max(), max);
+        prop_assert!((s.mean() - mean).abs() < 1e-12);
+        prop_assert!((s.max_droop() - (1.2 - min).max(0.0)).abs() < 1e-12);
+    }
+
+    /// The scope's envelope min is always ≤ every sample in its window,
+    /// and the global min of the envelope equals the stats min (once a
+    /// whole number of windows has been consumed).
+    #[test]
+    fn scope_envelope_bounds_samples(values in prop::collection::vec(0.5f64..1.5, 8..256)) {
+        let decim = 8u64;
+        let full = values.len() - values.len() % decim as usize;
+        let mut scope = Oscilloscope::new(1.2).with_envelope_decimation(decim);
+        for &v in &values[..full] {
+            scope.sample(v);
+        }
+        let env_min = scope.envelope().iter().copied().fold(f64::INFINITY, f64::min);
+        let true_min = values[..full].iter().copied().fold(f64::INFINITY, f64::min);
+        prop_assert_eq!(env_min, true_min);
+    }
+
+    /// Trigger counts equal the number of downward crossings.
+    #[test]
+    fn trigger_counts_crossings(values in prop::collection::vec(0.9f64..1.5, 2..300)) {
+        let level = 1.1;
+        let mut scope = Oscilloscope::new(1.2).with_trigger(level);
+        for &v in &values {
+            scope.sample(v);
+        }
+        let mut expected = 0;
+        let mut below = false;
+        for &v in &values {
+            let b = v < level;
+            if b && !below {
+                expected += 1;
+            }
+            below = b;
+        }
+        prop_assert_eq!(scope.trigger_events(), expected);
+    }
+
+    /// Voltage-at-failure returns the highest failing step for any
+    /// monotone failure boundary.
+    #[test]
+    fn vf_search_finds_boundary(boundary in 0.7f64..1.15) {
+        let search = VoltageAtFailure::paper(1.2);
+        let vf = search.run(|v| v < boundary).expect("boundary inside range");
+        prop_assert!(vf < boundary);
+        prop_assert!(vf > boundary - 0.0126, "overshot: {vf} for boundary {boundary}");
+    }
+
+    /// Trace CSV round-trips arbitrary finite values.
+    #[test]
+    fn trace_csv_round_trips(values in prop::collection::vec(-1e6f64..1e6, 0..200)) {
+        let mut buf = Vec::new();
+        traceio::write_csv(&mut buf, "x", &values).unwrap();
+        let back = traceio::read_csv(buf.as_slice()).unwrap();
+        prop_assert_eq!(back.len(), values.len());
+        for (a, b) in values.iter().zip(&back) {
+            prop_assert!((a - b).abs() <= 1e-6 * (1.0 + a.abs()));
+        }
+    }
+
+    /// Parseval: FFT preserves signal energy for random power-of-two
+    /// signals.
+    #[test]
+    fn fft_preserves_energy(values in prop::collection::vec(-1.0f64..1.0, 64..65)) {
+        let mut re = values.clone();
+        let mut im = vec![0.0; values.len()];
+        spectrum::fft(&mut re, &mut im);
+        let time: f64 = values.iter().map(|x| x * x).sum();
+        let freq: f64 = re.iter().zip(&im).map(|(r, i)| r * r + i * i).sum::<f64>()
+            / values.len() as f64;
+        prop_assert!((time - freq).abs() < 1e-9 * (1.0 + time));
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests for the OS interference model.
+
+use audit_cpu::{ChipConfig, ChipSim, Program};
+use audit_os::{BarrierRelease, OsConfig, OsModel};
+use proptest::prelude::*;
+
+fn chip(n: u32) -> ChipSim {
+    let cfg = ChipConfig::bulldozer();
+    let placement = cfg.spread_placement(n);
+    ChipSim::new(&cfg, &placement, &vec![Program::nops(16); n as usize]).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Tick delivery count is bounded by threads × elapsed periods, and
+    /// at least one tick fires per thread once past its stagger.
+    #[test]
+    fn tick_count_is_bounded(period in 200u64..5_000, seed in any::<u64>(), threads in 1usize..5) {
+        let cfg = OsConfig::compressed(period).with_seed(seed);
+        let mut os = OsModel::new(cfg, threads);
+        let mut c = chip(threads as u32);
+        let horizon = period * 8;
+        for now in 0..horizon {
+            os.pre_cycle(now, &mut c);
+            c.step();
+        }
+        let upper = threads as u64 * (horizon / period + 2);
+        prop_assert!(os.ticks_delivered() <= upper,
+            "{} ticks > bound {upper}", os.ticks_delivered());
+        prop_assert!(os.ticks_delivered() >= threads as u64,
+            "only {} ticks for {threads} threads", os.ticks_delivered());
+    }
+
+    /// Same seed ⇒ identical interference; different seeds diverge in
+    /// delivered-work terms.
+    #[test]
+    fn determinism_per_seed(period in 300u64..2_000, seed in any::<u64>()) {
+        let run = |s: u64| {
+            let mut os = OsModel::new(OsConfig::compressed(period).with_seed(s), 2);
+            let mut c = chip(2);
+            for now in 0..10_000u64 {
+                os.pre_cycle(now, &mut c);
+                c.step();
+            }
+            (c.thread_retired(0), c.thread_retired(1))
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+
+    /// Interrupt service always costs forward progress, never helps it.
+    #[test]
+    fn interference_only_slows(period in 300u64..2_000, seed in any::<u64>()) {
+        let mut quiet = chip(1);
+        let mut noisy = chip(1);
+        let mut os = OsModel::new(OsConfig::compressed(period).with_seed(seed), 1);
+        for now in 0..12_000u64 {
+            os.pre_cycle(now, &mut noisy);
+            noisy.step();
+            quiet.step();
+        }
+        prop_assert!(noisy.thread_retired(0) <= quiet.thread_retired(0));
+    }
+
+    /// Barrier release offsets stay inside the configured latency range
+    /// and are deterministic per seed.
+    #[test]
+    fn barrier_offsets_in_range(seed in any::<u64>(), threads in 1usize..16) {
+        let mut a = BarrierRelease::bulldozer_like(seed);
+        let mut b = BarrierRelease::bulldozer_like(seed);
+        let oa = a.draw_offsets(threads);
+        let ob = b.draw_offsets(threads);
+        prop_assert_eq!(&oa, &ob);
+        for &o in &oa {
+            prop_assert!((15..=90).contains(&o), "offset {o}");
+        }
+    }
+
+    /// Disabling interrupts is absolute regardless of other parameters.
+    #[test]
+    fn disabled_means_zero_ticks(period in 1u64..10_000, seed in any::<u64>()) {
+        let cfg = OsConfig::compressed(period).with_seed(seed).with_interrupts_disabled();
+        let mut os = OsModel::new(cfg, 4);
+        let mut c = chip(4);
+        for now in 0..5_000u64 {
+            os.pre_cycle(now, &mut c);
+            c.step();
+        }
+        prop_assert_eq!(os.ticks_delivered(), 0);
+    }
+}

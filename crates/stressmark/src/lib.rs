@@ -1,0 +1,29 @@
+//! Stressmark kernels, manual stressmarks, NASM emission, and synthetic
+//! benchmark workloads.
+//!
+//! Everything the AUDIT framework evaluates *against* lives here:
+//!
+//! * [`Kernel`] — the structured high-power/low-power loop shape of paper
+//!   Fig. 7 (an HP region of `S` sub-blocks of length `K`, followed by an
+//!   LP region of NOPs),
+//! * [`manual`] — reproductions of the paper's hand-made stressmarks:
+//!   SM1, SM2, SM-Res, and the barrier stressmark of §5.A.1,
+//! * [`workloads`] — synthetic stand-ins for the SPEC CPU2006 and PARSEC
+//!   benchmarks (profile-driven instruction-stream generators; see
+//!   DESIGN.md for the substitution argument),
+//! * [`nasm`] — the NASM-syntax emitter matching the paper's code
+//!   generation path (NASM 2.09, §4),
+//! * [`progfile`] — a lossless text format for archiving generated
+//!   stressmarks (NASM is one-way; this round-trips).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod kernel;
+pub mod manual;
+pub mod nasm;
+pub mod progfile;
+pub mod workloads;
+
+pub use kernel::Kernel;
+pub use workloads::{Suite, WorkloadProfile};

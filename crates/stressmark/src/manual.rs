@@ -1,0 +1,320 @@
+//! Reproductions of the paper's manually engineered stressmarks.
+//!
+//! The paper compares AUDIT against three pre-existing stressmarks, each
+//! "the result either of past di/dt issues or a non-trivial design effort
+//! (on the order of a week per stressmark) from a highly skilled
+//! engineer" (§5.A.2):
+//!
+//! * [`sm1`] — a multi-section stressmark containing both single-droop
+//!   excitations and resonant trains. It uses FMA-class SIMD ops, which
+//!   is why the paper could not run it on the older Phenom-class part
+//!   (§5.C).
+//! * [`sm2`] — a *sensitive-path* stressmark: droop comparable to
+//!   ordinary benchmarks, but heavy in multiplier and L1 paths, so it
+//!   fails at a much higher voltage than its droop suggests (§5.A.4).
+//! * [`sm_res`] — a hand-tuned first-droop *resonant* stressmark:
+//!   a regular FP/SIMD high-power phase and a NOP low-power phase sized
+//!   to the PDN resonance.
+//! * [`barrier_burst`] — the barrier stressmark of §5.A.1: all threads
+//!   synchronize, then fire a high-power burst together.
+//!
+//! All hand-tuned instruction counts target the Bulldozer-class preset
+//! (3.2 GHz, ≈106 MHz first droop ⇒ ≈30-cycle resonant loop, 4-wide
+//! fetch ⇒ ≈120 instructions per loop) — exactly the kind of baked-in
+//! platform knowledge AUDIT exists to avoid.
+
+use audit_cpu::{Inst, MemBehavior, Opcode, Program};
+
+use crate::kernel::Kernel;
+
+/// The Joseph–Brooks–Martonosi di/dt stressmark (HPCA-9, the paper's
+/// reference \[10\]): "a sequence in which a high-current instruction
+/// follows a low-current instruction. The high-current component
+/// typically consisted of a memory load/store instruction and the
+/// low-current component consisted of a divide instruction followed by a
+/// dependent instruction, resulting in a long pipeline stall." Their
+/// virus was hand-crafted for one microarchitecture from known per-op
+/// currents; AUDIT's point is to beat this without that knowledge.
+pub fn joseph_virus() -> Program {
+    let mut body = Vec::new();
+    // Low phase: an unpipelined divide with a dependent consumer — the
+    // whole window drains behind it.
+    body.push(
+        Inst::new(Opcode::IDiv)
+            .int_dst(0)
+            .int_srcs(14, 15)
+            .toggle(1.0),
+    );
+    body.push(
+        Inst::new(Opcode::IAdd)
+            .int_dst(1)
+            .int_srcs(0, 15)
+            .toggle(1.0),
+    );
+    // High phase: a burst of cache-hitting loads and stores (their
+    // high-current component), kept inside the L1 footprint.
+    for i in 0..40u8 {
+        if i % 2 == 0 {
+            body.push(
+                Inst::new(Opcode::Load)
+                    .int_dst(2 + i % 4)
+                    .int_srcs(12, 13)
+                    .mem(MemBehavior::Strided {
+                        stride_bytes: 64,
+                        footprint_bytes: 8 << 10,
+                    })
+                    .toggle(1.0),
+            );
+        } else {
+            body.push(Inst::new(Opcode::Store).int_srcs(2 + i % 4, 13).toggle(1.0));
+        }
+    }
+    Program::new("Joseph-virus", body)
+}
+
+/// Rotating independent destination registers so FP ops never serialize.
+fn fp_block(ops: &[Opcode], count: usize) -> Vec<Inst> {
+    (0..count)
+        .map(|i| {
+            let op = ops[i % ops.len()];
+            let inst = Inst::new(op).toggle(1.0);
+            if op.props().fp_dst {
+                inst.fp_dst((i % 8) as u8).fp_srcs(12, 13)
+            } else if matches!(op, Opcode::Nop) {
+                inst
+            } else if matches!(op, Opcode::Load) {
+                inst.int_dst((i % 6) as u8).int_srcs(14, 15)
+            } else if matches!(op, Opcode::Store) {
+                inst.int_srcs(14, 15)
+            } else {
+                inst.int_dst((i % 6) as u8).int_srcs(14, 15)
+            }
+        })
+        .collect()
+}
+
+/// SM1: a legacy multi-section stressmark mixing one large
+/// idle-to-burst excitation with a short resonant train and a
+/// memory-heavy section. Requires FMA support.
+///
+/// # Example
+///
+/// ```
+/// use audit_stressmark::manual;
+///
+/// assert!(!manual::sm1().avoids_fma()); // incompatible with Phenom (§5.C)
+/// assert!(manual::sm2().avoids_fma());
+/// ```
+pub fn sm1() -> Program {
+    let mut body = Vec::new();
+    // Section 1: long quiet region, then an abrupt full-width burst —
+    // a classic first-droop excitation.
+    body.extend(std::iter::repeat_n(Inst::new(Opcode::Nop), 280));
+    body.extend(fp_block(
+        &[
+            Opcode::SimdFma,
+            Opcode::SimdFMul,
+            Opcode::Load,
+            Opcode::IAdd,
+        ],
+        120,
+    ));
+    // Section 2: a short resonant train (three HP/LP periods around the
+    // Bulldozer-class 30-cycle resonance — enough to partially build,
+    // well short of full resonant amplitude).
+    for _ in 0..3 {
+        body.extend(fp_block(
+            &[Opcode::SimdFma, Opcode::FMul, Opcode::Nop, Opcode::Nop],
+            60,
+        ));
+        body.extend(std::iter::repeat_n(Inst::new(Opcode::Nop), 60));
+    }
+    // Section 3: memory churn with periodic L2 misses (stall → burst).
+    for i in 0..48u8 {
+        body.push(
+            Inst::new(Opcode::Load)
+                .int_dst(i % 6)
+                .int_srcs(14, 15)
+                .mem(MemBehavior::L2MissEvery { period: 16 }),
+        );
+        body.push(Inst::new(Opcode::Store).int_srcs(14, 15));
+        body.push(Inst::new(Opcode::SimdFMul).fp_dst(i % 8).fp_srcs(12, 13));
+        body.push(Inst::new(Opcode::IMul).int_dst(i % 6).int_srcs(14, 15));
+    }
+    Program::new("SM1", body)
+}
+
+/// SM2: the sensitive-path stressmark. Modest droop (short LP region,
+/// medium-power ops) but its instruction mix lives on the processor's
+/// most voltage-critical paths: the integer multiplier and the L1 load
+/// path.
+pub fn sm2() -> Program {
+    // Three register-writers per four-slot group: the store rides the
+    // spare issue slot without a write port, so the loop stays
+    // fetch-bound on both evaluation processors.
+    let hp = (0..48)
+        .map(|i| match i % 4 {
+            0 => Inst::new(Opcode::IMul)
+                .int_dst((i % 6) as u8)
+                .int_srcs(14, 15)
+                .toggle(1.0),
+            1 => Inst::new(Opcode::Load)
+                .int_dst(((i + 1) % 6) as u8)
+                .int_srcs(14, 15)
+                .toggle(1.0),
+            2 => Inst::new(Opcode::Store)
+                .int_srcs(((i + 2) % 6) as u8, 15)
+                .toggle(1.0),
+            _ => Inst::new(Opcode::SimdIAdd)
+                .fp_dst((i % 8) as u8)
+                .fp_srcs(12, 13)
+                .toggle(1.0),
+        })
+        .collect::<Vec<_>>();
+    Kernel::new("SM2", hp, 30).to_program()
+}
+
+/// SM-Res: the hand-tuned resonant stressmark — a regular FP/SIMD
+/// high-power phase of ≈15 cycles and a NOP low-power phase of ≈15
+/// cycles, repeating at the Bulldozer-class first-droop resonance.
+pub fn sm_res() -> Program {
+    sm_res_kernel().to_program()
+}
+
+/// The [`sm_res`] loop in structured [`Kernel`] form (the dithering
+/// algorithm needs the H/L structure, not just the flat program).
+pub fn sm_res_kernel() -> Kernel {
+    // 60 HP instructions at 4-wide fetch ≈ 15 cycles; 2 FP per 4-wide
+    // group saturates the module's 2 FP pipes.
+    let hp = fp_block(
+        &[Opcode::SimdFma, Opcode::SimdFMul, Opcode::Nop, Opcode::Nop],
+        60,
+    );
+    Kernel::new("SM-Res", hp, 60)
+}
+
+/// The high-power burst used by the barrier stressmark (§5.A.1): every
+/// thread synchronizes on a barrier, then runs this burst. The expected
+/// giant synchronized excitation is damped in practice by skewed barrier
+/// release (see `audit_os::BarrierRelease`).
+pub fn barrier_burst() -> Program {
+    // One episode per loop iteration: a dense burst right after the
+    // barrier release, then a long idle region standing in for the
+    // arrive-and-wait phase of the next barrier. The droop of interest
+    // is the synchronized idle→burst step, not loop resonance.
+    Kernel::new(
+        "barrier-burst",
+        fp_block(
+            &[
+                Opcode::SimdFma,
+                Opcode::SimdFMul,
+                Opcode::IAdd,
+                Opcode::Load,
+            ],
+            240,
+        ),
+        2_400,
+    )
+    .to_program()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sm1_needs_fma() {
+        assert!(
+            !sm1().avoids_fma(),
+            "SM1 must be incompatible with the Phenom-class part"
+        );
+    }
+
+    #[test]
+    fn sm2_runs_everywhere() {
+        assert!(sm2().avoids_fma());
+    }
+
+    #[test]
+    fn sm2_exercises_sensitive_paths() {
+        // Its dominant non-NOP ops sit on high-sensitivity paths.
+        let p = sm2();
+        let max_sens = p
+            .body()
+            .iter()
+            .map(|i| i.opcode.props().path_sensitivity)
+            .fold(0.0, f64::max);
+        assert!(max_sens >= 0.8, "max sensitivity {max_sens}");
+    }
+
+    #[test]
+    fn sm_res_is_half_fp_half_nop() {
+        let p = sm_res();
+        assert_eq!(p.len(), 120);
+        let nops = p.body().iter().filter(|i| i.opcode.is_nop()).count();
+        assert_eq!(nops, 90, "30 HP FP/SIMD ops + 90 NOPs");
+        assert!((p.fp_density() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sm1_has_excitation_structure() {
+        // A long NOP run followed by a dense burst.
+        let p = sm1();
+        let body = p.body();
+        let lead_nops = body.iter().take_while(|i| i.opcode.is_nop()).count();
+        assert!(lead_nops >= 200, "quiet region is {lead_nops} NOPs");
+        let burst_fp = body[lead_nops..lead_nops + 120]
+            .iter()
+            .filter(|i| i.opcode.is_fp())
+            .count();
+        assert!(burst_fp >= 40, "burst has {burst_fp} FP ops");
+    }
+
+    #[test]
+    fn joseph_virus_has_divide_then_memory_burst() {
+        let p = joseph_virus();
+        assert_eq!(p.body()[0].opcode, Opcode::IDiv);
+        // The dependent consumer reads the divide's destination.
+        assert_eq!(p.body()[1].srcs[0], p.body()[0].dst);
+        let loads = p.body().iter().filter(|i| i.opcode == Opcode::Load).count();
+        let stores = p
+            .body()
+            .iter()
+            .filter(|i| i.opcode == Opcode::Store)
+            .count();
+        assert!(loads >= 15 && stores >= 15);
+        // Loads stay inside the L1 (they are the *high*-current phase).
+        for i in p.body().iter().filter(|i| i.opcode == Opcode::Load) {
+            match i.mem {
+                MemBehavior::Strided {
+                    footprint_bytes, ..
+                } => {
+                    assert!(footprint_bytes <= 16 << 10)
+                }
+                other => panic!("expected strided load, got {other:?}"),
+            }
+        }
+        assert!(p.avoids_fma(), "the virus predates FMA parts");
+    }
+
+    #[test]
+    fn all_manual_stressmarks_use_full_toggle() {
+        for p in [sm1(), sm2(), sm_res(), barrier_burst()] {
+            for i in p.body().iter().filter(|i| !i.opcode.is_nop()) {
+                assert_eq!(i.toggle, 1.0, "{}: {:?}", p.name(), i.opcode);
+            }
+        }
+    }
+
+    #[test]
+    fn fp_blocks_use_independent_destinations() {
+        // No FP op in SM-Res reads a register another HP op writes —
+        // the hand-tuned marks avoid serialization.
+        let k = sm_res_kernel();
+        for i in k.hp().iter().filter(|i| i.opcode.is_fp()) {
+            for s in i.srcs.iter().flatten() {
+                assert!(s.index() >= 12, "source {s:?} aliases a written register");
+            }
+        }
+    }
+}

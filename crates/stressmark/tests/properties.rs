@@ -1,0 +1,115 @@
+//! Property-based tests for kernels, workload synthesis, and NASM
+//! emission.
+
+use audit_cpu::{Inst, Opcode};
+use audit_stressmark::{nasm, workloads, Kernel};
+use proptest::prelude::*;
+
+fn any_hp_inst() -> impl Strategy<Value = Inst> {
+    (0usize..Opcode::ALL.len(), 0u8..8, 0u8..16, 0u8..16).prop_map(|(op, d, s1, s2)| {
+        let op = Opcode::ALL[op];
+        let inst = Inst::new(op);
+        if op.props().fp_dst {
+            inst.fp_dst(d).fp_srcs(s1, s2)
+        } else if matches!(op, Opcode::Nop | Opcode::Store | Opcode::Branch) {
+            inst
+        } else {
+            inst.int_dst(d).int_srcs(s1, s2)
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Sub-block replication: the HP region is exactly `s` copies.
+    #[test]
+    fn kernel_sub_blocks_replicate(block in prop::collection::vec(any_hp_inst(), 1..16),
+                                   s in 1usize..8, lp in 0usize..128) {
+        let k = Kernel::from_sub_blocks("k", &block, s, lp);
+        prop_assert_eq!(k.hp().len(), block.len() * s);
+        prop_assert_eq!(k.len(), block.len() * s + lp);
+        for (i, inst) in k.hp().iter().enumerate() {
+            prop_assert_eq!(*inst, block[i % block.len()]);
+        }
+        // Flattening preserves totals, and the LP region is pure NOPs.
+        let p = k.to_program();
+        prop_assert_eq!(p.len(), k.len());
+        prop_assert!(p.body()[k.hp().len()..].iter().all(|i| i.opcode.is_nop()));
+    }
+
+    /// NOP replacement touches exactly the HP NOPs.
+    #[test]
+    fn nop_replacement_is_surgical(block in prop::collection::vec(any_hp_inst(), 1..16),
+                                   s in 1usize..4, lp in 0usize..64) {
+        let k = Kernel::from_sub_blocks("k", &block, s, lp);
+        let replacement = Inst::new(Opcode::IAdd).int_dst(7).int_srcs(12, 13);
+        let r = k.with_hp_nops_replaced(replacement);
+        prop_assert_eq!(r.hp().len(), k.hp().len());
+        prop_assert_eq!(r.lp_nops(), k.lp_nops());
+        for (orig, new) in k.hp().iter().zip(r.hp()) {
+            if orig.opcode.is_nop() {
+                prop_assert_eq!(*new, replacement);
+            } else {
+                prop_assert_eq!(new, orig);
+            }
+        }
+    }
+
+    /// Workload synthesis is a pure function of (profile, len, seed).
+    #[test]
+    fn synthesis_is_pure(len in 64usize..2048, seed in any::<u64>(), which in 0usize..34) {
+        let profiles: Vec<_> =
+            workloads::spec2006().into_iter().chain(workloads::parsec()).collect();
+        let p = profiles[which];
+        prop_assert_eq!(p.synthesize(len, seed), p.synthesize(len, seed));
+    }
+
+    /// Synthesized bodies respect the requested length within the
+    /// episode rounding slack, and contain no FMA-class ops.
+    #[test]
+    fn synthesis_length_and_compat(len in 128usize..4096, seed in any::<u64>(), which in 0usize..34) {
+        let profiles: Vec<_> =
+            workloads::spec2006().into_iter().chain(workloads::parsec()).collect();
+        let prog = profiles[which].synthesize(len, seed);
+        prop_assert!(prog.len() >= len);
+        prop_assert!(prog.len() < len + 128, "overshoot: {} for {len}", prog.len());
+        prop_assert!(prog.avoids_fma());
+    }
+
+    /// NASM emission always produces a complete, loop-shaped deck with
+    /// one body line per instruction.
+    #[test]
+    fn nasm_structure_holds(body in prop::collection::vec(any_hp_inst(), 1..64),
+                            iters in 1u64..1_000_000) {
+        let program = audit_cpu::Program::new("prop", body.clone());
+        let asm = nasm::emit(&program, iters);
+        prop_assert!(asm.contains("BITS 64"));
+        let counter_line = format!("mov rcx, {iters}");
+        prop_assert!(asm.contains(&counter_line));
+        let loop_start = asm.find(".loop:").expect("loop label");
+        let loop_end = asm.find("    dec rcx").expect("loop decrement");
+        let body_lines = asm[loop_start..loop_end].lines().count() - 1;
+        prop_assert_eq!(body_lines, body.len());
+    }
+
+    /// Every formatted instruction starts with its mnemonic and never
+    /// contains placeholder junk.
+    #[test]
+    fn format_inst_is_well_formed(inst in any_hp_inst()) {
+        let line = nasm::format_inst(&inst);
+        prop_assert!(line.starts_with(inst.opcode.mnemonic()));
+        prop_assert!(!line.contains("None"));
+        prop_assert!(!line.is_empty());
+    }
+}
+
+/// Deterministic (non-proptest) cross-check: the two suites never share
+/// a benchmark name.
+#[test]
+fn suites_are_disjoint() {
+    let spec: Vec<_> = workloads::spec2006().iter().map(|p| p.name).collect();
+    for p in workloads::parsec() {
+        assert!(!spec.contains(&p.name), "{} in both suites", p.name);
+    }
+}

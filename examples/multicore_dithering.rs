@@ -1,0 +1,61 @@
+//! Thread alignment on multi-core systems: natural dithering from the
+//! OS, and the deterministic dithering algorithm that replaces it.
+//!
+//! Run with: `cargo run --release -p audit-core --example multicore_dithering`
+
+use audit_core::dither::{dithered_droop, DitherPlan};
+use audit_core::harness::{MeasureSpec, Rig};
+use audit_os::OsConfig;
+use audit_stressmark::manual;
+
+fn main() {
+    let rig = Rig::bulldozer();
+    let program = manual::sm_res();
+    let spec = MeasureSpec::ga_eval();
+    let threads = 2;
+
+    // The target: all threads aligned (constructive interference).
+    let aligned = rig
+        .measure_aligned(&vec![program.clone(); threads], spec)
+        .max_droop();
+    println!("aligned worst case:          {:.1} mV", aligned * 1e3);
+
+    // A stuck misalignment (half a resonant period apart): destructive.
+    let stuck = rig
+        .measure_with_offsets(&vec![program.clone(); threads], &[0, 15], spec)
+        .max_droop();
+    println!("stuck half-period skew:      {:.1} mV", stuck * 1e3);
+
+    // Natural dithering: OS timer ticks randomly walk the alignment —
+    // sometimes constructive, never guaranteed (paper Fig. 6).
+    let noisy = rig
+        .clone()
+        .with_os(OsConfig::compressed(5_000).with_seed(11));
+    let natural = noisy
+        .measure_with_offsets(
+            &vec![program.clone(); threads],
+            &[0, 15],
+            MeasureSpec {
+                record_cycles: 60_000,
+                ..spec
+            },
+        )
+        .max_droop();
+    println!("natural dithering (OS ticks): {:.1} mV", natural * 1e3);
+
+    // Deterministic dithering (§3.B): guaranteed to visit the aligned
+    // worst case within M·(L+H)^(C−1) cycles, interrupts disabled.
+    let plan = DitherPlan::exact(threads as u32, 30, 1_200);
+    let outcome = dithered_droop(&rig, &program, plan, &[0, 15], 500_000);
+    println!(
+        "deterministic dithering:     {:.1} mV  (swept {} alignments in {} cycles)",
+        outcome.max_droop() * 1e3,
+        plan.alignment_count(),
+        outcome.cycles
+    );
+
+    println!(
+        "\nrecovery vs aligned worst case: {:.0}% — with a bound, not luck.",
+        100.0 * outcome.max_droop() / aligned
+    );
+}

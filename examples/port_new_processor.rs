@@ -1,0 +1,43 @@
+//! Porting to a different processor (paper §5.C): swap the chip, keep
+//! the board, regenerate. Hand stressmarks may not even run; AUDIT
+//! adapts its opcode menu and re-tunes automatically.
+//!
+//! Run with: `cargo run --release -p audit-core --example port_new_processor`
+
+use audit_core::audit::{Audit, AuditOptions};
+use audit_core::harness::{MeasureSpec, Rig};
+use audit_cpu::ChipSim;
+use audit_stressmark::manual;
+
+fn main() {
+    let rig = Rig::phenom();
+    let spec = MeasureSpec::ga_eval();
+
+    // SM1 simply does not run on the older part (FMA4-class ops).
+    let placement = rig.placement(1);
+    match ChipSim::new(&rig.chip, &placement, &[manual::sm1()]) {
+        Err(e) => println!("SM1: {e}"),
+        Ok(_) => println!("SM1 unexpectedly ran"),
+    }
+
+    // SM2 runs — it is the hand baseline on this part.
+    let sm2 = rig
+        .measure_aligned(&vec![manual::sm2(); 4], spec)
+        .max_droop();
+    println!("SM2 (hand baseline): {:.1} mV", sm2 * 1e3);
+
+    // AUDIT regenerates with the reduced opcode menu and the new
+    // resonance, no manual work.
+    let audit = Audit::new(rig, AuditOptions::fast_demo());
+    println!(
+        "opcode menu on this part: {} ops (FMA-class removed automatically)",
+        audit.opcode_menu().len()
+    );
+    let a_res = audit.generate_resonant(4);
+    println!(
+        "A-Res regenerated: {:.1} mV at {:.0} MHz resonance  ({:.2}× the hand baseline)",
+        a_res.best_droop * 1e3,
+        a_res.resonance.frequency_hz / 1e6,
+        a_res.best_droop / sm2
+    );
+}

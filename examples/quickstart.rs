@@ -1,0 +1,43 @@
+//! Quickstart: measure a hand-made stressmark, then let AUDIT generate a
+//! better one automatically, and emit it as NASM assembly.
+//!
+//! Run with: `cargo run --release -p audit-core --example quickstart`
+
+use audit_core::audit::{Audit, AuditOptions};
+use audit_core::harness::{MeasureSpec, Rig};
+use audit_stressmark::{manual, nasm};
+
+fn main() {
+    // 1. A measurement rig: Bulldozer-class chip + its board's PDN +
+    //    oscilloscope + failure model.
+    let rig = Rig::bulldozer();
+    let spec = MeasureSpec::ga_eval();
+
+    // 2. Baseline: the hand-tuned resonant stressmark, four aligned
+    //    threads spread one per module.
+    let sm_res = manual::sm_res();
+    let baseline = rig.measure_aligned(&vec![sm_res; 4], spec);
+    println!(
+        "SM-Res (hand-tuned, ~a week of expert effort): {:.1} mV max droop",
+        baseline.max_droop() * 1e3
+    );
+
+    // 3. AUDIT: automatic generation with zero microarchitectural
+    //    knowledge. (fast_demo keeps this example quick; AuditOptions::
+    //    paper() is the full-scale configuration.)
+    let audit = Audit::new(rig, AuditOptions::fast_demo());
+    let a_res = audit.generate_resonant(4);
+    println!(
+        "A-Res (generated): {:.1} mV max droop  (resonance detected at {:.0} MHz, {} GA evaluations)",
+        a_res.best_droop * 1e3,
+        a_res.resonance.frequency_hz / 1e6,
+        a_res.ga.evaluations
+    );
+
+    // 4. The generated loop as NASM source, ready for `nasm -f elf64`.
+    let asm = nasm::emit(&a_res.program, 100_000_000);
+    println!("\nfirst lines of the generated stressmark:\n");
+    for line in asm.lines().take(20) {
+        println!("  {line}");
+    }
+}

@@ -1,0 +1,28 @@
+//! Export the PDN and a captured current trace as SPICE decks — the
+//! paper's simulation-path handoff (Fig. 5).
+//!
+//! Run with: `cargo run --release -p audit-core --example spice_export`
+
+use audit_core::harness::{MeasureSpec, Rig};
+use audit_pdn::spice;
+use audit_stressmark::manual;
+
+fn main() {
+    let rig = Rig::bulldozer();
+
+    // A short capture of the resonant stressmark's current profile.
+    let spec = MeasureSpec {
+        record_cycles: 1_000,
+        ..MeasureSpec::ga_eval()
+    }
+    .with_traces();
+    let m = rig.measure_aligned(&vec![manual::sm_res(); 4], spec);
+
+    let deck = spice::emit_deck(&rig.pdn, &m.current_trace, rig.chip.clock_hz, 200);
+    println!("{deck}");
+    eprintln!(
+        "# {} current samples thinned into the PWL source; pipe to a file and",
+        m.current_trace.len()
+    );
+    eprintln!("# run with ngspice/HSPICE to cross-check the built-in solver.");
+}

@@ -1,0 +1,222 @@
+//! Physics-level cross-crate tests: the claims the paper's analysis
+//! sections make must hold through the whole stack (chip model → PDN →
+//! measurement).
+
+use audit_core::dither::{dithered_droop, DitherPlan};
+use audit_core::harness::{MeasureSpec, Rig};
+use audit_core::patterns::{excitation_kernel, ActivityPattern};
+use audit_core::resonance;
+use audit_cpu::{Inst, Opcode, Program};
+use audit_os::{BarrierRelease, OsConfig};
+use audit_pdn::ImpedanceSweep;
+use audit_stressmark::manual;
+
+fn fast() -> MeasureSpec {
+    MeasureSpec::ga_eval()
+}
+
+#[test]
+fn loop_length_sweep_agrees_with_ac_analysis() {
+    // AUDIT's resonance sweep must land near the PDN's first-droop peak
+    // on both platforms (it has no knowledge of the circuit).
+    for rig in [Rig::bulldozer(), Rig::phenom()] {
+        let ac = ImpedanceSweep::new(rig.pdn.clone()).first_droop().unwrap();
+        let sweep = resonance::find_resonance(&rig, 2, (16..=64).step_by(2), fast());
+        let ratio = sweep.frequency_hz / ac.frequency_hz;
+        assert!(
+            (0.7..1.4).contains(&ratio),
+            "{}: sweep {} Hz vs AC {} Hz",
+            rig.chip.name,
+            sweep.frequency_hz,
+            ac.frequency_hz
+        );
+    }
+}
+
+#[test]
+fn resonant_pattern_out_droops_single_excitation() {
+    // Fig. 4 through the full stack.
+    let rig = Rig::bulldozer();
+    let res = resonance::find_resonance(&rig, 4, [24, 28, 30, 32, 36], fast());
+    let period = res.period_cycles;
+
+    let resonant = ActivityPattern::square(period, 0)
+        .to_kernel(&rig.chip)
+        .to_program();
+    let excitation = excitation_kernel(&rig.chip, period / 2, period * 10).to_program();
+
+    let d_res = rig.measure_aligned(&vec![resonant; 4], fast()).max_droop();
+    let d_ex = rig
+        .measure_aligned(&vec![excitation; 4], fast())
+        .max_droop();
+    assert!(d_res > 1.5 * d_ex, "resonant {d_res} vs excitation {d_ex}");
+}
+
+#[test]
+fn dithering_recovers_worst_case_from_any_skew() {
+    // §3.B: the sweep must reach ≈ the aligned droop from arbitrary
+    // initial misalignments.
+    let rig = Rig::bulldozer();
+    let program = manual::sm_res();
+    let aligned = rig
+        .measure_aligned(&vec![program.clone(); 2], fast())
+        .max_droop();
+
+    for skew in [5u64, 13, 22] {
+        let plan = DitherPlan::exact(2, 30, 600);
+        let outcome = dithered_droop(&rig, &program, plan, &[0, skew], 200_000);
+        assert!(
+            outcome.max_droop() > 0.88 * aligned,
+            "skew {skew}: dithered {} vs aligned {aligned}",
+            outcome.max_droop()
+        );
+    }
+}
+
+#[test]
+fn approximate_dithering_trades_accuracy_for_speed() {
+    let rig = Rig::bulldozer();
+    let program = manual::sm_res();
+    let exact = DitherPlan::exact(2, 30, 600);
+    let approx = DitherPlan::approximate(2, 30, 600, 4);
+    assert!(approx.sweep_cycles() < exact.sweep_cycles() / 4);
+
+    let aligned = rig
+        .measure_aligned(&vec![program.clone(); 2], fast())
+        .max_droop();
+    let outcome = dithered_droop(&rig, &program, approx, &[0, 13], 200_000);
+    // With δ = 4 the guarantee weakens but must stay close.
+    assert!(
+        outcome.max_droop() > 0.75 * aligned,
+        "approx dithered {} vs aligned {aligned}",
+        outcome.max_droop()
+    );
+}
+
+#[test]
+fn natural_dithering_walks_alignment_over_time() {
+    // §3.A / Fig. 6: with OS ticks enabled, the droop envelope varies
+    // tick to tick; with them disabled and a fixed skew it does not.
+    let program = manual::sm_res();
+    let spec = MeasureSpec {
+        record_cycles: 48_000,
+        envelope_decimation: 3_000,
+        ..fast()
+    };
+
+    let quiet = Rig::bulldozer();
+    let m_quiet = quiet.measure_with_offsets(&vec![program.clone(); 4], &[0, 13, 22, 7], spec);
+
+    let noisy = Rig::bulldozer().with_os(OsConfig::compressed(4_000).with_seed(17));
+    let m_noisy = noisy.measure_with_offsets(&vec![program.clone(); 4], &[0, 13, 22, 7], spec);
+
+    let spread = |env: &[f64]| {
+        let lo = env.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = env.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        hi - lo
+    };
+    // Skip the first window (startup transient) in both.
+    let quiet_spread = spread(&m_quiet.envelope[1..]);
+    let noisy_spread = spread(&m_noisy.envelope[1..]);
+    assert!(
+        noisy_spread > 2.0 * quiet_spread + 1e-4,
+        "noisy {noisy_spread} vs quiet {quiet_spread}"
+    );
+}
+
+#[test]
+fn data_toggle_effect_is_about_ten_percent() {
+    // §3: worst-case vs best-case operand data ≈ 10 % droop difference.
+    let rig = Rig::bulldozer();
+    let retoggled = |t: f64| {
+        Program::new(
+            "sm-res-toggled",
+            manual::sm_res()
+                .body()
+                .iter()
+                .map(|i| {
+                    let mut i = *i;
+                    i.toggle = t;
+                    i
+                })
+                .collect(),
+        )
+    };
+    let lo = rig
+        .measure_aligned(&vec![retoggled(0.0); 4], fast())
+        .max_droop();
+    let hi = rig
+        .measure_aligned(&vec![retoggled(1.0); 4], fast())
+        .max_droop();
+    let gain = hi / lo - 1.0;
+    assert!((0.04..0.20).contains(&gain), "toggle gain {gain}");
+}
+
+#[test]
+fn nop_to_add_substitution_reduces_droop() {
+    // §5.A.5 on the hand-resonant kernel: replacing HP NOPs with
+    // independent ADDs must not increase the droop (the writeback-port
+    // hazard stretches the loop off resonance).
+    let rig = Rig::bulldozer();
+    let kernel = manual::sm_res_kernel();
+    let with_adds =
+        kernel.with_hp_nops_replaced(Inst::new(Opcode::IAdd).int_dst(7).int_srcs(12, 13));
+    let orig = rig.measure_aligned(&vec![kernel.to_program(); 4], fast());
+    let modified = rig.measure_aligned(&vec![with_adds.to_program(); 4], fast());
+    assert!(
+        modified.max_droop() < orig.max_droop(),
+        "ADDs should hurt: {} vs {}",
+        modified.max_droop(),
+        orig.max_droop()
+    );
+    // …even though they draw at least as much average current.
+    assert!(modified.mean_amps > 0.95 * orig.mean_amps);
+}
+
+#[test]
+fn barrier_release_skew_damps_the_synchronized_burst() {
+    // §5.A.1: the realistic skewed release produces a smaller burst
+    // droop than the idealized synchronous release.
+    let rig = Rig::bulldozer();
+    let burst = manual::barrier_burst();
+    let spec = MeasureSpec {
+        record_cycles: 4_000,
+        ..fast()
+    };
+
+    let run = |mut release: BarrierRelease, episodes: usize| {
+        let mut sum = 0.0;
+        for _ in 0..episodes {
+            let offsets = release.draw_offsets(4);
+            sum += rig
+                .measure_with_offsets(&vec![burst.clone(); 4], &offsets, spec)
+                .max_droop();
+        }
+        sum / episodes as f64
+    };
+    let ideal = run(BarrierRelease::ideal(), 2);
+    let skewed = run(BarrierRelease::bulldozer_like(7), 6);
+    assert!(skewed < ideal, "skewed {skewed} vs ideal {ideal}");
+}
+
+#[test]
+fn shared_fpu_makes_8t_worse_than_4t_for_resonant_marks() {
+    // §5.A.2: FP-heavy stressmarks lose droop going 4T → 8T.
+    let rig = Rig::bulldozer();
+    let d4 = rig
+        .measure_aligned(&vec![manual::sm_res(); 4], fast())
+        .max_droop();
+    let d8 = rig
+        .measure_aligned(&vec![manual::sm_res(); 8], fast())
+        .max_droop();
+    assert!(d8 < d4, "8T {d8} should be below 4T {d4}");
+}
+
+#[test]
+fn paper_dithering_cost_arithmetic() {
+    // §3.B numbers at 4 GHz, L+H = 24, M = 960.
+    let clock = 4.0e9;
+    assert!((DitherPlan::exact(4, 24, 960).sweep_seconds(clock) - 3.3e-3).abs() < 2e-4);
+    assert!((DitherPlan::exact(8, 24, 960).sweep_seconds(clock) / 60.0 - 18.35).abs() < 0.3);
+    assert!((DitherPlan::approximate(8, 24, 960, 3).sweep_seconds(clock) * 1e3 - 67.0).abs() < 3.0);
+}

@@ -1,0 +1,136 @@
+//! End-to-end tests of the full AUDIT generation pipeline
+//! (resonance sweep → hierarchical GA → stressmark), in the fast-demo
+//! configuration.
+
+use audit_core::audit::{Audit, AuditOptions};
+use audit_core::ga::CostFunction;
+use audit_core::harness::{MeasureSpec, Rig};
+use audit_stressmark::{manual, nasm};
+
+#[test]
+fn full_pipeline_produces_competitive_resonant_stressmark() {
+    let audit = Audit::new(Rig::bulldozer(), AuditOptions::fast_demo());
+    let run = audit.generate_resonant(2);
+
+    // It must comfortably beat a plain NOP loop and reach at least the
+    // ballpark of the hand-tuned SM-Res even in the demo configuration.
+    let rig = audit.rig();
+    let sm_res = rig
+        .measure_aligned(&vec![manual::sm_res(); 2], MeasureSpec::ga_eval())
+        .max_droop();
+    assert!(
+        run.best_droop > 0.5 * sm_res,
+        "generated {} vs hand-tuned {sm_res}",
+        run.best_droop
+    );
+
+    // Structure: HP region then NOP LP region, loop near the detected
+    // resonance.
+    assert!(run.kernel.lp_nops() > 0);
+    assert_eq!(run.program.len(), run.kernel.len());
+    assert!(run.resonance.period_cycles >= 16);
+
+    // The evidence trail is complete.
+    assert!(!run.ga.history.is_empty());
+    assert!(run.ga.evaluations > 0);
+    assert!(run.name.contains("A-Res"));
+}
+
+#[test]
+fn generated_stressmark_emits_valid_nasm() {
+    let audit = Audit::new(Rig::bulldozer(), AuditOptions::fast_demo());
+    let run = audit.generate_resonant(2);
+    let asm = nasm::emit(&run.program, 1_000_000);
+    assert!(asm.contains("section .text"));
+    assert!(asm.contains(".loop:"));
+    assert!(asm.lines().count() > run.program.len());
+}
+
+#[test]
+fn pipeline_is_deterministic_per_seed() {
+    let audit = Audit::new(Rig::bulldozer(), AuditOptions::fast_demo());
+    let a = audit.generate_resonant(2);
+    let b = audit.generate_resonant(2);
+    assert_eq!(a.ga.best, b.ga.best);
+
+    let other = Audit::new(Rig::bulldozer(), AuditOptions::fast_demo().with_seed(777));
+    let c = other.generate_resonant(2);
+    assert_ne!(
+        a.ga.best, c.ga.best,
+        "different seeds should explore differently"
+    );
+}
+
+#[test]
+fn throttled_regeneration_beats_throttled_hand_stressmark() {
+    // §5.B: A-Res-Th, generated with the throttle on, out-droops the
+    // throttled hand-tuned resonant stressmark.
+    let throttled = Rig::bulldozer().with_fpu_throttle(1);
+    let sm_res_th = throttled
+        .measure_aligned(&vec![manual::sm_res(); 2], MeasureSpec::ga_eval())
+        .max_droop();
+
+    let audit = Audit::new(throttled, AuditOptions::fast_demo());
+    let a_res_th = audit.generate_resonant(2);
+    assert!(
+        a_res_th.best_droop > sm_res_th,
+        "A-Res-Th {} vs throttled SM-Res {sm_res_th}",
+        a_res_th.best_droop
+    );
+}
+
+#[test]
+fn phenom_generation_uses_reduced_menu_and_runs() {
+    let audit = Audit::new(Rig::phenom(), AuditOptions::fast_demo());
+    let menu = audit.opcode_menu();
+    assert!(menu.iter().all(|op| !op.props().needs_fma));
+
+    let run = audit.generate_resonant(2);
+    assert!(
+        run.program.avoids_fma(),
+        "generated program must run on the part"
+    );
+    assert!(run.best_droop > 0.0);
+}
+
+#[test]
+fn cost_function_changes_the_winner() {
+    let droop = Audit::new(Rig::bulldozer(), AuditOptions::fast_demo());
+    let efficient = Audit::new(
+        Rig::bulldozer(),
+        AuditOptions::fast_demo().with_cost(CostFunction::DroopPerAmp),
+    );
+    let a = droop.generate_resonant(2);
+    let b = efficient.generate_resonant(2);
+    // The objectives rank differently, so each winner must score at
+    // least as well as the other under its *own* objective. (In the
+    // demo configuration both may legitimately converge to the same
+    // strong genome.)
+    let rig = Rig::bulldozer();
+    let spec = MeasureSpec::ga_eval();
+    let ma = rig.measure_aligned(&vec![a.program.clone(); 2], spec);
+    let mb = rig.measure_aligned(&vec![b.program.clone(); 2], spec);
+    assert!(
+        CostFunction::MaxDroop.score(&ma) >= CostFunction::MaxDroop.score(&mb) * 0.95,
+        "droop specialist lost its own game"
+    );
+    assert!(
+        CostFunction::DroopPerAmp.score(&mb) >= CostFunction::DroopPerAmp.score(&ma) * 0.95,
+        "efficiency specialist lost its own game"
+    );
+}
+
+#[test]
+fn excitation_and_resonant_runs_differ_structurally() {
+    let audit = Audit::new(Rig::bulldozer(), AuditOptions::fast_demo());
+    let ex = audit.generate_excitation(2);
+    let res = audit.generate_resonant(2);
+    // Excitation: quiet region much longer than the resonant period.
+    assert!(
+        ex.kernel.lp_nops() > 3 * res.kernel.lp_nops(),
+        "A-Ex LP {} vs A-Res LP {}",
+        ex.kernel.lp_nops(),
+        res.kernel.lp_nops()
+    );
+    assert!(ex.name.contains("A-Ex"));
+}
