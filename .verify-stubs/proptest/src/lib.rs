@@ -1,0 +1,2 @@
+//! Offline verification stub for `proptest` — resolution only. Property
+//! test targets are not built against this stub.

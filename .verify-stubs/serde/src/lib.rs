@@ -1,0 +1,12 @@
+//! Offline verification stub for `serde`: traits exist, derives are
+//! no-ops. Sufficient to type-check `#[derive(Serialize, Deserialize)]`
+//! code that never actually serializes at runtime.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for serde::Serialize.
+pub trait Serialize {}
+
+/// Marker stand-in for serde::Deserialize.
+pub trait Deserialize<'de> {}

@@ -38,6 +38,7 @@ fn bench_mini_ga(c: &mut Criterion) {
                 population: 6,
                 generations: 2,
                 stall_generations: 10,
+                threads: 1,
                 ..GaConfig::default()
             };
             let run = ga::evolve(&cfg, &menu, 24, &[], |genome: &[Gene]| {
@@ -48,6 +49,43 @@ fn bench_mini_ga(c: &mut Criterion) {
             black_box(run.best_fitness)
         });
     });
+}
+
+/// Sequential vs parallel evaluation of the same search — the wall-time
+/// side of the determinism contract (results are bit-identical; only
+/// throughput may differ).
+fn bench_parallel_eval(c: &mut Criterion) {
+    let rig = Rig::bulldozer();
+    let spec = MeasureSpec {
+        record_cycles: 2_000,
+        settle_cycles: 50_000,
+        ..MeasureSpec::ga_eval()
+    };
+    let menu = Opcode::stress_menu();
+    let cost = CostFunction::MaxDroop;
+    let base = GaConfig {
+        population: 8,
+        generations: 2,
+        stall_generations: 10,
+        cache_capacity: 0, // measure raw evaluation, not memoization
+        ..GaConfig::default()
+    };
+    for (id, threads) in [("ga/eval_sequential", 1usize), ("ga/eval_parallel", 0)] {
+        let cfg = GaConfig {
+            threads,
+            ..base.clone()
+        };
+        c.bench_function(id, |b| {
+            b.iter(|| {
+                let run = ga::evolve(&cfg, &menu, 24, &[], |genome: &[Gene]| {
+                    let kernel =
+                        Kernel::from_sub_blocks("cand", &ga::genome::to_sub_block(genome), 2, 60);
+                    cost.score(&rig.measure_aligned(&vec![kernel.to_program(); 2], spec))
+                });
+                black_box(run.best_fitness)
+            });
+        });
+    }
 }
 
 fn bench_resonance_probe(c: &mut Criterion) {
@@ -63,6 +101,6 @@ fn bench_resonance_probe(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_fitness_eval, bench_mini_ga, bench_resonance_probe
+    targets = bench_fitness_eval, bench_mini_ga, bench_parallel_eval, bench_resonance_probe
 }
 criterion_main!(benches);

@@ -54,13 +54,20 @@ fn main() {
         fitness,
     );
 
-    let mut t = Table::new(vec!["seed", "best droop", "generations", "evaluations"]);
+    let mut t = Table::new(vec![
+        "seed",
+        "best droop",
+        "generations",
+        "simulations",
+        "cache hits",
+    ]);
     for i in 0..study.seeds.len() {
         t.row(vec![
             study.seeds[i].to_string(),
             mv(study.best[i]),
             study.generations[i].to_string(),
             study.evaluations[i].to_string(),
+            study.cache_hits[i].to_string(),
         ]);
     }
     emit(&t);

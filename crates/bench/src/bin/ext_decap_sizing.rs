@@ -1,7 +1,7 @@
 //! Extension experiment: on-die decap sizing (§2's first mitigation).
 //!
 //! "First droops can be mitigated by explicitly adding decap on the die
-//! [19]. However, there are limits to the feasibility of this approach
+//! \[19\]. However, there are limits to the feasibility of this approach
 //! due to area constraints and the leakage of the decap." This binary
 //! sweeps the die decap and measures both effects AUDIT cares about: the
 //! resonance moves (so a fixed stressmark detunes) and the droop falls.

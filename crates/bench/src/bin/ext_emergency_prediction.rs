@@ -1,5 +1,5 @@
 //! Extension experiment: voltage-emergency prediction (Reddi et al.,
-//! the paper's reference [22]).
+//! the paper's reference \[22\]).
 //!
 //! A signature predictor learns the current-slew patterns that precede
 //! emergencies on a training window and is evaluated on a held-out

@@ -31,6 +31,7 @@ impl std::error::Error for ArgError {}
 const VALUE_FLAGS: &[&str] = &[
     "--chip",
     "--threads",
+    "--workers",
     "--kind",
     "--out",
     "--iterations",

@@ -20,9 +20,12 @@ USAGE:
 
   audit generate   [--chip C] [--threads N] [--kind res|ex] [--seed S]
                    [--cost droop|droop-per-amp|sensitive] [--throttle N]
-                   [--out file.asm] [--save file.prog] [--iterations N] [--fast]
+                   [--workers N] [--out file.asm] [--save file.prog]
+                   [--iterations N] [--fast]
       Evolve a stressmark; --out writes NASM, --save archives the
       lossless .prog form for later `audit measure --file`.
+      --workers sets GA evaluation threads (0 = all cores); results
+      are bit-identical for any worker count.
 
   audit measure    (--workload NAME | --stressmark NAME | --file X.prog)
                    [--threads N] [--chip C] [--volts V] [--throttle N]
@@ -92,8 +95,17 @@ pub fn generate(args: &Args) -> Result<(), ArgError> {
     );
     println!("  best droop   : {}", mv(run.best_droop));
     println!(
-        "  GA           : {} generations, {} evaluations",
-        run.ga.generations_run, run.ga.evaluations
+        "  GA           : {} generations, {} simulations + {} cache hits ({:.0}% memoized)",
+        run.ga.generations_run,
+        run.ga.evaluations,
+        run.ga.cache_hits,
+        100.0 * run.ga.telemetry.cache_hit_rate()
+    );
+    println!(
+        "  GA wall time : {:.2} s on {} worker(s), {:.0} evals/s",
+        run.ga.telemetry.total_wall_s,
+        run.ga.telemetry.threads,
+        run.ga.telemetry.evals_per_second()
     );
     println!(
         "  loop         : {} instructions ({} HP + {} LP NOPs)",

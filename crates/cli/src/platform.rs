@@ -38,7 +38,11 @@ pub fn rig_from(args: &Args) -> Result<Rig, ArgError> {
     Ok(rig)
 }
 
-/// Generation options from `--fast`, `--seed`, `--cost`.
+/// Generation options from `--fast`, `--seed`, `--cost`, `--workers`.
+///
+/// `--workers` sets the GA fitness-evaluation worker count (`0`, the
+/// default, means all available cores); it affects wall time only,
+/// never results.
 ///
 /// # Errors
 ///
@@ -54,6 +58,12 @@ pub fn options_from(args: &Args) -> Result<AuditOptions, ArgError> {
             .parse()
             .map_err(|_| ArgError(format!("--seed: cannot parse `{seed}`")))?;
         opts = opts.with_seed(seed);
+    }
+    if let Some(workers) = args.opt_flag("--workers") {
+        let workers: usize = workers
+            .parse()
+            .map_err(|_| ArgError(format!("--workers: cannot parse `{workers}`")))?;
+        opts = opts.with_eval_threads(workers);
     }
     if let Some(cost) = args.opt_flag("--cost") {
         use audit_core::ga::CostFunction;
@@ -179,6 +189,15 @@ mod tests {
         assert!(options_from(&parse(&["--cost", "cheapest"])).is_err());
         let fast = options_from(&parse(&["--fast"])).unwrap();
         assert!(fast.ga.population <= 8);
+    }
+
+    #[test]
+    fn workers_flag_sets_eval_threads() {
+        let opts = options_from(&parse(&["--workers", "3"])).unwrap();
+        assert_eq!(opts.ga.threads, 3);
+        let auto = options_from(&parse(&[])).unwrap();
+        assert_eq!(auto.ga.threads, 0);
+        assert!(options_from(&parse(&["--workers", "many"])).is_err());
     }
 
     #[test]

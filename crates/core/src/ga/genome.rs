@@ -11,7 +11,7 @@ use serde::{Deserialize, Serialize};
 /// register file when lowering to an [`Inst`]; destinations are folded
 /// into 8 registers and sources span all 16, so the search can discover
 /// both independent streams and dependence chains.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Gene {
     /// The operation in this slot.
     pub opcode: Opcode,

@@ -7,6 +7,11 @@
 //! supplied by the measurement harness, with tournament selection,
 //! single-point crossover, per-slot mutation, elitism, and the paper's
 //! exit condition (no improvement for several generations).
+//!
+//! Fitness evaluation — the expensive chip + PDN co-simulation — runs
+//! across worker threads with genome-level memoization, while staying
+//! bit-identical to a sequential run; see [`engine`] for the
+//! determinism contract.
 
 pub mod cost;
 pub mod engine;
@@ -14,6 +19,6 @@ pub mod genome;
 pub mod study;
 
 pub use cost::CostFunction;
-pub use engine::{evolve, GaConfig, GaRun};
+pub use engine::{evolve, resolve_workers, EvalCache, GaConfig, GaRun, GaTelemetry};
 pub use genome::Gene;
 pub use study::{run_study, StudySummary};

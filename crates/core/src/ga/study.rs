@@ -20,8 +20,11 @@ pub struct StudySummary {
     pub best: Vec<f64>,
     /// Generations run per seed (stall exits make these differ).
     pub generations: Vec<usize>,
-    /// Fitness evaluations per seed.
+    /// Simulations actually executed per seed (memo hits excluded).
     pub evaluations: Vec<u64>,
+    /// Fitness lookups served by the evaluation cache per seed.
+    #[serde(default)]
+    pub cache_hits: Vec<u64>,
 }
 
 impl StudySummary {
@@ -74,8 +77,11 @@ fn mean(xs: &[f64]) -> f64 {
 
 /// Runs the same evolution under each seed and summarizes.
 ///
-/// `fitness` is shared across runs (it must be deterministic per
-/// genome, which every AUDIT fitness is).
+/// `fitness` is shared across runs and worker threads (it must be
+/// deterministic per genome, which every AUDIT fitness is — see the
+/// [determinism contract](super::engine)). Each per-seed run evaluates
+/// with `cfg.threads` workers and its own fitness cache, so the summary
+/// is identical no matter the thread count.
 ///
 /// # Panics
 ///
@@ -87,7 +93,7 @@ pub fn run_study(
     genome_len: usize,
     seeds_list: &[u64],
     seed_genomes: &[Vec<Gene>],
-    mut fitness: impl FnMut(&[Gene]) -> f64,
+    fitness: impl Fn(&[Gene]) -> f64 + Sync,
 ) -> StudySummary {
     assert!(!seeds_list.is_empty(), "study needs at least one seed");
     let mut summary = StudySummary {
@@ -95,16 +101,18 @@ pub fn run_study(
         best: Vec::new(),
         generations: Vec::new(),
         evaluations: Vec::new(),
+        cache_hits: Vec::new(),
     };
     for &seed in seeds_list {
         let cfg = GaConfig {
             seed,
             ..cfg.clone()
         };
-        let run: GaRun = evolve(&cfg, menu, genome_len, seed_genomes, &mut fitness);
+        let run: GaRun = evolve(&cfg, menu, genome_len, seed_genomes, &fitness);
         summary.best.push(run.best_fitness);
         summary.generations.push(run.generations_run);
         summary.evaluations.push(run.evaluations);
+        summary.cache_hits.push(run.cache_hits);
     }
     summary
 }
@@ -139,6 +147,7 @@ mod tests {
         assert_eq!(s.best.len(), 3);
         assert_eq!(s.generations.len(), 3);
         assert_eq!(s.evaluations.len(), 3);
+        assert_eq!(s.cache_hits.len(), 3);
         assert!(s.min_best() <= s.max_best());
     }
 

@@ -28,10 +28,13 @@ fn main() {
     let audit = Audit::new(rig, AuditOptions::fast_demo());
     let a_res = audit.generate_resonant(4);
     println!(
-        "A-Res (generated): {:.1} mV max droop  (resonance detected at {:.0} MHz, {} GA evaluations)",
+        "A-Res (generated): {:.1} mV max droop  (resonance detected at {:.0} MHz, \
+         {} GA simulations + {} cache hits on {} worker(s))",
         a_res.best_droop * 1e3,
         a_res.resonance.frequency_hz / 1e6,
-        a_res.ga.evaluations
+        a_res.ga.evaluations,
+        a_res.ga.cache_hits,
+        a_res.ga.telemetry.threads
     );
 
     // 4. The generated loop as NASM source, ready for `nasm -f elf64`.

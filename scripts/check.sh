@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Documentation and lint gate, run locally and in CI (.github/workflows/ci.yml).
+#
+# Fails on:
+#   - any rustdoc warning (missing docs are warnings in every crate, so
+#     RUSTDOCFLAGS turns them fatal),
+#   - any clippy lint across all targets.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo doc (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --document-private-items
+
+echo "==> cargo clippy (warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "OK"

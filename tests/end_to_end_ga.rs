@@ -62,6 +62,51 @@ fn pipeline_is_deterministic_per_seed() {
 }
 
 #[test]
+fn parallel_pipeline_is_bit_identical_to_sequential() {
+    // The tentpole regression: the full pipeline (resonance sweep →
+    // hierarchical GA over the real chip + PDN fitness → stressmark)
+    // must produce the same artifact whether fitness evaluation runs on
+    // one worker or several, and whether or not the cache is in play.
+    let sequential = Audit::new(
+        Rig::bulldozer(),
+        AuditOptions::fast_demo().with_eval_threads(1),
+    )
+    .generate_resonant(2);
+    let parallel = Audit::new(
+        Rig::bulldozer(),
+        AuditOptions::fast_demo().with_eval_threads(4),
+    )
+    .generate_resonant(2);
+
+    assert_eq!(sequential.ga.best, parallel.ga.best);
+    assert_eq!(sequential.ga.best_fitness, parallel.ga.best_fitness);
+    assert_eq!(sequential.ga.history, parallel.ga.history);
+    assert_eq!(sequential.best_droop, parallel.best_droop);
+    assert_eq!(
+        sequential.program.body(),
+        parallel.program.body(),
+        "emitted stressmarks must be identical instruction-for-instruction"
+    );
+
+    // Memoization did real work yet changed nothing.
+    assert!(sequential.ga.cache_hits > 0);
+    assert_eq!(sequential.ga.cache_hits, parallel.ga.cache_hits);
+    assert_eq!(sequential.ga.evaluations, parallel.ga.evaluations);
+
+    // An uncached run still agrees on the search trajectory.
+    let mut uncached_opts = AuditOptions::fast_demo().with_eval_threads(2);
+    uncached_opts.ga.cache_capacity = 0;
+    let uncached = Audit::new(Rig::bulldozer(), uncached_opts).generate_resonant(2);
+    assert_eq!(uncached.ga.best, sequential.ga.best);
+    assert_eq!(uncached.ga.history, sequential.ga.history);
+    assert_eq!(uncached.ga.cache_hits, 0);
+    assert_eq!(
+        uncached.ga.evaluations,
+        sequential.ga.evaluations + sequential.ga.cache_hits
+    );
+}
+
+#[test]
 fn throttled_regeneration_beats_throttled_hand_stressmark() {
     // §5.B: A-Res-Th, generated with the throttle on, out-droops the
     // throttled hand-tuned resonant stressmark.
