@@ -9,7 +9,7 @@ use audit_stressmark::manual;
 
 fn chip(n: u32, program: &Program) -> ChipSim {
     let cfg = ChipConfig::bulldozer();
-    let placement = cfg.spread_placement(n);
+    let placement = cfg.spread_placement(n).unwrap();
     ChipSim::new(&cfg, &placement, &vec![program.clone(); n as usize]).unwrap()
 }
 

@@ -9,7 +9,7 @@ use audit_stressmark::manual;
 
 fn chip() -> ChipSim {
     let cfg = ChipConfig::bulldozer();
-    let placement = cfg.spread_placement(4);
+    let placement = cfg.spread_placement(4).unwrap();
     ChipSim::new(&cfg, &placement, &vec![manual::sm_res(); 4]).unwrap()
 }
 

@@ -23,7 +23,7 @@ fn main() {
     let spec = reporting_spec();
 
     // SM1 is rejected by the chip — reproduce the paper's observation.
-    let placement = rig.placement(1);
+    let placement = rig.placement(1).unwrap();
     match ChipSim::new(&rig.chip, &placement, &[manual::sm1()]) {
         Err(e) => println!("SM1 on Phenom-class part: {e}\n"),
         Ok(_) => println!("unexpected: SM1 ran on the Phenom-class part\n"),

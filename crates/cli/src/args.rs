@@ -45,6 +45,8 @@ const VALUE_FLAGS: &[&str] = &[
     "--period",
     "--file",
     "--save",
+    "--checkpoint",
+    "--resume",
 ];
 
 impl Args {

@@ -2,13 +2,20 @@
 
 use std::fs;
 
-use audit_core::audit::Audit;
-use audit_core::report::{mv, Table};
+use audit_core::audit::{Audit, StressmarkRun};
+use audit_core::journal::{Journal, JournalWriter};
+use audit_core::report::{journal_summary, mv, Table};
 use audit_core::resonance;
+use audit_core::AuditError;
 use audit_stressmark::{nasm, workloads};
 
 use crate::args::{ArgError, Args};
 use crate::platform;
+
+/// Maps a core error to a CLI error.
+fn core_err(e: AuditError) -> ArgError {
+    ArgError(e.to_string())
+}
 
 /// Help text.
 pub const USAGE: &str = "\
@@ -21,11 +28,20 @@ USAGE:
   audit generate   [--chip C] [--threads N] [--kind res|ex] [--seed S]
                    [--cost droop|droop-per-amp|sensitive] [--throttle N]
                    [--workers N] [--out file.asm] [--save file.prog]
-                   [--iterations N] [--fast]
+                   [--iterations N] [--fast] [--checkpoint run.ndjson]
       Evolve a stressmark; --out writes NASM, --save archives the
       lossless .prog form for later `audit measure --file`.
       --workers sets GA evaluation threads (0 = all cores); results
       are bit-identical for any worker count.
+      --checkpoint journals every generation to an NDJSON file,
+      atomically, so a killed run can be continued.
+
+  audit generate   --resume run.ndjson [--out file.asm] [--save file.prog]
+                   [--iterations N]
+      Continue a killed --checkpoint run. Configuration flags are
+      restored from the journal; the journaled generations are
+      replayed without re-simulation and the final stressmark is
+      bit-identical to an uninterrupted run's.
 
   audit measure    (--workload NAME | --stressmark NAME | --file X.prog)
                    [--threads N] [--chip C] [--volts V] [--throttle N]
@@ -71,6 +87,9 @@ pub fn resonance(args: &Args) -> Result<(), ArgError> {
 
 /// `audit generate`.
 pub fn generate(args: &Args) -> Result<(), ArgError> {
+    if let Some(journal_path) = args.opt_flag("--resume") {
+        return resume_generate(args, &journal_path);
+    }
     let rig = platform::rig_from(args)?;
     let threads = args.num_flag("--threads", 4usize)?;
     let kind = args.str_flag("--kind", "res");
@@ -78,15 +97,86 @@ pub fn generate(args: &Args) -> Result<(), ArgError> {
     let out = args.opt_flag("--out");
     let save = args.opt_flag("--save");
     let iterations = args.num_flag("--iterations", 100_000_000u64)?;
+    let checkpoint = args.opt_flag("--checkpoint");
+    let meta = platform::generate_meta(args);
     args.reject_unknown()?;
 
     let audit = Audit::new(rig, opts);
-    let run = match kind.as_str() {
-        "res" => audit.generate_resonant(threads),
-        "ex" => audit.generate_excitation(threads),
-        other => return Err(ArgError(format!("unknown kind `{other}` (res | ex)"))),
+    let run = match &checkpoint {
+        Some(path) => {
+            let mut writer =
+                JournalWriter::create(path, "generate", meta).map_err(core_err)?;
+            let run = match kind.as_str() {
+                "res" => audit.generate_resonant_journaled(threads, &mut writer),
+                "ex" => audit.generate_excitation_journaled(threads, &mut writer),
+                other => return Err(ArgError(format!("unknown kind `{other}` (res | ex)"))),
+            }
+            .map_err(core_err)?;
+            writer.finish().map_err(core_err)?;
+            println!("checkpoint: {path} ({} records)", writer.len());
+            run
+        }
+        None => match kind.as_str() {
+            "res" => audit.generate_resonant(threads),
+            "ex" => audit.generate_excitation(threads),
+            other => return Err(ArgError(format!("unknown kind `{other}` (res | ex)"))),
+        },
     };
+    print_run(&run, out, save, iterations)
+}
 
+/// `audit generate --resume <journal>`: reconstructs the run's
+/// configuration from the journal's `run_start` metadata, replays the
+/// journaled work without re-simulation, and finishes the run live —
+/// the result is bit-identical to an uninterrupted run's.
+fn resume_generate(args: &Args, journal_path: &str) -> Result<(), ArgError> {
+    let out = args.opt_flag("--out");
+    let save = args.opt_flag("--save");
+    let iterations = args.num_flag("--iterations", 100_000_000u64)?;
+    args.reject_unknown()?;
+
+    let journal = Journal::load(journal_path).map_err(core_err)?;
+    if journal.mode() != Some("generate") {
+        return Err(ArgError(format!(
+            "{journal_path}: not a `generate` checkpoint (mode {:?})",
+            journal.mode().unwrap_or("<none>")
+        )));
+    }
+    let meta = journal
+        .meta()
+        .ok_or_else(|| ArgError(format!("{journal_path}: journal has no run_start record")))?;
+    let saved = platform::args_from_meta(meta)?;
+    let rig = platform::rig_from(&saved)?;
+    let threads = saved.num_flag("--threads", 4usize)?;
+    let kind = saved.str_flag("--kind", "res");
+    let opts = platform::options_from(&saved)?;
+
+    println!("resuming {journal_path}:");
+    print!("{}", journal_summary(&journal));
+    let complete = journal.is_complete();
+
+    let mut writer = JournalWriter::resume(journal_path).map_err(core_err)?;
+    let audit = Audit::new(rig, opts);
+    let run = match kind.as_str() {
+        "res" => audit.resume_resonant(&journal, threads, &mut writer),
+        "ex" => audit.resume_excitation(&journal, threads, &mut writer),
+        other => return Err(ArgError(format!("journal has unknown kind `{other}`"))),
+    }
+    .map_err(core_err)?;
+    if !complete {
+        writer.finish().map_err(core_err)?;
+    }
+    println!("checkpoint: {journal_path} ({} records)", writer.len());
+    print_run(&run, out, save, iterations)
+}
+
+/// Prints a finished run and writes its `--out` / `--save` artifacts.
+fn print_run(
+    run: &StressmarkRun,
+    out: Option<String>,
+    save: Option<String>,
+    iterations: u64,
+) -> Result<(), ArgError> {
     println!("{}:", run.name);
     println!(
         "  resonance    : {} cycles ({:.0} MHz)",

@@ -6,6 +6,7 @@
 //! audit generate   [--chip C] [--threads N] [--kind res|ex] [--seed S]
 //!                  [--cost droop|droop-per-amp|sensitive] [--throttle N]
 //!                  [--out file.asm] [--iterations N] [--fast]
+//!                  [--checkpoint run.ndjson | --resume run.ndjson]
 //! audit measure    (--workload NAME | --stressmark NAME) [--threads N]
 //!                  [--chip C] [--volts V] [--throttle N] [--cycles N] [--fast]
 //! audit failure    (--workload NAME | --stressmark NAME) [--threads N] [--chip C] [--fast]

@@ -3,9 +3,63 @@
 use audit_core::audit::AuditOptions;
 use audit_core::harness::{MeasureSpec, Rig};
 use audit_cpu::Program;
+use audit_measure::json::JsonValue;
 use audit_stressmark::{manual, progfile, workloads};
 
 use crate::args::{ArgError, Args};
+
+/// The `generate` flags that determine the *result* of a run (as
+/// opposed to where its artifacts are written). These are recorded in
+/// the checkpoint journal's `run_start` metadata so `--resume` can
+/// reconstruct the exact configuration without re-passing them.
+const GENERATE_RESULT_FLAGS: &[&str] = &[
+    "--chip",
+    "--threads",
+    "--kind",
+    "--volts",
+    "--throttle",
+    "--seed",
+    "--workers",
+    "--cost",
+];
+
+/// Captures the result-determining `generate` flags as a `run_start`
+/// metadata object (`{"argv": ["--chip", "phenom", ...]}`).
+pub fn generate_meta(args: &Args) -> JsonValue {
+    let mut argv = Vec::new();
+    for flag in GENERATE_RESULT_FLAGS {
+        if let Some(v) = args.opt_flag(flag) {
+            argv.push(JsonValue::String((*flag).to_string()));
+            argv.push(JsonValue::String(v));
+        }
+    }
+    if args.bool_flag("--fast") {
+        argv.push(JsonValue::String("--fast".to_string()));
+    }
+    JsonValue::object(vec![("argv", JsonValue::Array(argv))])
+}
+
+/// Reconstructs the recorded `generate` flags from `run_start`
+/// metadata written by [`generate_meta`].
+///
+/// # Errors
+///
+/// Returns [`ArgError`] when the metadata is missing or malformed.
+pub fn args_from_meta(meta: &JsonValue) -> Result<Args, ArgError> {
+    let argv = meta
+        .get("argv")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| ArgError("journal metadata has no `argv` list".into()))?;
+    let words = argv
+        .iter()
+        .map(|v| {
+            v.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| ArgError("journal metadata `argv` holds a non-string".into()))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Args::parse(words)
+}
 
 /// Builds the rig from `--chip`, `--volts`, and `--throttle`.
 ///
@@ -204,5 +258,34 @@ mod tests {
     fn spec_cycles_override() {
         let spec = spec_from(&parse(&["--cycles", "1234"])).unwrap();
         assert_eq!(spec.record_cycles, 1234);
+    }
+
+    #[test]
+    fn generate_meta_round_trips_result_flags() {
+        let original = parse(&[
+            "--chip", "phenom", "--threads", "2", "--kind", "ex", "--seed", "9", "--fast",
+            "--out", "ignored.asm",
+        ]);
+        let meta = generate_meta(&original);
+        let restored = args_from_meta(&meta).unwrap();
+        let rig = rig_from(&restored).unwrap();
+        assert_eq!(rig.chip.name, "phenom-x4");
+        assert_eq!(restored.num_flag("--threads", 4usize).unwrap(), 2);
+        assert_eq!(restored.str_flag("--kind", "res"), "ex");
+        let opts = options_from(&restored).unwrap();
+        assert_eq!(opts.ga.seed, 9);
+        assert!(opts.ga.population <= 8, "--fast not preserved");
+        // Artifact flags are not result flags and are not recorded.
+        assert_eq!(restored.opt_flag("--out"), None);
+    }
+
+    #[test]
+    fn args_from_meta_rejects_malformed_metadata() {
+        assert!(args_from_meta(&JsonValue::Null).is_err());
+        assert!(args_from_meta(&JsonValue::object(vec![(
+            "argv",
+            JsonValue::Array(vec![JsonValue::Number(3.0)]),
+        )]))
+        .is_err());
     }
 }

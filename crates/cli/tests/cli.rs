@@ -150,6 +150,93 @@ fn generate_saves_and_replays_a_prog_file() {
 }
 
 #[test]
+fn checkpointed_generate_survives_a_kill() {
+    let dir = std::env::temp_dir().join("audit-cli-resume-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let journal = dir.join("run.ndjson");
+    let full_prog = dir.join("full.prog");
+    let resumed_prog = dir.join("resumed.prog");
+
+    // Full checkpointed run: records the configuration and every
+    // generation in the journal.
+    let out = audit(&[
+        "generate",
+        "--fast",
+        "--threads",
+        "2",
+        "--seed",
+        "11",
+        "--checkpoint",
+        journal.to_str().unwrap(),
+        "--save",
+        full_prog.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let full_text = stdout(&out);
+    let droop_line = |text: &str| {
+        text.lines()
+            .find(|l| l.contains("best droop"))
+            .map(str::to_string)
+            .expect("droop line")
+    };
+
+    // Simulate a kill partway through the GA: drop everything after
+    // the second generation record (and with it run_end/ga_end).
+    let lines: Vec<String> = std::fs::read_to_string(&journal)
+        .unwrap()
+        .lines()
+        .map(str::to_string)
+        .collect();
+    let cut = lines
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| l.contains("\"generation\""))
+        .map(|(i, _)| i)
+        .nth(1)
+        .expect("at least two generation records");
+    assert!(cut + 1 < lines.len(), "cut must drop something");
+    std::fs::write(&journal, format!("{}\n", lines[..=cut].join("\n"))).unwrap();
+
+    // Resume needs no configuration flags — they come from the journal.
+    let out = audit(&[
+        "generate",
+        "--resume",
+        journal.to_str().unwrap(),
+        "--save",
+        resumed_prog.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let resumed_text = stdout(&out);
+    assert!(resumed_text.contains("resuming"), "{resumed_text}");
+    assert!(resumed_text.contains("ga_start"), "{resumed_text}");
+
+    // Bit-identical final stressmark and droop.
+    assert_eq!(
+        std::fs::read_to_string(&full_prog).unwrap(),
+        std::fs::read_to_string(&resumed_prog).unwrap()
+    );
+    assert_eq!(droop_line(&full_text), droop_line(&resumed_text));
+
+    // The journal is complete again after the resumed run.
+    let text = std::fs::read_to_string(&journal).unwrap();
+    assert!(text.lines().last().unwrap().contains("run_end"), "{text}");
+
+    // Resuming a *complete* journal replays without re-running and
+    // reports the same result once more.
+    let out = audit(&["generate", "--resume", journal.to_str().unwrap()]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert_eq!(droop_line(&full_text), droop_line(&stdout(&out)));
+
+    // A non-generate journal is refused.
+    let bogus = dir.join("bogus.ndjson");
+    std::fs::write(&bogus, "{\"kind\":\"run_start\",\"schema\":1,\"mode\":\"measure\",\"meta\":{}}\n")
+        .unwrap();
+    let out = audit(&["generate", "--resume", bogus.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("not a `generate` checkpoint"));
+}
+
+#[test]
 fn spice_writes_a_deck() {
     let dir = std::env::temp_dir().join("audit-cli-test");
     std::fs::create_dir_all(&dir).unwrap();

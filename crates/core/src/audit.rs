@@ -13,14 +13,23 @@
 //!    trained for).
 
 use audit_cpu::{Opcode, Program};
+use audit_error::AuditError;
 use audit_stressmark::Kernel;
 use serde::{Deserialize, Serialize};
 
 use crate::ga::{self, CostFunction, GaConfig, GaRun, Gene};
 use crate::harness::{MeasureSpec, Rig};
+use crate::journal::{Journal, JournalRecord, JournalSink, NullSink};
 use crate::resonance::{self, ResonanceResult};
 
 /// Options for a generation run.
+///
+/// Prefer [`AuditOptions::builder`] (or the [`AuditOptions::paper`] /
+/// [`AuditOptions::fast_demo`] presets) over struct-literal
+/// construction: the builder rejects option sets the driver cannot run
+/// (an empty resonance sweep, a zero-length sub-block, a degenerate GA
+/// configuration), while a hand-rolled literal skips validation
+/// entirely.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AuditOptions {
     /// GA hyper-parameters.
@@ -38,6 +47,56 @@ pub struct AuditOptions {
 }
 
 impl AuditOptions {
+    /// Starts a validated builder seeded from
+    /// [`AuditOptions::fast_demo`]. See [`AuditOptionsBuilder`].
+    pub fn builder() -> AuditOptionsBuilder {
+        AuditOptionsBuilder {
+            opts: AuditOptions::fast_demo(),
+        }
+    }
+
+    /// Checks the invariants the driver relies on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuditError::InvalidConfig`] if the resonance sweep is
+    /// empty or contains a period below 2 cycles, the sub-block or
+    /// excitation quiet region is zero-length, or the GA configuration
+    /// or evaluation spec is itself invalid.
+    pub fn validate(&self) -> Result<(), AuditError> {
+        self.ga.validate()?;
+        self.eval_spec.validate()?;
+        if self.sub_block_cycles == 0 {
+            return Err(AuditError::invalid(
+                "AuditOptions",
+                "sub_block_cycles",
+                "sub-block length K must be at least one cycle",
+            ));
+        }
+        if self.resonance_periods.is_empty() {
+            return Err(AuditError::invalid(
+                "AuditOptions",
+                "resonance_periods",
+                "resonance sweep needs at least one period",
+            ));
+        }
+        if let Some(&p) = self.resonance_periods.iter().find(|&&p| p < 2) {
+            return Err(AuditError::invalid(
+                "AuditOptions",
+                "resonance_periods",
+                format!("sweep period must be at least 2 cycles (got {p})"),
+            ));
+        }
+        if self.excitation_quiet_cycles == 0 {
+            return Err(AuditError::invalid(
+                "AuditOptions",
+                "excitation_quiet_cycles",
+                "excitation quiet region must be at least one cycle",
+            ));
+        }
+        Ok(())
+    }
+
     /// Paper-scale configuration (hours of simulated search in the
     /// original; minutes here).
     pub fn paper() -> Self {
@@ -90,6 +149,94 @@ impl AuditOptions {
     pub fn with_eval_threads(mut self, threads: usize) -> Self {
         self.ga.threads = threads;
         self
+    }
+}
+
+/// Validated builder for [`AuditOptions`].
+///
+/// Starts from the [`AuditOptions::fast_demo`] preset and rejects
+/// unrunnable option sets at [`build`](AuditOptionsBuilder::build)
+/// time, so an empty resonance sweep or a zero-length sub-block never
+/// reaches the driver.
+///
+/// # Example
+///
+/// ```
+/// use audit_core::audit::AuditOptions;
+/// use audit_core::ga::CostFunction;
+///
+/// let opts = AuditOptions::builder()
+///     .cost(CostFunction::MaxDroop)
+///     .sub_block_cycles(8)
+///     .resonance_periods((16..=48).step_by(8))
+///     .build()
+///     .unwrap();
+/// assert_eq!(opts.sub_block_cycles, 8);
+/// assert!(AuditOptions::builder().resonance_periods([]).build().is_err());
+/// ```
+#[derive(Debug, Clone)]
+pub struct AuditOptionsBuilder {
+    opts: AuditOptions,
+}
+
+impl AuditOptionsBuilder {
+    /// Sets the GA hyper-parameters. Checked by
+    /// [`GaConfig::validate`] at build.
+    pub fn ga(mut self, ga: GaConfig) -> Self {
+        self.opts.ga = ga;
+        self
+    }
+
+    /// Sets the cost function to maximize.
+    pub fn cost(mut self, cost: CostFunction) -> Self {
+        self.opts.cost = cost;
+        self
+    }
+
+    /// Sets the sub-block length `K` in cycles. Must be non-zero at
+    /// build.
+    pub fn sub_block_cycles(mut self, cycles: u32) -> Self {
+        self.opts.sub_block_cycles = cycles;
+        self
+    }
+
+    /// Sets the resonance sweep grid. Must be non-empty with every
+    /// period at least 2 cycles at build.
+    pub fn resonance_periods(mut self, periods: impl IntoIterator<Item = u32>) -> Self {
+        self.opts.resonance_periods = periods.into_iter().collect();
+        self
+    }
+
+    /// Sets the measurement spec for fitness evaluations. Checked by
+    /// [`MeasureSpec::validate`] at build.
+    pub fn eval_spec(mut self, spec: MeasureSpec) -> Self {
+        self.opts.eval_spec = spec;
+        self
+    }
+
+    /// Sets the quiet region of excitation stressmarks, in cycles. Must
+    /// be non-zero at build.
+    pub fn excitation_quiet_cycles(mut self, cycles: u32) -> Self {
+        self.opts.excitation_quiet_cycles = cycles;
+        self
+    }
+
+    /// Sets the GA seed (convenience mirror of
+    /// [`AuditOptions::with_seed`]).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.opts.ga.seed = seed;
+        self
+    }
+
+    /// Validates and returns the options.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuditError::InvalidConfig`] under the conditions listed
+    /// on [`AuditOptions::validate`].
+    pub fn build(self) -> Result<AuditOptions, AuditError> {
+        self.opts.validate()?;
+        Ok(self.opts)
     }
 }
 
@@ -208,6 +355,93 @@ impl Audit {
         self.evolve_kernel_with(&name, threads, s, lp_slots, resonance, false)
     }
 
+    /// [`Audit::generate_resonant`], checkpointed to a run journal.
+    ///
+    /// Writes a `resonance` phase (payload: the full sweep) and then the
+    /// GA section, one record per generation. Kill the process at any
+    /// point and [`Audit::resume_resonant`] finishes the run with a
+    /// bit-identical [`StressmarkRun`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuditError::InvalidConfig`] for zero `threads` or an
+    /// unrunnable [`GaConfig`], and any sink I/O error.
+    pub fn generate_resonant_journaled(
+        &self,
+        threads: usize,
+        sink: &mut dyn JournalSink,
+    ) -> Result<StressmarkRun, AuditError> {
+        let resonance = self.journaled_resonance(threads, sink)?;
+        let (s, lp_slots) = self.resonant_shape(resonance.period_cycles);
+        let name = format!("A-Res-{threads}T");
+        self.evolve_kernel_journaled(
+            &name, threads, s, lp_slots, resonance, false, &[], sink, None,
+        )
+    }
+
+    /// Resumes a run journaled by [`Audit::generate_resonant_journaled`],
+    /// producing a [`StressmarkRun`] bit-identical to the uninterrupted
+    /// run's.
+    ///
+    /// Completed phases are reused from the journal: a finished
+    /// resonance sweep is decoded from its phase payload rather than
+    /// re-swept, and journaled GA generations are replayed without
+    /// re-simulation before evolution continues live. A kill *inside*
+    /// the resonance phase re-runs the sweep (it is deterministic and
+    /// cheap next to the GA); a kill inside the GA resumes
+    /// generation-exact. New records are appended to `sink` — pass a
+    /// [`crate::journal::JournalWriter`] reopened with
+    /// [`crate::journal::JournalWriter::resume`] to continue the same
+    /// file.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Audit::generate_resonant_journaled`], plus
+    /// [`AuditError::Resume`] for a journal inconsistent with this
+    /// configuration.
+    pub fn resume_resonant(
+        &self,
+        journal: &Journal,
+        threads: usize,
+        sink: &mut dyn JournalSink,
+    ) -> Result<StressmarkRun, AuditError> {
+        let resonance = match journal.phase_payload("resonance") {
+            Some(payload) => ResonanceResult::from_json(payload)?,
+            None => self.journaled_resonance(threads, sink)?,
+        };
+        let (s, lp_slots) = self.resonant_shape(resonance.period_cycles);
+        let name = format!("A-Res-{threads}T");
+        let resume = journal.last_ga_section().is_some().then_some(journal);
+        self.evolve_kernel_journaled(
+            &name, threads, s, lp_slots, resonance, false, &[], sink, resume,
+        )
+    }
+
+    /// The journaled resonance phase: `phase_start`, the sweep,
+    /// `phase_end` carrying the result.
+    fn journaled_resonance(
+        &self,
+        threads: usize,
+        sink: &mut dyn JournalSink,
+    ) -> Result<ResonanceResult, AuditError> {
+        if threads == 0 {
+            return Err(AuditError::invalid(
+                "Audit",
+                "threads",
+                "need at least one thread",
+            ));
+        }
+        sink.append(&JournalRecord::PhaseStart {
+            name: "resonance".into(),
+        })?;
+        let resonance = self.find_resonance(threads);
+        sink.append(&JournalRecord::PhaseEnd {
+            name: "resonance".into(),
+            payload: resonance.to_json(),
+        })?;
+        Ok(resonance)
+    }
+
     /// HP region ≈ half the resonant period, built from S sub-blocks of
     /// K cycles each (hierarchical generation, §3.C); the LP region
     /// absorbs the rounding so the whole loop stays on the detected
@@ -230,11 +464,63 @@ impl Audit {
     /// Panics if `threads` is zero or exceeds the rig's chip.
     pub fn generate_excitation(&self, threads: usize) -> StressmarkRun {
         let resonance = self.find_resonance(threads);
-        let s = 4; // a burst of 4 sub-blocks (≈ 24 cycles at K = 6)
-        let lp_slots =
-            self.opts.excitation_quiet_cycles as usize * self.rig.chip.core.fetch_width as usize;
+        let (s, lp_slots) = self.excitation_shape();
         let name = format!("A-Ex-{threads}T");
         self.evolve_kernel_with(&name, threads, s, lp_slots, resonance, true)
+    }
+
+    /// [`Audit::generate_excitation`], checkpointed to a run journal —
+    /// the excitation counterpart of
+    /// [`Audit::generate_resonant_journaled`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Audit::generate_resonant_journaled`].
+    pub fn generate_excitation_journaled(
+        &self,
+        threads: usize,
+        sink: &mut dyn JournalSink,
+    ) -> Result<StressmarkRun, AuditError> {
+        let resonance = self.journaled_resonance(threads, sink)?;
+        let (s, lp_slots) = self.excitation_shape();
+        let name = format!("A-Ex-{threads}T");
+        self.evolve_kernel_journaled(&name, threads, s, lp_slots, resonance, true, &[], sink, None)
+    }
+
+    /// Resumes a run journaled by
+    /// [`Audit::generate_excitation_journaled`]. Same semantics as
+    /// [`Audit::resume_resonant`]: completed phases are reused, a
+    /// mid-GA kill resumes generation-exact, and the result is
+    /// bit-identical to the uninterrupted run's.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Audit::resume_resonant`].
+    pub fn resume_excitation(
+        &self,
+        journal: &Journal,
+        threads: usize,
+        sink: &mut dyn JournalSink,
+    ) -> Result<StressmarkRun, AuditError> {
+        let resonance = match journal.phase_payload("resonance") {
+            Some(payload) => ResonanceResult::from_json(payload)?,
+            None => self.journaled_resonance(threads, sink)?,
+        };
+        let (s, lp_slots) = self.excitation_shape();
+        let name = format!("A-Ex-{threads}T");
+        let resume = journal.last_ga_section().is_some().then_some(journal);
+        self.evolve_kernel_journaled(
+            &name, threads, s, lp_slots, resonance, true, &[], sink, resume,
+        )
+    }
+
+    /// Excitation loop shape: a burst of 4 sub-blocks (≈ 24 cycles at
+    /// K = 6) after the configured quiet region. Returns
+    /// `(sub_blocks, lp_slots)`.
+    fn excitation_shape(&self) -> (usize, usize) {
+        let lp_slots =
+            self.opts.excitation_quiet_cycles as usize * self.rig.chip.core.fetch_width as usize;
+        (4, lp_slots)
     }
 
     fn evolve_kernel_with(
@@ -268,7 +554,44 @@ impl Audit {
         seed_miss_load: bool,
         extra_seeds: &[Vec<Gene>],
     ) -> StressmarkRun {
-        assert!(threads >= 1, "need at least one thread");
+        self.evolve_kernel_journaled(
+            name,
+            threads,
+            sub_blocks,
+            lp_slots,
+            resonance,
+            seed_miss_load,
+            extra_seeds,
+            &mut NullSink,
+            None,
+        )
+        .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// The GA phase shared by plain, journaled, and resumed generation.
+    /// With `resume: Some(journal)`, the journal's recorded GA section
+    /// (config, seeds, generations) takes precedence over `self.opts.ga`
+    /// so the finished run is bit-identical to the one that was killed.
+    #[allow(clippy::too_many_arguments)]
+    fn evolve_kernel_journaled(
+        &self,
+        name: &str,
+        threads: usize,
+        sub_blocks: usize,
+        lp_slots: usize,
+        resonance: ResonanceResult,
+        seed_miss_load: bool,
+        extra_seeds: &[Vec<Gene>],
+        sink: &mut dyn JournalSink,
+        resume: Option<&Journal>,
+    ) -> Result<StressmarkRun, AuditError> {
+        if threads == 0 {
+            return Err(AuditError::invalid(
+                "Audit",
+                "threads",
+                "need at least one thread",
+            ));
+        }
         let menu = self.opcode_menu();
         let genome_len =
             self.opts.sub_block_cycles as usize * self.rig.chip.core.fetch_width as usize;
@@ -332,7 +655,12 @@ impl Audit {
             };
             seeds.push(with_miss);
         }
-        let ga_run = ga::evolve(&self.opts.ga, &menu, genome_len, &seeds, fitness);
+        let ga_run = match resume {
+            Some(journal) => GaRun::resume_with_sink(journal, fitness, sink)?,
+            None => {
+                ga::evolve_journaled(&self.opts.ga, &menu, genome_len, &seeds, fitness, sink)?
+            }
+        };
 
         let kernel = Kernel::from_sub_blocks(
             name,
@@ -344,7 +672,7 @@ impl Audit {
         let best_droop = rig
             .measure_aligned(&vec![program.clone(); threads], spec)
             .max_droop();
-        StressmarkRun {
+        Ok(StressmarkRun {
             name: name.to_string(),
             kernel,
             program,
@@ -353,7 +681,7 @@ impl Audit {
             resonance,
             ga: ga_run,
             threads,
-        }
+        })
     }
 }
 
@@ -424,5 +752,114 @@ mod tests {
         let b = audit.generate_resonant(2);
         assert_eq!(a.ga.best, b.ga.best);
         assert_eq!(a.best_droop, b.best_droop);
+    }
+
+    #[test]
+    fn journaled_generation_matches_plain() {
+        use crate::journal::MemJournal;
+        let audit = Audit::new(Rig::bulldozer(), AuditOptions::fast_demo());
+        let plain = audit.generate_resonant(2);
+        let mut mem = MemJournal::default();
+        let journaled = audit.generate_resonant_journaled(2, &mut mem).unwrap();
+        assert_eq!(plain.ga, journaled.ga);
+        assert_eq!(plain.best_droop, journaled.best_droop);
+        assert_eq!(plain.program, journaled.program);
+        // Journal shape: resonance phase, then one GA section.
+        let journal = mem.as_journal();
+        assert!(journal.phase_payload("resonance").is_some());
+        assert!(journal.last_ga_section().is_some_and(|s| s.complete));
+    }
+
+    #[test]
+    fn audit_killed_anywhere_resumes_bit_identically() {
+        use crate::journal::MemJournal;
+        let audit = Audit::new(Rig::bulldozer(), AuditOptions::fast_demo());
+        let mut mem = MemJournal::default();
+        let full = audit.generate_resonant_journaled(2, &mut mem).unwrap();
+
+        // Cut after every record prefix: inside the resonance phase,
+        // between phases, and after each GA generation.
+        for cut in 0..mem.records.len() {
+            let mut partial = MemJournal {
+                records: mem.records[..cut].to_vec(),
+            };
+            let journal = partial.as_journal();
+            let resumed = audit.resume_resonant(&journal, 2, &mut partial).unwrap();
+            assert_eq!(full.ga, resumed.ga, "GA diverged when cut at record {cut}");
+            assert_eq!(
+                full.best_droop, resumed.best_droop,
+                "droop diverged when cut at record {cut}"
+            );
+            assert_eq!(full.program, resumed.program);
+            assert_eq!(full.name, resumed.name);
+        }
+    }
+
+    #[test]
+    fn zero_threads_is_an_error_not_a_panic() {
+        use crate::journal::MemJournal;
+        let audit = Audit::new(Rig::bulldozer(), AuditOptions::fast_demo());
+        let mut mem = MemJournal::default();
+        let err = audit.generate_resonant_journaled(0, &mut mem).unwrap_err();
+        assert!(err.to_string().contains("thread"), "{err}");
+    }
+
+    #[test]
+    fn options_builder_accepts_valid_combinations() {
+        let opts = AuditOptions::builder()
+            .cost(CostFunction::DroopPerAmp)
+            .sub_block_cycles(8)
+            .resonance_periods((16..=48).step_by(8))
+            .excitation_quiet_cycles(120)
+            .seed(7)
+            .build()
+            .unwrap();
+        assert_eq!(opts.cost, CostFunction::DroopPerAmp);
+        assert_eq!(opts.sub_block_cycles, 8);
+        assert_eq!(opts.ga.seed, 7);
+        // The presets themselves pass validation.
+        AuditOptions::paper().validate().unwrap();
+        AuditOptions::fast_demo().validate().unwrap();
+    }
+
+    #[test]
+    fn options_builder_rejects_unrunnable_combinations() {
+        let err = AuditOptions::builder()
+            .resonance_periods([])
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("resonance_periods"), "{err}");
+        let err = AuditOptions::builder()
+            .resonance_periods([16, 1])
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("at least 2 cycles"), "{err}");
+        let err = AuditOptions::builder()
+            .sub_block_cycles(0)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("sub_block_cycles"), "{err}");
+        let err = AuditOptions::builder()
+            .excitation_quiet_cycles(0)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("excitation_quiet_cycles"), "{err}");
+        // Nested configs are checked too.
+        let err = AuditOptions::builder()
+            .ga(GaConfig {
+                population: 1,
+                ..GaConfig::default()
+            })
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("population"), "{err}");
+        let err = AuditOptions::builder()
+            .eval_spec(MeasureSpec {
+                record_cycles: 0,
+                ..MeasureSpec::ga_eval()
+            })
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("record_cycles"), "{err}");
     }
 }

@@ -1,36 +1,46 @@
-//! The generational GA engine: parallel, memoized, and bit-reproducible.
+//! The generational GA engine: parallel, memoized, bit-reproducible,
+//! and crash-resumable.
 //!
 //! # Determinism contract
 //!
 //! Every run is a pure function of ([`GaConfig`], menu, genome length,
-//! seeds, fitness). Three properties make that hold even with worker
-//! threads and the fitness cache in play:
+//! seeds, fitness). Four properties make that hold even with worker
+//! threads, the fitness cache, and checkpoint/resume in play:
 //!
-//! 1. **All randomness is main-thread.** The seeded `SmallRng` drives
-//!    population init, selection, crossover, and mutation strictly
-//!    sequentially; worker threads never touch the RNG.
-//! 2. **Parallel equals sequential.** Fitness results are written into
-//!    their population slot by index, so selection sees the same scores
-//!    in the same order no matter how many workers raced to produce
-//!    them, or in which order they finished.
-//! 3. **The cache is transparent.** Fitness must be deterministic per
+//! 1. **All randomness is main-thread.** Worker threads never touch an
+//!    RNG: the seeded generators drive population init, selection,
+//!    crossover, and mutation strictly sequentially.
+//! 2. **Per-generation RNG streams.** Generation `g` is bred by a fresh
+//!    generator seeded with [`stream_seed`]`(cfg.seed, g)` — a SplitMix64
+//!    derivation of the run seed. No RNG state survives a generation, so
+//!    a resumed run re-derives exactly the stream the killed run would
+//!    have used next; nothing about the generator needs serializing.
+//! 3. **Parallel equals sequential.** Fitness results are written into
+//!    their population slot by index, and the memo cache is populated in
+//!    slot order, so selection *and* cache state are the same no matter
+//!    how many workers raced or in which order they finished.
+//! 4. **The cache is transparent.** Fitness must be deterministic per
 //!    genome (every AUDIT fitness is — see [`crate::harness`]); a cache
 //!    hit therefore returns exactly the value a re-simulation would.
 //!
 //! Consequently `threads: 1` and `threads: N` produce bit-identical
-//! [`GaRun`]s (same `best`, `best_fitness`, `history`), which is
-//! asserted by tests and the doctest on [`evolve`].
+//! [`GaRun`]s (same `best`, `best_fitness`, `history`), and a run killed
+//! after any generation and resumed from its journal finishes with a
+//! [`GaRun`] bit-identical to the uninterrupted run. Both are asserted
+//! by tests.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 use audit_cpu::Opcode;
+use audit_error::AuditError;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use super::genome::Gene;
+use crate::journal::{GenerationRecord, Journal, JournalRecord, JournalSink, NullSink};
 
 /// GA hyper-parameters.
 ///
@@ -94,6 +104,71 @@ impl Default for GaConfig {
             cache_capacity: default_cache_capacity(),
         }
     }
+}
+
+impl GaConfig {
+    /// Checks that the configuration describes a runnable search.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuditError::InvalidConfig`] naming the offending field:
+    /// `population` below 2, `tournament` of 0, non-finite or
+    /// out-of-`[0, 1]` rates, or `elitism` that fills (or overflows) the
+    /// population.
+    pub fn validate(&self) -> Result<(), AuditError> {
+        if self.population < 2 {
+            return Err(AuditError::invalid(
+                "GaConfig",
+                "population",
+                format!("must be at least 2 (got {})", self.population),
+            ));
+        }
+        if self.tournament == 0 {
+            return Err(AuditError::invalid(
+                "GaConfig",
+                "tournament",
+                "must be at least 1",
+            ));
+        }
+        for (field, rate) in [
+            ("crossover_rate", self.crossover_rate),
+            ("mutation_rate", self.mutation_rate),
+        ] {
+            if !rate.is_finite() || !(0.0..=1.0).contains(&rate) {
+                return Err(AuditError::invalid(
+                    "GaConfig",
+                    field,
+                    format!("must be a probability in [0, 1] (got {rate})"),
+                ));
+            }
+        }
+        if self.elitism >= self.population {
+            return Err(AuditError::invalid(
+                "GaConfig",
+                "elitism",
+                format!(
+                    "must leave room for offspring ({} elites in a population of {})",
+                    self.elitism, self.population
+                ),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Derives the RNG seed of one generation's breeding stream from the run
+/// seed — a SplitMix64 step keyed by the generation index.
+///
+/// Stream 0 initializes the population; stream `g` breeds generation
+/// `g`. Because every generation starts its own stream, resuming from a
+/// journal needs no serialized RNG state: the next generation's stream
+/// is a function of (`seed`, `g`) alone.
+pub fn stream_seed(seed: u64, generation: u64) -> u64 {
+    let mut z = seed ^ generation.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// Genome-keyed fitness memoization.
@@ -185,6 +260,8 @@ impl EvalCache {
 /// Collected per generation (index 0 is the initial population). Wall
 /// times vary run to run, so telemetry is deliberately **excluded** from
 /// [`GaRun`]'s `PartialEq` — equality of runs means equality of results.
+/// On a resumed run, entries for replayed generations carry the wall
+/// times recorded by the original run.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct GaTelemetry {
     /// Resolved evaluation worker count (after `threads: 0` auto-detect).
@@ -254,7 +331,10 @@ pub struct GaRun {
     /// Generations actually run (≤ the cap when the stall exit fires).
     pub generations_run: usize,
     /// Simulations actually executed — cache hits are **excluded**, so
-    /// convergence-cost studies count real work.
+    /// convergence-cost studies count real work. On a resumed run this
+    /// includes the simulations the original run executed (replayed
+    /// generations are *not* re-simulated, but their recorded counts
+    /// carry over so the total matches the uninterrupted run).
     pub evaluations: u64,
     /// Fitness evaluations served by memoization instead of simulation.
     pub cache_hits: u64,
@@ -273,6 +353,61 @@ impl PartialEq for GaRun {
     }
 }
 
+impl GaRun {
+    /// Resumes the last GA section of `journal`, finishing the search
+    /// and returning a [`GaRun`] **bit-identical** to what the
+    /// uninterrupted run would have produced.
+    ///
+    /// Recorded generations are replayed without re-simulation (scores,
+    /// cache state, and best-so-far tracking are reconstructed from the
+    /// journal); evolution then continues live from the next generation.
+    /// `fitness` must be the same deterministic function the original
+    /// run used.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuditError::Resume`] if the journal has no GA section
+    /// or its generation records are inconsistent with the recorded
+    /// [`GaConfig`], and any error the underlying search can produce.
+    pub fn resume_from(
+        journal: &Journal,
+        fitness: impl Fn(&[Gene]) -> f64 + Sync,
+    ) -> Result<GaRun, AuditError> {
+        Self::resume_with_sink(journal, fitness, &mut NullSink)
+    }
+
+    /// [`GaRun::resume_from`], with newly computed generations appended
+    /// to `sink` — pass a [`crate::journal::JournalWriter`] reopened with
+    /// [`crate::journal::JournalWriter::resume`] to continue the same
+    /// journal file. Replayed generations are never re-appended.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`GaRun::resume_from`], plus any sink I/O error.
+    pub fn resume_with_sink(
+        journal: &Journal,
+        fitness: impl Fn(&[Gene]) -> f64 + Sync,
+        sink: &mut dyn JournalSink,
+    ) -> Result<GaRun, AuditError> {
+        let section = journal
+            .last_ga_section()
+            .ok_or_else(|| AuditError::resume("journal contains no GA section"))?;
+        let mut null = NullSink;
+        // A section already closed by `ga_end` is replay-only: recompute
+        // the result without appending duplicate records.
+        let sink: &mut dyn JournalSink = if section.complete { &mut null } else { sink };
+        run_ga(
+            section.cfg,
+            section.menu,
+            section.genome_len,
+            section.seeds,
+            fitness,
+            sink,
+            &section.generations,
+        )
+    }
+}
+
 /// Evolves genomes of `genome_len` slots over the opcode `menu`,
 /// maximizing `fitness`. Optionally accepts `seeds`: existing genomes
 /// injected into the initial population (the paper's "seeded with
@@ -282,6 +417,53 @@ impl PartialEq for GaRun {
 /// `cfg.threads` worker threads (`0` = all cores); it only needs `Sync`,
 /// not `Clone` — per-evaluation state such as [`crate::harness::Rig`]
 /// simulators is constructed inside the call, never shared.
+///
+/// # Errors
+///
+/// Returns [`AuditError::InvalidConfig`] for an unrunnable
+/// configuration ([`GaConfig::validate`]), an empty menu, or a zero
+/// genome length.
+pub fn try_evolve(
+    cfg: &GaConfig,
+    menu: &[Opcode],
+    genome_len: usize,
+    seeds: &[Vec<Gene>],
+    fitness: impl Fn(&[Gene]) -> f64 + Sync,
+) -> Result<GaRun, AuditError> {
+    run_ga(cfg, menu, genome_len, seeds, fitness, &mut NullSink, &[])
+}
+
+/// [`try_evolve`], with every generation checkpointed to `sink`.
+///
+/// Appends a `ga_start` record (config, menu, seeds — everything needed
+/// to resume), then one `generation` record per evaluated generation and
+/// a final `ga_end`. A run killed between appends is resumable via
+/// [`GaRun::resume_from`] with a bit-identical final result.
+///
+/// # Errors
+///
+/// Same as [`try_evolve`], plus any sink I/O error.
+pub fn evolve_journaled(
+    cfg: &GaConfig,
+    menu: &[Opcode],
+    genome_len: usize,
+    seeds: &[Vec<Gene>],
+    fitness: impl Fn(&[Gene]) -> f64 + Sync,
+    sink: &mut dyn JournalSink,
+) -> Result<GaRun, AuditError> {
+    cfg.validate()?;
+    validate_search(menu, genome_len)?;
+    sink.append(&JournalRecord::GaStart {
+        cfg: cfg.clone(),
+        genome_len,
+        menu: menu.to_vec(),
+        seeds: seeds.to_vec(),
+    })?;
+    run_ga(cfg, menu, genome_len, seeds, fitness, sink, &[])
+}
+
+/// Panicking convenience wrapper around [`try_evolve`] for callers that
+/// treat an invalid configuration as a bug.
 ///
 /// # Example
 ///
@@ -317,8 +499,9 @@ impl PartialEq for GaRun {
 ///
 /// # Panics
 ///
-/// Panics if the menu is empty, `genome_len` is zero, the population
-/// is smaller than 2, or a fitness worker panics.
+/// Panics on any error [`try_evolve`] would return (e.g. a population
+/// smaller than 2, an empty menu, a zero genome length), or if a
+/// fitness worker panics.
 pub fn evolve(
     cfg: &GaConfig,
     menu: &[Opcode],
@@ -326,9 +509,41 @@ pub fn evolve(
     seeds: &[Vec<Gene>],
     fitness: impl Fn(&[Gene]) -> f64 + Sync,
 ) -> GaRun {
-    assert!(!menu.is_empty(), "opcode menu must not be empty");
-    assert!(genome_len > 0, "genome length must be positive");
-    assert!(cfg.population >= 2, "population must be at least 2");
+    try_evolve(cfg, menu, genome_len, seeds, fitness).unwrap_or_else(|e| panic!("{e}"))
+}
+
+fn validate_search(menu: &[Opcode], genome_len: usize) -> Result<(), AuditError> {
+    if menu.is_empty() {
+        return Err(AuditError::invalid(
+            "ga",
+            "menu",
+            "opcode menu must not be empty",
+        ));
+    }
+    if genome_len == 0 {
+        return Err(AuditError::invalid(
+            "ga",
+            "genome_len",
+            "genome length must be positive",
+        ));
+    }
+    Ok(())
+}
+
+/// The engine proper, shared by fresh ([`try_evolve`]) and resumed
+/// ([`GaRun::resume_from`]) runs: `replay` holds the journaled
+/// generations to reconstruct before evolution continues live.
+fn run_ga<F: Fn(&[Gene]) -> f64 + Sync>(
+    cfg: &GaConfig,
+    menu: &[Opcode],
+    genome_len: usize,
+    seeds: &[Vec<Gene>],
+    fitness: F,
+    sink: &mut dyn JournalSink,
+    replay: &[&GenerationRecord],
+) -> Result<GaRun, AuditError> {
+    cfg.validate()?;
+    validate_search(menu, genome_len)?;
 
     let run_start = Instant::now();
     let workers = resolve_workers(cfg.threads);
@@ -338,34 +553,77 @@ pub fn evolve(
         ..GaTelemetry::default()
     };
 
-    let mut rng = SmallRng::seed_from_u64(cfg.seed);
-    let mut population: Vec<Vec<Gene>> = Vec::with_capacity(cfg.population);
-    for seed in seeds.iter().take(cfg.population) {
-        let mut g = seed.clone();
-        g.resize_with(genome_len, || Gene::random(menu, &mut rng));
-        g.truncate(genome_len);
-        population.push(g);
-    }
-    while population.len() < cfg.population {
-        population.push(
-            (0..genome_len)
-                .map(|_| Gene::random(menu, &mut rng))
-                .collect(),
-        );
-    }
-
-    let mut scores = evaluate_population(&population, &fitness, &mut cache, workers, &mut telemetry);
-
     let mut history = Vec::new();
-    let mut best_idx = argmax(&scores);
-    let mut best = population[best_idx].clone();
-    let mut best_fitness = scores[best_idx];
-    history.push(best_fitness);
+    let mut best: Vec<Gene>;
+    let mut best_fitness: f64;
+    let mut stalled = 0usize;
+    let mut generation = 0usize;
+    let mut population: Vec<Vec<Gene>>;
+    let mut scores: Vec<f64>;
 
-    let mut stalled = 0;
-    let mut generation = 0;
+    if replay.is_empty() {
+        // Fresh start: stream 0 breeds the initial population.
+        let mut rng = SmallRng::seed_from_u64(stream_seed(cfg.seed, 0));
+        population = Vec::with_capacity(cfg.population);
+        for seed in seeds.iter().take(cfg.population) {
+            let mut g = seed.clone();
+            g.resize_with(genome_len, || Gene::random(menu, &mut rng));
+            g.truncate(genome_len);
+            population.push(g);
+        }
+        while population.len() < cfg.population {
+            population.push(
+                (0..genome_len)
+                    .map(|_| Gene::random(menu, &mut rng))
+                    .collect(),
+            );
+        }
+        scores =
+            evaluate_population(&population, &fitness, &mut cache, workers, &mut telemetry);
+        append_generation(sink, cfg, 0, &population, &scores, &telemetry)?;
+
+        let best_idx = argmax(&scores);
+        best = population[best_idx].clone();
+        best_fitness = scores[best_idx];
+        history.push(best_fitness);
+    } else {
+        // Resume: rebuild population, scores, cache, and best-so-far
+        // tracking from the journal. No fitness is re-executed; the cache
+        // is repopulated in the same slot order the live run inserted in,
+        // so even its deterministic flush timing is reproduced.
+        best = Vec::new();
+        best_fitness = f64::NEG_INFINITY;
+        for (k, rec) in replay.iter().enumerate() {
+            check_replay_record(cfg, genome_len, k, rec)?;
+            replay_into_cache(&mut cache, rec);
+            telemetry.record(rec.wall_s, rec.executed, rec.cache_hits);
+
+            // Same update logic as the live loop below, fed the recorded
+            // scores instead of fresh evaluations.
+            let best_idx = argmax(&rec.scores);
+            if k > 0 {
+                generation += 1;
+                if rec.scores[best_idx] > best_fitness {
+                    stalled = 0;
+                } else {
+                    stalled += 1;
+                }
+            }
+            if rec.scores[best_idx] > best_fitness {
+                best_fitness = rec.scores[best_idx];
+                best = rec.population[best_idx].clone();
+            }
+            history.push(best_fitness);
+        }
+
+        let last = replay[replay.len() - 1];
+        population = last.population.clone();
+        scores = last.scores.clone();
+    }
+
     while generation < cfg.generations && stalled < cfg.stall_generations {
         generation += 1;
+        let mut rng = SmallRng::seed_from_u64(stream_seed(cfg.seed, generation as u64));
 
         // Elites survive unchanged.
         let mut order: Vec<usize> = (0..population.len()).collect();
@@ -395,9 +653,11 @@ pub fn evolve(
         }
 
         population = next;
-        scores = evaluate_population(&population, &fitness, &mut cache, workers, &mut telemetry);
+        scores =
+            evaluate_population(&population, &fitness, &mut cache, workers, &mut telemetry);
+        append_generation(sink, cfg, generation, &population, &scores, &telemetry)?;
 
-        best_idx = argmax(&scores);
+        let best_idx = argmax(&scores);
         if scores[best_idx] > best_fitness {
             best_fitness = scores[best_idx];
             best = population[best_idx].clone();
@@ -407,9 +667,10 @@ pub fn evolve(
         }
         history.push(best_fitness);
     }
+    sink.append(&JournalRecord::GaEnd)?;
 
     telemetry.total_wall_s = run_start.elapsed().as_secs_f64();
-    GaRun {
+    Ok(GaRun {
         best,
         best_fitness,
         history,
@@ -417,6 +678,81 @@ pub fn evolve(
         evaluations: telemetry.evaluations(),
         cache_hits: telemetry.cache_hits(),
         telemetry,
+    })
+}
+
+fn append_generation(
+    sink: &mut dyn JournalSink,
+    cfg: &GaConfig,
+    index: usize,
+    population: &[Vec<Gene>],
+    scores: &[f64],
+    telemetry: &GaTelemetry,
+) -> Result<(), AuditError> {
+    sink.append(&JournalRecord::Generation(GenerationRecord {
+        index,
+        stream_seed: stream_seed(cfg.seed, index as u64),
+        population: population.to_vec(),
+        scores: scores.to_vec(),
+        executed: telemetry.gen_evaluations.last().copied().unwrap_or(0),
+        cache_hits: telemetry.gen_cache_hits.last().copied().unwrap_or(0),
+        wall_s: telemetry.gen_wall_s.last().copied().unwrap_or(0.0),
+    }))
+}
+
+fn check_replay_record(
+    cfg: &GaConfig,
+    genome_len: usize,
+    k: usize,
+    rec: &GenerationRecord,
+) -> Result<(), AuditError> {
+    if rec.index != k {
+        return Err(AuditError::resume(format!(
+            "journal generations are not contiguous (expected index {k}, found {})",
+            rec.index
+        )));
+    }
+    let expected = stream_seed(cfg.seed, k as u64);
+    if rec.stream_seed != expected {
+        return Err(AuditError::resume(format!(
+            "generation {k} was bred from stream {:#x}, but this config derives {expected:#x} \
+             — the journal belongs to a different run",
+            rec.stream_seed
+        )));
+    }
+    if rec.population.len() != cfg.population || rec.scores.len() != cfg.population {
+        return Err(AuditError::resume(format!(
+            "generation {k} has {} genomes for a population of {}",
+            rec.population.len(),
+            cfg.population
+        )));
+    }
+    if rec.population.iter().any(|g| g.len() != genome_len) {
+        return Err(AuditError::resume(format!(
+            "generation {k} contains genomes of the wrong length (expected {genome_len})"
+        )));
+    }
+    Ok(())
+}
+
+/// Re-inserts a replayed generation into the memo cache in exactly the
+/// order the live run did: first-occurrence cache misses, in slot order.
+/// Hits and within-generation duplicates were never inserted live, so
+/// they are skipped here too — this keeps the deterministic
+/// flush-at-capacity timing bit-identical across kill/resume.
+fn replay_into_cache(cache: &mut EvalCache, rec: &GenerationRecord) {
+    if !cache.is_enabled() {
+        return;
+    }
+    let mut seen: HashSet<&[Gene]> = HashSet::new();
+    for (genome, &score) in rec.population.iter().zip(&rec.scores) {
+        if cache.lookup(genome).is_some() {
+            continue;
+        }
+        if !seen.insert(genome.as_slice()) {
+            continue;
+        }
+        cache.insert(genome, score);
     }
 }
 
@@ -434,7 +770,8 @@ pub fn resolve_workers(threads: usize) -> usize {
 /// Scores one generation: cache lookups and within-generation dedup
 /// first, then the remaining genomes across `workers` OS threads via a
 /// shared work queue. Results land in their population slot by index,
-/// keeping selection order identical to a sequential evaluation.
+/// and the cache is updated in slot order, keeping both selection order
+/// *and* cache state identical to a sequential evaluation.
 fn evaluate_population<F: Fn(&[Gene]) -> f64 + Sync>(
     population: &[Vec<Gene>],
     fitness: &F,
@@ -467,7 +804,7 @@ fn evaluate_population<F: Fn(&[Gene]) -> f64 + Sync>(
         jobs.extend(0..n);
     }
 
-    let results: Vec<(usize, f64)> = if workers <= 1 || jobs.len() <= 1 {
+    let mut results: Vec<(usize, f64)> = if workers <= 1 || jobs.len() <= 1 {
         jobs.iter()
             .map(|&slot| (slot, fitness(&population[slot])))
             .collect()
@@ -494,6 +831,10 @@ fn evaluate_population<F: Fn(&[Gene]) -> f64 + Sync>(
                 .collect()
         })
     };
+    // Cache inserts must not depend on worker completion order: the
+    // flush-at-capacity policy makes insert *order* observable, and the
+    // determinism contract (and journal replay) require slot order.
+    results.sort_unstable_by_key(|&(slot, _)| slot);
 
     let executed = results.len() as u64;
     for (slot, f) in results {
@@ -541,6 +882,7 @@ fn crossover(a: &[Gene], b: &[Gene], rng: &mut SmallRng) -> Vec<Gene> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::journal::MemJournal;
     use std::sync::atomic::AtomicU64;
 
     fn menu() -> Vec<Opcode> {
@@ -614,8 +956,8 @@ mod tests {
 
     #[test]
     fn parallel_evaluation_is_bit_identical_to_sequential() {
-        // The tentpole guarantee: same best, best_fitness, and history
-        // for any worker count, including an oversubscribed one.
+        // The determinism guarantee: same best, best_fitness, and
+        // history for any worker count, including an oversubscribed one.
         let base = GaConfig {
             population: 12,
             generations: 12,
@@ -779,5 +1121,197 @@ mod tests {
             ..GaConfig::default()
         };
         let _ = evolve(&cfg, &menu(), 8, &[], fma_count);
+    }
+
+    #[test]
+    fn validate_rejects_bad_configs_without_panicking() {
+        let bad = [
+            GaConfig {
+                population: 1,
+                ..GaConfig::default()
+            },
+            GaConfig {
+                tournament: 0,
+                ..GaConfig::default()
+            },
+            GaConfig {
+                crossover_rate: 1.5,
+                ..GaConfig::default()
+            },
+            GaConfig {
+                mutation_rate: f64::NAN,
+                ..GaConfig::default()
+            },
+            GaConfig {
+                elitism: 24,
+                ..GaConfig::default()
+            },
+        ];
+        for cfg in &bad {
+            let err = cfg.validate().unwrap_err();
+            assert!(matches!(err, AuditError::InvalidConfig { .. }), "{err}");
+            let run = try_evolve(cfg, &menu(), 8, &[], fma_count);
+            assert!(run.is_err());
+        }
+        assert!(GaConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn try_evolve_rejects_degenerate_searches() {
+        let cfg = GaConfig::default();
+        let err = try_evolve(&cfg, &[], 8, &[], fma_count).unwrap_err();
+        assert!(err.to_string().contains("menu"), "{err}");
+        let err = try_evolve(&cfg, &menu(), 0, &[], fma_count).unwrap_err();
+        assert!(err.to_string().contains("genome"), "{err}");
+    }
+
+    #[test]
+    fn stream_seeds_are_distinct_and_stable() {
+        let seeds: Vec<u64> = (0..64).map(|g| stream_seed(0xA0D17, g)).collect();
+        let unique: HashSet<u64> = seeds.iter().copied().collect();
+        assert_eq!(unique.len(), seeds.len(), "stream collision");
+        // Pinned: resume depends on this derivation never changing.
+        assert_eq!(stream_seed(0, 0), stream_seed(0, 0));
+        assert_ne!(stream_seed(0, 0), stream_seed(0, 1));
+        assert_ne!(stream_seed(0, 0), stream_seed(1, 0));
+    }
+
+    #[test]
+    fn journaled_run_matches_plain_run() {
+        let cfg = GaConfig {
+            population: 8,
+            generations: 6,
+            stall_generations: 6,
+            ..GaConfig::default()
+        };
+        let plain = evolve(&cfg, &menu(), 6, &[], fma_count);
+        let mut mem = MemJournal::default();
+        let journaled =
+            evolve_journaled(&cfg, &menu(), 6, &[], fma_count, &mut mem).unwrap();
+        assert_eq!(plain, journaled);
+        // ga_start + one record per generation (incl. gen 0) + ga_end.
+        assert_eq!(
+            mem.records.len(),
+            1 + (journaled.generations_run + 1) + 1,
+            "unexpected journal shape"
+        );
+        let JournalRecord::GaStart { cfg: jcfg, .. } = &mem.records[0] else {
+            panic!("first record must be ga_start");
+        };
+        assert_eq!(jcfg, &cfg);
+        assert!(matches!(mem.records.last(), Some(JournalRecord::GaEnd)));
+    }
+
+    #[test]
+    fn kill_and_resume_is_bit_identical_at_every_cut() {
+        let cfg = GaConfig {
+            population: 8,
+            generations: 8,
+            stall_generations: 8,
+            ..GaConfig::default()
+        };
+        let mut mem = MemJournal::default();
+        let full = evolve_journaled(&cfg, &menu(), 6, &[], fma_count, &mut mem).unwrap();
+        let gens = full.generations_run + 1;
+
+        for cut in 1..=gens {
+            // Simulate a kill after `cut` generation records: keep the
+            // ga_start plus the first `cut` generations.
+            let truncated = MemJournal {
+                records: mem.records[..1 + cut].to_vec(),
+            };
+            let resumed = GaRun::resume_from(&truncated.as_journal(), fma_count).unwrap();
+            assert_eq!(full, resumed, "diverged when cut after {cut} records");
+        }
+    }
+
+    #[test]
+    fn resume_reproduces_cache_flush_timing() {
+        // A cache small enough to flush mid-run: resume must reproduce
+        // the flush schedule exactly or counters (and potentially
+        // results) drift.
+        let cfg = GaConfig {
+            population: 10,
+            generations: 10,
+            stall_generations: 10,
+            cache_capacity: 12,
+            ..GaConfig::default()
+        };
+        let mut mem = MemJournal::default();
+        let full = evolve_journaled(&cfg, &menu(), 8, &[], fma_count, &mut mem).unwrap();
+        let cut = 1 + full.generations_run.div_ceil(2);
+        let truncated = MemJournal {
+            records: mem.records[..cut].to_vec(),
+        };
+        let resumed = GaRun::resume_from(&truncated.as_journal(), fma_count).unwrap();
+        assert_eq!(full, resumed);
+        assert_eq!(full.cache_hits, resumed.cache_hits);
+        assert_eq!(full.evaluations, resumed.evaluations);
+    }
+
+    #[test]
+    fn resume_continues_journaling_to_the_same_shape() {
+        let cfg = GaConfig {
+            population: 8,
+            generations: 5,
+            stall_generations: 5,
+            ..GaConfig::default()
+        };
+        let mut mem = MemJournal::default();
+        let full = evolve_journaled(&cfg, &menu(), 6, &[], fma_count, &mut mem).unwrap();
+
+        // Kill after two generation records; resume while appending to
+        // the truncated journal. The rebuilt journal must equal the
+        // uninterrupted one record-for-record.
+        let mut partial = MemJournal {
+            records: mem.records[..3].to_vec(),
+        };
+        let journal = partial.as_journal();
+        let resumed = GaRun::resume_with_sink(&journal, fma_count, &mut partial).unwrap();
+        assert_eq!(full, resumed);
+        assert_eq!(mem.records, partial.records);
+    }
+
+    #[test]
+    fn resume_of_a_complete_section_appends_nothing() {
+        let cfg = GaConfig {
+            population: 6,
+            generations: 3,
+            stall_generations: 3,
+            ..GaConfig::default()
+        };
+        let mut mem = MemJournal::default();
+        let full = evolve_journaled(&cfg, &menu(), 4, &[], fma_count, &mut mem).unwrap();
+        let before = mem.records.len();
+        let journal = mem.as_journal();
+        let resumed = GaRun::resume_with_sink(&journal, fma_count, &mut mem).unwrap();
+        assert_eq!(full, resumed);
+        assert_eq!(mem.records.len(), before, "complete section re-appended");
+    }
+
+    #[test]
+    fn resume_rejects_foreign_journals() {
+        let cfg = GaConfig {
+            population: 6,
+            generations: 2,
+            stall_generations: 2,
+            ..GaConfig::default()
+        };
+        let mut mem = MemJournal::default();
+        evolve_journaled(&cfg, &menu(), 4, &[], fma_count, &mut mem).unwrap();
+
+        // Tamper with the recorded seed: stream seeds no longer match.
+        let mut records = mem.records.clone();
+        if let JournalRecord::GaStart { cfg, .. } = &mut records[0] {
+            cfg.seed ^= 1;
+        }
+        let tampered = MemJournal { records };
+        let err = GaRun::resume_from(&tampered.as_journal(), fma_count).unwrap_err();
+        assert!(matches!(err, AuditError::Resume { .. }), "{err}");
+
+        // And an empty journal has nothing to resume.
+        let empty = MemJournal::default();
+        let err = GaRun::resume_from(&empty.as_journal(), fma_count).unwrap_err();
+        assert!(err.to_string().contains("no GA section"), "{err}");
     }
 }

@@ -19,6 +19,9 @@ pub mod genome;
 pub mod study;
 
 pub use cost::CostFunction;
-pub use engine::{evolve, resolve_workers, EvalCache, GaConfig, GaRun, GaTelemetry};
+pub use engine::{
+    evolve, evolve_journaled, resolve_workers, stream_seed, try_evolve, EvalCache, GaConfig,
+    GaRun, GaTelemetry,
+};
 pub use genome::Gene;
-pub use study::{run_study, StudySummary};
+pub use study::{resume_study, run_study, run_study_journaled, try_run_study, StudySummary};

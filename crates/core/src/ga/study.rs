@@ -6,10 +6,13 @@
 //! seeds and summarizes the distribution of outcomes.
 
 use audit_cpu::Opcode;
+use audit_error::AuditError;
+use audit_measure::json::JsonValue;
 use serde::{Deserialize, Serialize};
 
-use super::engine::{evolve, GaConfig, GaRun};
+use super::engine::{evolve_journaled, try_evolve, GaConfig, GaRun};
 use super::genome::Gene;
+use crate::journal::{Journal, JournalRecord, JournalSink};
 
 /// Summary statistics of a multi-seed study.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -83,19 +86,25 @@ fn mean(xs: &[f64]) -> f64 {
 /// with `cfg.threads` workers and its own fitness cache, so the summary
 /// is identical no matter the thread count.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `seeds` is empty or the underlying engine rejects the
-/// configuration.
-pub fn run_study(
+/// Returns [`AuditError::InvalidConfig`] if `seeds_list` is empty or
+/// the underlying engine rejects the configuration.
+pub fn try_run_study(
     cfg: &GaConfig,
     menu: &[Opcode],
     genome_len: usize,
     seeds_list: &[u64],
     seed_genomes: &[Vec<Gene>],
     fitness: impl Fn(&[Gene]) -> f64 + Sync,
-) -> StudySummary {
-    assert!(!seeds_list.is_empty(), "study needs at least one seed");
+) -> Result<StudySummary, AuditError> {
+    if seeds_list.is_empty() {
+        return Err(AuditError::invalid(
+            "study",
+            "seeds",
+            "a study needs at least one seed",
+        ));
+    }
     let mut summary = StudySummary {
         seeds: seeds_list.to_vec(),
         best: Vec::new(),
@@ -108,13 +117,223 @@ pub fn run_study(
             seed,
             ..cfg.clone()
         };
-        let run: GaRun = evolve(&cfg, menu, genome_len, seed_genomes, &fitness);
-        summary.best.push(run.best_fitness);
-        summary.generations.push(run.generations_run);
-        summary.evaluations.push(run.evaluations);
-        summary.cache_hits.push(run.cache_hits);
+        let run: GaRun = try_evolve(&cfg, menu, genome_len, seed_genomes, &fitness)?;
+        record_seed(&mut summary, &run);
     }
-    summary
+    Ok(summary)
+}
+
+/// Panicking convenience wrapper around [`try_run_study`].
+///
+/// # Panics
+///
+/// Panics on any error [`try_run_study`] would return (an empty seed
+/// list, an unrunnable [`GaConfig`]).
+pub fn run_study(
+    cfg: &GaConfig,
+    menu: &[Opcode],
+    genome_len: usize,
+    seeds_list: &[u64],
+    seed_genomes: &[Vec<Gene>],
+    fitness: impl Fn(&[Gene]) -> f64 + Sync,
+) -> StudySummary {
+    try_run_study(cfg, menu, genome_len, seeds_list, seed_genomes, fitness)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`try_run_study`], with every seed's search checkpointed to `sink`.
+///
+/// Each seed becomes one journal phase named `seed-<seed>`: a
+/// `phase_start`, the seed's full GA section (`ga_start`, one record per
+/// generation, `ga_end`), and a `phase_end` whose payload carries the
+/// seed's summary row. A study killed anywhere — between seeds or
+/// mid-generation — resumes via [`resume_study`] with a bit-identical
+/// [`StudySummary`].
+///
+/// # Errors
+///
+/// Same as [`try_run_study`], plus any sink I/O error.
+pub fn run_study_journaled(
+    cfg: &GaConfig,
+    menu: &[Opcode],
+    genome_len: usize,
+    seeds_list: &[u64],
+    seed_genomes: &[Vec<Gene>],
+    fitness: impl Fn(&[Gene]) -> f64 + Sync,
+    sink: &mut dyn JournalSink,
+) -> Result<StudySummary, AuditError> {
+    if seeds_list.is_empty() {
+        return Err(AuditError::invalid(
+            "study",
+            "seeds",
+            "a study needs at least one seed",
+        ));
+    }
+    let mut summary = StudySummary {
+        seeds: seeds_list.to_vec(),
+        best: Vec::new(),
+        generations: Vec::new(),
+        evaluations: Vec::new(),
+        cache_hits: Vec::new(),
+    };
+    for &seed in seeds_list {
+        run_one_seed(
+            cfg,
+            menu,
+            genome_len,
+            seed,
+            seed_genomes,
+            &fitness,
+            sink,
+            &mut summary,
+        )?;
+    }
+    Ok(summary)
+}
+
+/// Resumes a study journaled by [`run_study_journaled`], producing a
+/// [`StudySummary`] bit-identical to the uninterrupted run's.
+///
+/// Seeds whose `phase_end` is in the journal are taken from their
+/// recorded payload without re-running; a seed killed mid-GA is resumed
+/// generation-exact via [`GaRun::resume_with_sink`]; the remaining seeds
+/// run fresh. Newly computed records are appended to `sink` (pass a
+/// [`crate::journal::JournalWriter`] reopened on the same file to
+/// continue it).
+///
+/// # Errors
+///
+/// Same as [`run_study_journaled`], plus [`AuditError::Resume`] or
+/// [`AuditError::Journal`] for a journal inconsistent with the
+/// arguments.
+#[allow(clippy::too_many_arguments)]
+pub fn resume_study(
+    journal: &Journal,
+    cfg: &GaConfig,
+    menu: &[Opcode],
+    genome_len: usize,
+    seeds_list: &[u64],
+    seed_genomes: &[Vec<Gene>],
+    fitness: impl Fn(&[Gene]) -> f64 + Sync,
+    sink: &mut dyn JournalSink,
+) -> Result<StudySummary, AuditError> {
+    if seeds_list.is_empty() {
+        return Err(AuditError::invalid(
+            "study",
+            "seeds",
+            "a study needs at least one seed",
+        ));
+    }
+    let mut summary = StudySummary {
+        seeds: seeds_list.to_vec(),
+        best: Vec::new(),
+        generations: Vec::new(),
+        evaluations: Vec::new(),
+        cache_hits: Vec::new(),
+    };
+    // The seed of the journal's dangling GA section, if one was cut off
+    // mid-search.
+    let dangling = journal
+        .last_ga_section()
+        .filter(|s| !s.complete)
+        .map(|s| s.cfg.seed);
+    for &seed in seeds_list {
+        if let Some(payload) = journal.phase_payload(&format!("seed-{seed}")) {
+            // This seed finished before the kill: trust its payload.
+            decode_seed_payload(payload, &mut summary)?;
+            continue;
+        }
+        if dangling == Some(seed) {
+            // Killed mid-GA on this seed: replay + continue, journaling
+            // the remaining generations, then close the phase.
+            let run = GaRun::resume_with_sink(journal, &fitness, sink)?;
+            sink.append(&JournalRecord::PhaseEnd {
+                name: format!("seed-{seed}"),
+                payload: encode_seed_payload(&run),
+            })?;
+            record_seed(&mut summary, &run);
+            continue;
+        }
+        // Not reached before the kill: run it fresh.
+        run_one_seed(
+            cfg,
+            menu,
+            genome_len,
+            seed,
+            seed_genomes,
+            &fitness,
+            sink,
+            &mut summary,
+        )?;
+    }
+    Ok(summary)
+}
+
+/// One journaled seed phase: `phase_start`, GA section, `phase_end`.
+#[allow(clippy::too_many_arguments)]
+fn run_one_seed(
+    cfg: &GaConfig,
+    menu: &[Opcode],
+    genome_len: usize,
+    seed: u64,
+    seed_genomes: &[Vec<Gene>],
+    fitness: &(impl Fn(&[Gene]) -> f64 + Sync),
+    sink: &mut dyn JournalSink,
+    summary: &mut StudySummary,
+) -> Result<(), AuditError> {
+    let cfg = GaConfig {
+        seed,
+        ..cfg.clone()
+    };
+    sink.append(&JournalRecord::PhaseStart {
+        name: format!("seed-{seed}"),
+    })?;
+    let run = evolve_journaled(&cfg, menu, genome_len, seed_genomes, fitness, sink)?;
+    sink.append(&JournalRecord::PhaseEnd {
+        name: format!("seed-{seed}"),
+        payload: encode_seed_payload(&run),
+    })?;
+    record_seed(summary, &run);
+    Ok(())
+}
+
+fn record_seed(summary: &mut StudySummary, run: &GaRun) {
+    summary.best.push(run.best_fitness);
+    summary.generations.push(run.generations_run);
+    summary.evaluations.push(run.evaluations);
+    summary.cache_hits.push(run.cache_hits);
+}
+
+fn encode_seed_payload(run: &GaRun) -> JsonValue {
+    JsonValue::object(vec![
+        ("best_fitness", JsonValue::from_f64(run.best_fitness)),
+        (
+            "generations",
+            JsonValue::from_u64(run.generations_run as u64),
+        ),
+        ("evaluations", JsonValue::from_u64(run.evaluations)),
+        ("cache_hits", JsonValue::from_u64(run.cache_hits)),
+    ])
+}
+
+fn decode_seed_payload(
+    payload: &JsonValue,
+    summary: &mut StudySummary,
+) -> Result<(), AuditError> {
+    let num = |field: &str| {
+        payload.get(field).and_then(JsonValue::as_u64).ok_or_else(|| {
+            AuditError::resume(format!("seed phase payload has no `{field}`"))
+        })
+    };
+    let best = payload
+        .get("best_fitness")
+        .and_then(JsonValue::as_f64)
+        .ok_or_else(|| AuditError::resume("seed phase payload has no `best_fitness`"))?;
+    summary.best.push(best);
+    summary.generations.push(num("generations")? as usize);
+    summary.evaluations.push(num("evaluations")?);
+    summary.cache_hits.push(num("cache_hits")?);
+    Ok(())
 }
 
 #[cfg(test)]
@@ -184,5 +403,74 @@ mod tests {
     #[should_panic(expected = "at least one seed")]
     fn empty_seed_list_rejected() {
         let _ = run_study(&cfg(), &Opcode::stress_menu(), 6, &[], &[], fma_count);
+    }
+
+    #[test]
+    fn try_run_study_reports_errors_instead_of_panicking() {
+        let err = try_run_study(&cfg(), &Opcode::stress_menu(), 6, &[], &[], fma_count)
+            .unwrap_err();
+        assert!(err.to_string().contains("at least one seed"), "{err}");
+        let bad = GaConfig {
+            population: 0,
+            ..cfg()
+        };
+        assert!(try_run_study(&bad, &Opcode::stress_menu(), 6, &[1], &[], fma_count).is_err());
+    }
+
+    #[test]
+    fn journaled_study_matches_plain_study() {
+        use crate::journal::MemJournal;
+        let small = GaConfig {
+            population: 8,
+            generations: 4,
+            stall_generations: 4,
+            ..GaConfig::default()
+        };
+        let menu = Opcode::stress_menu();
+        let plain = run_study(&small, &menu, 6, &[1, 2], &[], fma_count);
+        let mut mem = MemJournal::default();
+        let journaled =
+            run_study_journaled(&small, &menu, 6, &[1, 2], &[], fma_count, &mut mem).unwrap();
+        assert_eq!(plain, journaled);
+        // Two phases, each bracketing one GA section.
+        let journal = mem.as_journal();
+        assert!(journal.phase_payload("seed-1").is_some());
+        assert!(journal.phase_payload("seed-2").is_some());
+    }
+
+    #[test]
+    fn study_killed_anywhere_resumes_bit_identically() {
+        use crate::journal::MemJournal;
+        let small = GaConfig {
+            population: 8,
+            generations: 3,
+            stall_generations: 3,
+            ..GaConfig::default()
+        };
+        let menu = Opcode::stress_menu();
+        let mut mem = MemJournal::default();
+        let full = run_study_journaled(&small, &menu, 6, &[7, 8, 9], &[], fma_count, &mut mem)
+            .unwrap();
+
+        // Cut the journal after every prefix of records: mid-GA, between
+        // seeds, before anything — all must resume to the same summary.
+        for cut in 0..mem.records.len() {
+            let mut partial = MemJournal {
+                records: mem.records[..cut].to_vec(),
+            };
+            let journal = partial.as_journal();
+            let resumed = resume_study(
+                &journal,
+                &small,
+                &menu,
+                6,
+                &[7, 8, 9],
+                &[],
+                fma_count,
+                &mut partial,
+            )
+            .unwrap();
+            assert_eq!(full, resumed, "diverged when cut at record {cut}");
+        }
     }
 }

@@ -6,6 +6,8 @@
 //! power, droop-event counts, and (optionally) whether the part failed at
 //! the configured voltage.
 
+use audit_error::AuditError;
+
 use audit_cpu::{ChipConfig, ChipSim, Placement, Program};
 use audit_measure::{DroopStats, FailureModel, Histogram, Oscilloscope, VoltageAtFailure};
 use audit_os::{OsConfig, OsModel};
@@ -13,6 +15,12 @@ use audit_pdn::{PdnModel, Transient};
 use serde::{Deserialize, Serialize};
 
 /// How a measurement run is captured.
+///
+/// Prefer [`MeasureSpec::builder`] (or the [`MeasureSpec::ga_eval`] /
+/// [`MeasureSpec::reporting`] presets) over struct-literal construction:
+/// the builder rejects specs the harness cannot execute (a zero-cycle
+/// recording window, a zero decimation, a non-positive trigger level),
+/// while a hand-rolled literal skips validation entirely.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct MeasureSpec {
     /// Cycles co-simulated before recording starts (lets the loop reach
@@ -37,6 +45,48 @@ pub struct MeasureSpec {
 }
 
 impl MeasureSpec {
+    /// Starts a validated builder seeded from [`MeasureSpec::reporting`]
+    /// (the `Default` spec). See [`MeasureSpecBuilder`].
+    pub fn builder() -> MeasureSpecBuilder {
+        MeasureSpecBuilder {
+            spec: MeasureSpec::reporting(),
+        }
+    }
+
+    /// Checks the invariants the harness relies on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuditError::InvalidConfig`] if the recorded window is
+    /// empty, the envelope decimation is zero, or the droop-trigger
+    /// level is not a positive finite voltage.
+    pub fn validate(&self) -> Result<(), AuditError> {
+        if self.record_cycles == 0 {
+            return Err(AuditError::invalid(
+                "MeasureSpec",
+                "record_cycles",
+                "recorded window must be at least one cycle",
+            ));
+        }
+        if self.envelope_decimation == 0 {
+            return Err(AuditError::invalid(
+                "MeasureSpec",
+                "envelope_decimation",
+                "envelope decimation must be at least 1 (1 = every cycle)",
+            ));
+        }
+        if let Some(level) = self.trigger_below_nominal {
+            if !level.is_finite() || level <= 0.0 {
+                return Err(AuditError::invalid(
+                    "MeasureSpec",
+                    "trigger_below_nominal",
+                    format!("trigger level must be a positive finite voltage (got {level})"),
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// Fast spec used inside GA fitness evaluation: short window, no
     /// failure checking.
     pub const fn ga_eval() -> Self {
@@ -74,6 +124,94 @@ impl MeasureSpec {
 impl Default for MeasureSpec {
     fn default() -> Self {
         Self::reporting()
+    }
+}
+
+/// Validated builder for [`MeasureSpec`].
+///
+/// Starts from the [`MeasureSpec::reporting`] preset and rejects
+/// unexecutable specs at [`build`](MeasureSpecBuilder::build) time, so
+/// a zero-cycle recording window or a zero decimation never reaches
+/// the harness.
+///
+/// # Example
+///
+/// ```
+/// use audit_core::harness::MeasureSpec;
+///
+/// let spec = MeasureSpec::builder()
+///     .record_cycles(10_000)
+///     .trigger_below_nominal(0.08)
+///     .build()
+///     .unwrap();
+/// assert_eq!(spec.record_cycles, 10_000);
+/// assert!(MeasureSpec::builder().record_cycles(0).build().is_err());
+/// ```
+#[derive(Debug, Clone)]
+pub struct MeasureSpecBuilder {
+    spec: MeasureSpec,
+}
+
+impl MeasureSpecBuilder {
+    /// Sets the warmup window (cycles co-simulated before recording).
+    pub fn warmup_cycles(mut self, cycles: u64) -> Self {
+        self.spec.warmup_cycles = cycles;
+        self
+    }
+
+    /// Sets the recorded window in cycles. Must be non-zero at build.
+    pub fn record_cycles(mut self, cycles: u64) -> Self {
+        self.spec.record_cycles = cycles;
+        self
+    }
+
+    /// Sets the pure-PDN pre-settle length in cycles.
+    pub fn settle_cycles(mut self, cycles: u64) -> Self {
+        self.spec.settle_cycles = cycles;
+        self
+    }
+
+    /// Enables or disables failure-model checking while recording.
+    pub fn check_failure(mut self, check: bool) -> Self {
+        self.spec.check_failure = check;
+        self
+    }
+
+    /// Arms the droop trigger at `volts` below nominal. Must be a
+    /// positive finite voltage at build.
+    pub fn trigger_below_nominal(mut self, volts: f64) -> Self {
+        self.spec.trigger_below_nominal = Some(volts);
+        self
+    }
+
+    /// Disarms the droop trigger.
+    pub fn no_trigger(mut self) -> Self {
+        self.spec.trigger_below_nominal = None;
+        self
+    }
+
+    /// Sets the envelope decimation (1 = every cycle). Must be non-zero
+    /// at build.
+    pub fn envelope_decimation(mut self, decimation: u64) -> Self {
+        self.spec.envelope_decimation = decimation;
+        self
+    }
+
+    /// Keeps (or drops) the raw per-cycle traces in the [`Measurement`].
+    pub fn keep_traces(mut self, keep: bool) -> Self {
+        self.spec.keep_traces = keep;
+        self
+    }
+
+    /// Validates and returns the spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuditError::InvalidConfig`] under the conditions listed
+    /// on [`MeasureSpec::validate`].
+    pub fn build(self) -> Result<MeasureSpec, AuditError> {
+        self.spec.validate()?;
+        Ok(self.spec)
     }
 }
 
@@ -227,7 +365,9 @@ impl Rig {
         spec: MeasureSpec,
         hook: &mut dyn FnMut(u64, &mut ChipSim),
     ) -> Measurement {
-        let placement = self.placement(programs.len());
+        let placement = self
+            .placement(programs.len())
+            .expect("thread count incompatible with chip");
         let mut chip = ChipSim::with_start_offsets(&self.chip, &placement, programs, offsets)
             .expect("programs incompatible with chip");
         let mut os = self.os.map(|cfg| OsModel::new(cfg, programs.len()));
@@ -235,7 +375,12 @@ impl Rig {
     }
 
     /// The paper's spread placement for `n` threads.
-    pub fn placement(&self, n: usize) -> Placement {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuditError::InvalidConfig`] if `n` is zero or exceeds
+    /// the chip's thread count.
+    pub fn placement(&self, n: usize) -> Result<Placement, AuditError> {
         self.chip.spread_placement(n as u32)
     }
 
@@ -451,5 +596,43 @@ mod tests {
             .with_os(audit_os::OsConfig::compressed(1_500).with_seed(3))
             .measure_aligned(&vec![manual::sm_res(); 4], fast());
         assert_ne!(quiet.stats.v_min(), noisy.stats.v_min());
+    }
+
+    #[test]
+    fn builder_accepts_valid_specs() {
+        let spec = MeasureSpec::builder()
+            .warmup_cycles(1_000)
+            .record_cycles(4_000)
+            .settle_cycles(50_000)
+            .check_failure(false)
+            .no_trigger()
+            .envelope_decimation(16)
+            .keep_traces(true)
+            .build()
+            .unwrap();
+        assert_eq!(spec.record_cycles, 4_000);
+        assert_eq!(spec.trigger_below_nominal, None);
+        assert!(spec.keep_traces);
+        // The presets themselves pass validation.
+        MeasureSpec::ga_eval().validate().unwrap();
+        MeasureSpec::reporting().validate().unwrap();
+    }
+
+    #[test]
+    fn builder_rejects_unexecutable_specs() {
+        let err = MeasureSpec::builder().record_cycles(0).build().unwrap_err();
+        assert!(err.to_string().contains("record_cycles"), "{err}");
+        let err = MeasureSpec::builder()
+            .envelope_decimation(0)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("envelope_decimation"), "{err}");
+        for bad in [0.0, -0.05, f64::NAN, f64::INFINITY] {
+            let err = MeasureSpec::builder()
+                .trigger_below_nominal(bad)
+                .build()
+                .unwrap_err();
+            assert!(err.to_string().contains("trigger"), "{err}");
+        }
     }
 }

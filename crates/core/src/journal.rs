@@ -1,0 +1,942 @@
+//! Crash-safe run persistence: the NDJSON run journal.
+//!
+//! AUDIT searches are long closed loops (hours against real hardware in
+//! the paper). The journal makes them restartable jobs: every generation
+//! of the GA — population genomes, scores, the generation's RNG stream
+//! seed, and evaluation counters — is appended as one JSON line, and
+//! multi-phase drivers ([`crate::audit::Audit`], [`crate::ga::study`])
+//! bracket their phases with `phase_start`/`phase_end` records. A killed
+//! run resumes from its journal and produces a **bit-identical** final
+//! result (see `docs/RUN_JOURNAL.md` and the determinism contract in
+//! [`crate::ga::engine`]).
+//!
+//! # Atomicity
+//!
+//! [`JournalWriter`] never leaves a torn file behind: each append
+//! rewrites the full journal to a `.tmp` sibling, fsyncs it, and renames
+//! it over the destination — a crash at any instant leaves either the
+//! previous complete journal or the new one. The offline
+//! [`audit_measure::traceio::JournalReader`] additionally tolerates a
+//! torn final line, so journals written by simpler appenders also load.
+//!
+//! # Record kinds (schema v1)
+//!
+//! | kind          | written by        | payload                            |
+//! |---------------|-------------------|------------------------------------|
+//! | `run_start`   | [`JournalWriter`] | `schema`, `mode`, free-form `meta` |
+//! | `phase_start` | drivers           | phase `name`                       |
+//! | `phase_end`   | drivers           | phase `name`, free-form `payload`  |
+//! | `ga_start`    | GA engine         | full [`GaConfig`], menu, seeds     |
+//! | `generation`  | GA engine         | population, scores, stream seed    |
+//! | `ga_end`      | GA engine         | —                                  |
+//! | `run_end`     | [`JournalWriter`] | —                                  |
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use audit_cpu::Opcode;
+use audit_error::AuditError;
+use audit_measure::json::JsonValue;
+use audit_measure::traceio::JournalReader;
+
+use crate::ga::{GaConfig, Gene};
+
+/// Journal schema version this build writes and reads.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// One complete generation as recorded in the journal.
+///
+/// `index` 0 is the initial population. `stream_seed` is the seed of the
+/// per-generation RNG stream that *bred* this population (see
+/// [`crate::ga::engine::stream_seed`]); it is recorded for offline
+/// reproducibility checks — resume re-derives it from the config.
+///
+/// Equality ignores `wall_s`: like [`crate::ga::GaRun`]'s telemetry,
+/// wall time legitimately differs between an original and a resumed run
+/// that are otherwise bit-identical.
+#[derive(Debug, Clone)]
+pub struct GenerationRecord {
+    /// Generation index (0 = initial population).
+    pub index: usize,
+    /// Seed of the RNG stream that produced this population.
+    pub stream_seed: u64,
+    /// Every genome of the generation, in slot order.
+    pub population: Vec<Vec<Gene>>,
+    /// Fitness of each genome, by slot.
+    pub scores: Vec<f64>,
+    /// Simulations actually executed this generation.
+    pub executed: u64,
+    /// Fitness lookups served by memoization this generation.
+    pub cache_hits: u64,
+    /// Wall-clock seconds spent evaluating (informational only; ignored
+    /// by resume equality).
+    pub wall_s: f64,
+}
+
+impl PartialEq for GenerationRecord {
+    fn eq(&self, other: &Self) -> bool {
+        self.index == other.index
+            && self.stream_seed == other.stream_seed
+            && self.population == other.population
+            && self.scores == other.scores
+            && self.executed == other.executed
+            && self.cache_hits == other.cache_hits
+    }
+}
+
+/// One journal record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JournalRecord {
+    /// First record of every file journal: schema version, run mode
+    /// (`"ga"`, `"study"`, `"audit"`), and free-form driver metadata.
+    RunStart {
+        /// Schema version the journal was written with.
+        schema: u32,
+        /// What kind of run this journal records.
+        mode: String,
+        /// Driver-defined metadata (e.g. the CLI's chip/options snapshot).
+        meta: JsonValue,
+    },
+    /// A multi-phase driver entered a named phase.
+    PhaseStart {
+        /// Phase name (e.g. `"resonance"`, `"seed-42"`).
+        name: String,
+    },
+    /// A phase completed, with its result payload.
+    PhaseEnd {
+        /// Phase name, matching the `PhaseStart`.
+        name: String,
+        /// Driver-defined result (e.g. the detected resonance).
+        payload: JsonValue,
+    },
+    /// The GA engine began a search; everything needed to resume it.
+    GaStart {
+        /// Full engine configuration.
+        cfg: GaConfig,
+        /// Genome length in slots.
+        genome_len: usize,
+        /// The opcode menu, by stable opcode name.
+        menu: Vec<Opcode>,
+        /// Seed genomes injected into the initial population.
+        seeds: Vec<Vec<Gene>>,
+    },
+    /// One evaluated generation.
+    Generation(GenerationRecord),
+    /// The GA search completed (converged or hit its caps).
+    GaEnd,
+    /// The run completed; nothing to resume.
+    RunEnd,
+}
+
+impl JournalRecord {
+    /// The record's `kind` tag as written to the journal.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JournalRecord::RunStart { .. } => "run_start",
+            JournalRecord::PhaseStart { .. } => "phase_start",
+            JournalRecord::PhaseEnd { .. } => "phase_end",
+            JournalRecord::GaStart { .. } => "ga_start",
+            JournalRecord::Generation(_) => "generation",
+            JournalRecord::GaEnd => "ga_end",
+            JournalRecord::RunEnd => "run_end",
+        }
+    }
+
+    /// Encodes the record to its JSON object.
+    pub fn to_json(&self) -> JsonValue {
+        match self {
+            JournalRecord::RunStart { schema, mode, meta } => JsonValue::object(vec![
+                ("kind", JsonValue::String("run_start".into())),
+                ("schema", JsonValue::from_u64(u64::from(*schema))),
+                ("mode", JsonValue::String(mode.clone())),
+                ("meta", meta.clone()),
+            ]),
+            JournalRecord::PhaseStart { name } => JsonValue::object(vec![
+                ("kind", JsonValue::String("phase_start".into())),
+                ("name", JsonValue::String(name.clone())),
+            ]),
+            JournalRecord::PhaseEnd { name, payload } => JsonValue::object(vec![
+                ("kind", JsonValue::String("phase_end".into())),
+                ("name", JsonValue::String(name.clone())),
+                ("payload", payload.clone()),
+            ]),
+            JournalRecord::GaStart {
+                cfg,
+                genome_len,
+                menu,
+                seeds,
+            } => JsonValue::object(vec![
+                ("kind", JsonValue::String("ga_start".into())),
+                ("cfg", encode_cfg(cfg)),
+                ("genome_len", JsonValue::from_u64(*genome_len as u64)),
+                (
+                    "menu",
+                    JsonValue::Array(
+                        menu.iter()
+                            .map(|op| JsonValue::String(op.name().into()))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "seeds",
+                    JsonValue::Array(seeds.iter().map(|g| encode_genome(g)).collect()),
+                ),
+            ]),
+            JournalRecord::Generation(r) => JsonValue::object(vec![
+                ("kind", JsonValue::String("generation".into())),
+                ("index", JsonValue::from_u64(r.index as u64)),
+                ("stream_seed", encode_u64(r.stream_seed)),
+                (
+                    "population",
+                    JsonValue::Array(r.population.iter().map(|g| encode_genome(g)).collect()),
+                ),
+                (
+                    "scores",
+                    JsonValue::Array(r.scores.iter().map(|&s| JsonValue::from_f64(s)).collect()),
+                ),
+                ("executed", JsonValue::from_u64(r.executed)),
+                ("cache_hits", JsonValue::from_u64(r.cache_hits)),
+                ("wall_s", JsonValue::from_f64(r.wall_s)),
+            ]),
+            JournalRecord::GaEnd => {
+                JsonValue::object(vec![("kind", JsonValue::String("ga_end".into()))])
+            }
+            JournalRecord::RunEnd => {
+                JsonValue::object(vec![("kind", JsonValue::String("run_end".into()))])
+            }
+        }
+    }
+
+    /// Decodes a record from its JSON object.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuditError::Journal`] (with `line` 0 — callers add the
+    /// line number) if the object is missing fields or malformed, and
+    /// [`AuditError::Schema`] for a `run_start` from an incompatible
+    /// schema version.
+    pub fn from_json(v: &JsonValue) -> Result<JournalRecord, AuditError> {
+        let kind = v
+            .get("kind")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| AuditError::journal(0, "record has no string `kind`"))?;
+        match kind {
+            "run_start" => {
+                let schema = field_u64(v, "run_start", "schema")? as u32;
+                if schema != SCHEMA_VERSION {
+                    return Err(AuditError::Schema {
+                        found: schema,
+                        supported: SCHEMA_VERSION,
+                    });
+                }
+                Ok(JournalRecord::RunStart {
+                    schema,
+                    mode: field_str(v, "run_start", "mode")?.to_string(),
+                    meta: v.get("meta").cloned().unwrap_or(JsonValue::Null),
+                })
+            }
+            "phase_start" => Ok(JournalRecord::PhaseStart {
+                name: field_str(v, "phase_start", "name")?.to_string(),
+            }),
+            "phase_end" => Ok(JournalRecord::PhaseEnd {
+                name: field_str(v, "phase_end", "name")?.to_string(),
+                payload: v.get("payload").cloned().unwrap_or(JsonValue::Null),
+            }),
+            "ga_start" => {
+                let cfg = decode_cfg(
+                    v.get("cfg")
+                        .ok_or_else(|| AuditError::journal(0, "ga_start has no `cfg`"))?,
+                )?;
+                let genome_len = field_u64(v, "ga_start", "genome_len")? as usize;
+                let menu = v
+                    .get("menu")
+                    .and_then(JsonValue::as_array)
+                    .ok_or_else(|| AuditError::journal(0, "ga_start has no `menu` array"))?
+                    .iter()
+                    .map(|item| {
+                        let name = item
+                            .as_str()
+                            .ok_or_else(|| AuditError::journal(0, "menu entry is not a string"))?;
+                        Opcode::from_name(name).ok_or_else(|| {
+                            AuditError::journal(0, format!("unknown opcode `{name}` in menu"))
+                        })
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                let seeds = v
+                    .get("seeds")
+                    .and_then(JsonValue::as_array)
+                    .ok_or_else(|| AuditError::journal(0, "ga_start has no `seeds` array"))?
+                    .iter()
+                    .map(decode_genome)
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(JournalRecord::GaStart {
+                    cfg,
+                    genome_len,
+                    menu,
+                    seeds,
+                })
+            }
+            "generation" => {
+                let population = v
+                    .get("population")
+                    .and_then(JsonValue::as_array)
+                    .ok_or_else(|| AuditError::journal(0, "generation has no `population`"))?
+                    .iter()
+                    .map(decode_genome)
+                    .collect::<Result<Vec<_>, _>>()?;
+                let scores = v
+                    .get("scores")
+                    .and_then(JsonValue::as_array)
+                    .ok_or_else(|| AuditError::journal(0, "generation has no `scores`"))?
+                    .iter()
+                    .map(|s| {
+                        s.as_f64()
+                            .ok_or_else(|| AuditError::journal(0, "score is not a number"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                if population.len() != scores.len() {
+                    return Err(AuditError::journal(
+                        0,
+                        format!(
+                            "generation has {} genomes but {} scores",
+                            population.len(),
+                            scores.len()
+                        ),
+                    ));
+                }
+                Ok(JournalRecord::Generation(GenerationRecord {
+                    index: field_u64(v, "generation", "index")? as usize,
+                    stream_seed: decode_u64(
+                        v.get("stream_seed")
+                            .ok_or_else(|| AuditError::journal(0, "generation has no `stream_seed`"))?,
+                    )?,
+                    population,
+                    scores,
+                    executed: field_u64(v, "generation", "executed")?,
+                    cache_hits: field_u64(v, "generation", "cache_hits")?,
+                    wall_s: v
+                        .get("wall_s")
+                        .and_then(JsonValue::as_f64)
+                        .unwrap_or(0.0),
+                }))
+            }
+            "ga_end" => Ok(JournalRecord::GaEnd),
+            "run_end" => Ok(JournalRecord::RunEnd),
+            other => Err(AuditError::journal(0, format!("unknown kind `{other}`"))),
+        }
+    }
+}
+
+/// Encodes a `u64` exactly: as a JSON number when it fits in the f64
+/// integer range, as a decimal string otherwise (seeds are arbitrary
+/// 64-bit values).
+fn encode_u64(v: u64) -> JsonValue {
+    if v <= (1 << 53) {
+        JsonValue::from_u64(v)
+    } else {
+        JsonValue::String(v.to_string())
+    }
+}
+
+fn decode_u64(v: &JsonValue) -> Result<u64, AuditError> {
+    if let Some(n) = v.as_u64() {
+        return Ok(n);
+    }
+    if let Some(s) = v.as_str() {
+        if let Ok(n) = s.parse::<u64>() {
+            return Ok(n);
+        }
+    }
+    Err(AuditError::journal(0, "expected an unsigned integer"))
+}
+
+fn field_u64(v: &JsonValue, record: &str, field: &str) -> Result<u64, AuditError> {
+    v.get(field)
+        .map(decode_u64)
+        .transpose()?
+        .ok_or_else(|| AuditError::journal(0, format!("{record} has no `{field}`")))
+}
+
+fn field_str<'a>(v: &'a JsonValue, record: &str, field: &str) -> Result<&'a str, AuditError> {
+    v.get(field)
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| AuditError::journal(0, format!("{record} has no string `{field}`")))
+}
+
+fn encode_cfg(cfg: &GaConfig) -> JsonValue {
+    JsonValue::object(vec![
+        ("population", JsonValue::from_u64(cfg.population as u64)),
+        ("generations", JsonValue::from_u64(cfg.generations as u64)),
+        ("tournament", JsonValue::from_u64(cfg.tournament as u64)),
+        ("crossover_rate", JsonValue::from_f64(cfg.crossover_rate)),
+        ("mutation_rate", JsonValue::from_f64(cfg.mutation_rate)),
+        ("elitism", JsonValue::from_u64(cfg.elitism as u64)),
+        (
+            "stall_generations",
+            JsonValue::from_u64(cfg.stall_generations as u64),
+        ),
+        ("seed", encode_u64(cfg.seed)),
+        ("threads", JsonValue::from_u64(cfg.threads as u64)),
+        (
+            "cache_capacity",
+            JsonValue::from_u64(cfg.cache_capacity as u64),
+        ),
+    ])
+}
+
+fn decode_cfg(v: &JsonValue) -> Result<GaConfig, AuditError> {
+    Ok(GaConfig {
+        population: field_u64(v, "cfg", "population")? as usize,
+        generations: field_u64(v, "cfg", "generations")? as usize,
+        tournament: field_u64(v, "cfg", "tournament")? as usize,
+        crossover_rate: v
+            .get("crossover_rate")
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| AuditError::journal(0, "cfg has no `crossover_rate`"))?,
+        mutation_rate: v
+            .get("mutation_rate")
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| AuditError::journal(0, "cfg has no `mutation_rate`"))?,
+        elitism: field_u64(v, "cfg", "elitism")? as usize,
+        stall_generations: field_u64(v, "cfg", "stall_generations")? as usize,
+        seed: decode_u64(
+            v.get("seed")
+                .ok_or_else(|| AuditError::journal(0, "cfg has no `seed`"))?,
+        )?,
+        threads: field_u64(v, "cfg", "threads")? as usize,
+        cache_capacity: field_u64(v, "cfg", "cache_capacity")? as usize,
+    })
+}
+
+/// Encodes one genome as an array of gene arrays
+/// (`["SimdFma",3,12,13,false]`).
+fn encode_genome(genome: &[Gene]) -> JsonValue {
+    JsonValue::Array(
+        genome
+            .iter()
+            .map(|g| {
+                JsonValue::Array(vec![
+                    JsonValue::String(g.opcode.name().into()),
+                    JsonValue::from_u64(u64::from(g.dst)),
+                    JsonValue::from_u64(u64::from(g.src1)),
+                    JsonValue::from_u64(u64::from(g.src2)),
+                    JsonValue::Bool(g.miss),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn decode_genome(v: &JsonValue) -> Result<Vec<Gene>, AuditError> {
+    v.as_array()
+        .ok_or_else(|| AuditError::journal(0, "genome is not an array"))?
+        .iter()
+        .map(|gene| {
+            let parts = gene
+                .as_array()
+                .filter(|p| p.len() == 5)
+                .ok_or_else(|| AuditError::journal(0, "gene is not a 5-element array"))?;
+            let name = parts[0]
+                .as_str()
+                .ok_or_else(|| AuditError::journal(0, "gene opcode is not a string"))?;
+            let opcode = Opcode::from_name(name)
+                .ok_or_else(|| AuditError::journal(0, format!("unknown opcode `{name}`")))?;
+            let reg = |i: usize, what: &str| {
+                parts[i]
+                    .as_u64()
+                    .filter(|&r| r <= u64::from(u8::MAX))
+                    .map(|r| r as u8)
+                    .ok_or_else(|| AuditError::journal(0, format!("gene {what} is not a register")))
+            };
+            Ok(Gene {
+                opcode,
+                dst: reg(1, "dst")?,
+                src1: reg(2, "src1")?,
+                src2: reg(3, "src2")?,
+                miss: parts[4]
+                    .as_bool()
+                    .ok_or_else(|| AuditError::journal(0, "gene miss flag is not a bool"))?,
+            })
+        })
+        .collect()
+}
+
+/// Anything GA/driver records can be appended to.
+///
+/// The engine writes through this trait so tests can journal to memory
+/// ([`MemJournal`]) while production runs write atomically to disk
+/// ([`JournalWriter`]). [`NullSink`] discards records (the un-journaled
+/// fast path).
+pub trait JournalSink {
+    /// Appends one record. File-backed sinks must make the append
+    /// durable before returning.
+    fn append(&mut self, record: &JournalRecord) -> Result<(), AuditError>;
+}
+
+/// A sink that discards every record.
+#[derive(Debug, Default)]
+pub struct NullSink;
+
+impl JournalSink for NullSink {
+    fn append(&mut self, _record: &JournalRecord) -> Result<(), AuditError> {
+        Ok(())
+    }
+}
+
+/// An in-memory sink for tests and programmatic inspection.
+#[derive(Debug, Default)]
+pub struct MemJournal {
+    /// Everything appended so far, in order.
+    pub records: Vec<JournalRecord>,
+}
+
+impl JournalSink for MemJournal {
+    fn append(&mut self, record: &JournalRecord) -> Result<(), AuditError> {
+        self.records.push(record.clone());
+        Ok(())
+    }
+}
+
+impl MemJournal {
+    /// Interprets the accumulated records as a loaded [`Journal`]
+    /// (what a kill-and-reload of an equivalent file journal would see).
+    pub fn as_journal(&self) -> Journal {
+        Journal {
+            records: self.records.clone(),
+        }
+    }
+}
+
+/// Crash-safe NDJSON journal writer.
+///
+/// Keeps the encoded journal in memory and, on every append, writes the
+/// complete file to `<path>.tmp`, fsyncs, and renames over `<path>`.
+/// POSIX rename atomicity guarantees a reader (or a restart) sees either
+/// the previous journal or the new one — never a torn line. The rewrite
+/// is O(run length) per generation, which is negligible next to a
+/// generation's worth of chip + PDN co-simulation.
+#[derive(Debug)]
+pub struct JournalWriter {
+    path: PathBuf,
+    lines: Vec<String>,
+}
+
+impl JournalWriter {
+    /// Creates a journal at `path`, writing the `run_start` record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuditError::Io`] if the file cannot be written.
+    pub fn create(
+        path: impl AsRef<Path>,
+        mode: &str,
+        meta: JsonValue,
+    ) -> Result<Self, AuditError> {
+        let mut w = JournalWriter {
+            path: path.as_ref().to_path_buf(),
+            lines: Vec::new(),
+        };
+        w.append(&JournalRecord::RunStart {
+            schema: SCHEMA_VERSION,
+            mode: mode.to_string(),
+            meta,
+        })?;
+        Ok(w)
+    }
+
+    /// Reopens an existing journal for continued appending (resume). The
+    /// already-present lines are preserved byte-for-byte; a torn final
+    /// line (from a non-atomic writer) is dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuditError::Io`] if the file cannot be read, or
+    /// [`AuditError::Journal`] if a non-final line is malformed.
+    pub fn resume(path: impl AsRef<Path>) -> Result<Self, AuditError> {
+        let path = path.as_ref().to_path_buf();
+        let reader = JournalReader::open(&path)?;
+        let lines = reader.records().iter().map(JsonValue::encode).collect();
+        Ok(JournalWriter { path, lines })
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Records appended so far (including any loaded by
+    /// [`JournalWriter::resume`]).
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// True if nothing has been appended yet.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// Writes the `run_end` record — call when the run completes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuditError::Io`] on write failure.
+    pub fn finish(&mut self) -> Result<(), AuditError> {
+        self.append(&JournalRecord::RunEnd)
+    }
+
+    fn flush(&self) -> Result<(), AuditError> {
+        let tmp = self.path.with_extension("ndjson.tmp");
+        let io_err = |e: &std::io::Error| AuditError::io(self.path.display(), e);
+        {
+            let mut f = fs::File::create(&tmp).map_err(|e| io_err(&e))?;
+            for line in &self.lines {
+                f.write_all(line.as_bytes()).map_err(|e| io_err(&e))?;
+                f.write_all(b"\n").map_err(|e| io_err(&e))?;
+            }
+            f.sync_all().map_err(|e| io_err(&e))?;
+        }
+        fs::rename(&tmp, &self.path).map_err(|e| io_err(&e))?;
+        // Make the rename itself durable.
+        if let Some(dir) = self.path.parent() {
+            if let Ok(d) = fs::File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
+    }
+}
+
+impl JournalSink for JournalWriter {
+    fn append(&mut self, record: &JournalRecord) -> Result<(), AuditError> {
+        self.lines.push(record.to_json().encode());
+        self.flush()
+    }
+}
+
+/// A fully parsed journal, ready for resume.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Journal {
+    /// All records, in journal order.
+    pub records: Vec<JournalRecord>,
+}
+
+impl Journal {
+    /// Loads and decodes a journal file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuditError::Io`] if the file cannot be read,
+    /// [`AuditError::Journal`] for malformed records (1-based line in
+    /// the error), or [`AuditError::Schema`] for an incompatible
+    /// `run_start`.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, AuditError> {
+        let reader = JournalReader::open(path)?;
+        Self::from_reader(&reader)
+    }
+
+    /// Parses journal text (one record per line).
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Journal::load`], minus I/O.
+    pub fn parse(text: &str) -> Result<Self, AuditError> {
+        Self::from_reader(&JournalReader::parse(text)?)
+    }
+
+    fn from_reader(reader: &JournalReader) -> Result<Self, AuditError> {
+        let records = reader
+            .records()
+            .iter()
+            .enumerate()
+            .map(|(i, v)| {
+                JournalRecord::from_json(v).map_err(|e| match e {
+                    AuditError::Journal { line: 0, message } => {
+                        AuditError::journal(i + 1, message)
+                    }
+                    other => other,
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Journal { records })
+    }
+
+    /// The `run_start` record's mode, if present.
+    pub fn mode(&self) -> Option<&str> {
+        self.records.iter().find_map(|r| match r {
+            JournalRecord::RunStart { mode, .. } => Some(mode.as_str()),
+            _ => None,
+        })
+    }
+
+    /// The `run_start` record's metadata, if present.
+    pub fn meta(&self) -> Option<&JsonValue> {
+        self.records.iter().find_map(|r| match r {
+            JournalRecord::RunStart { meta, .. } => Some(meta),
+            _ => None,
+        })
+    }
+
+    /// True once a `run_end` record has been written.
+    pub fn is_complete(&self) -> bool {
+        self.records
+            .iter()
+            .any(|r| matches!(r, JournalRecord::RunEnd))
+    }
+
+    /// The payload of the last completed phase with this name, if any.
+    pub fn phase_payload(&self, name: &str) -> Option<&JsonValue> {
+        self.records.iter().rev().find_map(|r| match r {
+            JournalRecord::PhaseEnd { name: n, payload } if n == name => Some(payload),
+            _ => None,
+        })
+    }
+
+    /// The last GA section of the journal: its `ga_start`, the
+    /// generation records that follow it (in order), and whether a
+    /// `ga_end` closed it. `None` if no GA was started.
+    pub fn last_ga_section(&self) -> Option<GaSection<'_>> {
+        let start_idx = self
+            .records
+            .iter()
+            .rposition(|r| matches!(r, JournalRecord::GaStart { .. }))?;
+        let JournalRecord::GaStart {
+            cfg,
+            genome_len,
+            menu,
+            seeds,
+        } = &self.records[start_idx]
+        else {
+            unreachable!("rposition matched GaStart");
+        };
+        let mut generations = Vec::new();
+        let mut complete = false;
+        for r in &self.records[start_idx + 1..] {
+            match r {
+                JournalRecord::Generation(g) => generations.push(g),
+                JournalRecord::GaEnd => {
+                    complete = true;
+                    break;
+                }
+                _ => break,
+            }
+        }
+        Some(GaSection {
+            cfg,
+            genome_len: *genome_len,
+            menu,
+            seeds,
+            generations,
+            complete,
+        })
+    }
+}
+
+/// A borrowed view of one GA search inside a journal.
+#[derive(Debug, Clone)]
+pub struct GaSection<'a> {
+    /// Engine configuration of the search.
+    pub cfg: &'a GaConfig,
+    /// Genome length in slots.
+    pub genome_len: usize,
+    /// Opcode menu of the search.
+    pub menu: &'a [Opcode],
+    /// Seed genomes of the initial population.
+    pub seeds: &'a [Vec<Gene>],
+    /// Recorded generations, in index order.
+    pub generations: Vec<&'a GenerationRecord>,
+    /// True if a `ga_end` closed the section.
+    pub complete: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ga::Gene;
+
+    fn sample_generation() -> GenerationRecord {
+        GenerationRecord {
+            index: 3,
+            stream_seed: u64::MAX - 7, // forces the string encoding
+            population: vec![
+                vec![
+                    Gene {
+                        opcode: Opcode::SimdFma,
+                        dst: 3,
+                        src1: 12,
+                        src2: 13,
+                        miss: false,
+                    },
+                    Gene {
+                        opcode: Opcode::Load,
+                        dst: 7,
+                        src1: 14,
+                        src2: 15,
+                        miss: true,
+                    },
+                ],
+                vec![
+                    Gene {
+                        opcode: Opcode::Nop,
+                        dst: 0,
+                        src1: 0,
+                        src2: 0,
+                        miss: false,
+                    };
+                    2
+                ],
+            ],
+            scores: vec![0.08125, -1.0 / 3.0],
+            executed: 2,
+            cache_hits: 0,
+            wall_s: 0.25,
+        }
+    }
+
+    #[test]
+    fn records_round_trip() {
+        let records = vec![
+            JournalRecord::RunStart {
+                schema: SCHEMA_VERSION,
+                mode: "ga".into(),
+                meta: JsonValue::object(vec![("chip", JsonValue::String("bulldozer".into()))]),
+            },
+            JournalRecord::PhaseStart {
+                name: "resonance".into(),
+            },
+            JournalRecord::PhaseEnd {
+                name: "resonance".into(),
+                payload: JsonValue::from_u64(26),
+            },
+            JournalRecord::GaStart {
+                cfg: GaConfig::default(),
+                genome_len: 24,
+                menu: Opcode::stress_menu(),
+                seeds: vec![sample_generation().population[0].clone()],
+            },
+            JournalRecord::Generation(sample_generation()),
+            JournalRecord::GaEnd,
+            JournalRecord::RunEnd,
+        ];
+        for r in &records {
+            let back = JournalRecord::from_json(&r.to_json()).unwrap();
+            assert_eq!(&back, r, "{} did not round-trip", r.kind());
+        }
+    }
+
+    #[test]
+    fn scores_round_trip_bit_exactly() {
+        let mut rec = sample_generation();
+        rec.population = vec![rec.population[0].clone(); 4];
+        rec.scores = vec![0.1 + 0.2, f64::MIN_POSITIVE, -0.0, 1.0 / 3.0];
+        let back = JournalRecord::from_json(&JournalRecord::Generation(rec.clone()).to_json())
+            .unwrap();
+        let JournalRecord::Generation(back) = back else {
+            panic!("wrong kind");
+        };
+        for (a, b) in rec.scores.iter().zip(&back.scores) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(back.stream_seed, u64::MAX - 7);
+    }
+
+    #[test]
+    fn journal_parse_locates_bad_records() {
+        let good = JournalRecord::GaEnd.to_json().encode();
+        let text = format!("{good}\n{{\"kind\":\"generation\"}}\n");
+        let err = Journal::parse(&text).unwrap_err();
+        assert!(err.to_string().contains("record 2"), "{err}");
+    }
+
+    #[test]
+    fn schema_mismatch_is_rejected() {
+        let text = "{\"kind\":\"run_start\",\"schema\":99,\"mode\":\"ga\"}\n";
+        let err = Journal::parse(text).unwrap_err();
+        assert!(matches!(err, AuditError::Schema { found: 99, .. }), "{err}");
+    }
+
+    #[test]
+    fn writer_is_atomic_and_resumable() {
+        let dir = std::env::temp_dir().join(format!(
+            "audit-journal-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.ndjson");
+
+        let mut w = JournalWriter::create(&path, "ga", JsonValue::Null).unwrap();
+        w.append(&JournalRecord::Generation(sample_generation()))
+            .unwrap();
+        let j1 = Journal::load(&path).unwrap();
+        assert_eq!(j1.records.len(), 2);
+        assert_eq!(j1.mode(), Some("ga"));
+        assert!(!j1.is_complete());
+
+        // Reopen and keep appending — prior bytes unchanged.
+        let before = fs::read_to_string(&path).unwrap();
+        let mut w2 = JournalWriter::resume(&path).unwrap();
+        assert_eq!(w2.len(), 2);
+        w2.finish().unwrap();
+        let after = fs::read_to_string(&path).unwrap();
+        assert!(after.starts_with(&before));
+        assert!(Journal::load(&path).unwrap().is_complete());
+
+        // No stray tmp file survives.
+        assert!(!dir.join("run.ndjson.tmp").exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn last_ga_section_picks_the_latest() {
+        let mut mem = MemJournal::default();
+        let cfg_a = GaConfig {
+            seed: 1,
+            ..GaConfig::default()
+        };
+        let cfg_b = GaConfig {
+            seed: 2,
+            ..GaConfig::default()
+        };
+        for (cfg, done) in [(&cfg_a, true), (&cfg_b, false)] {
+            mem.append(&JournalRecord::GaStart {
+                cfg: cfg.clone(),
+                genome_len: 4,
+                menu: Opcode::stress_menu(),
+                seeds: vec![],
+            })
+            .unwrap();
+            mem.append(&JournalRecord::Generation(GenerationRecord {
+                index: 0,
+                ..sample_generation()
+            }))
+            .unwrap();
+            if done {
+                mem.append(&JournalRecord::GaEnd).unwrap();
+            }
+        }
+        let journal = mem.as_journal();
+        let section = journal.last_ga_section().unwrap();
+        assert_eq!(section.cfg.seed, 2);
+        assert!(!section.complete);
+        assert_eq!(section.generations.len(), 1);
+    }
+
+    #[test]
+    fn phase_payload_finds_latest_match() {
+        let mut mem = MemJournal::default();
+        mem.append(&JournalRecord::PhaseEnd {
+            name: "resonance".into(),
+            payload: JsonValue::from_u64(24),
+        })
+        .unwrap();
+        mem.append(&JournalRecord::PhaseEnd {
+            name: "resonance".into(),
+            payload: JsonValue::from_u64(26),
+        })
+        .unwrap();
+        let j = mem.as_journal();
+        assert_eq!(j.phase_payload("resonance").unwrap().as_u64(), Some(26));
+        assert!(j.phase_payload("ga").is_none());
+    }
+}

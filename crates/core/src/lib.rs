@@ -14,6 +14,8 @@
 //! * [`dither`] — the exact and approximate dithering algorithms that
 //!   guarantee worst-case thread alignment (§3.B), plus their cost model,
 //! * [`ga`] — the hierarchical (sub-blocked) genetic search (§3.C),
+//! * [`journal`] — crash-safe checkpoint/resume: the NDJSON run journal
+//!   every long search can be killed into and resumed from,
 //! * [`audit`] — the top-level [`audit::Audit`] driver producing
 //!   the paper's A-Ex, A-Res, A-Res-8T, and A-Res-Th stressmarks,
 //! * [`patterns`] — the idealized high/low activity pattern of Fig. 7,
@@ -41,10 +43,13 @@ pub mod audit;
 pub mod dither;
 pub mod ga;
 pub mod harness;
+pub mod journal;
 pub mod patterns;
 pub mod report;
 pub mod resonance;
 pub mod suite;
 
-pub use audit::{Audit, AuditOptions};
-pub use harness::{MeasureSpec, Measurement, Rig};
+pub use audit::{Audit, AuditOptions, AuditOptionsBuilder};
+pub use audit_error::{AuditError, AuditResult};
+pub use harness::{MeasureSpec, MeasureSpecBuilder, Measurement, Rig};
+pub use journal::{Journal, JournalRecord, JournalSink, JournalWriter, MemJournal, NullSink};

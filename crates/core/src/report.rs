@@ -2,8 +2,12 @@
 //!
 //! Every figure/table binary in `audit-bench` prints its rows through
 //! this module, so the output format is uniform and machine-readable.
+//! [`journal_summary`] renders a run journal's shape as a table — what
+//! the CLI prints before resuming a killed run.
 
 use std::fmt;
+
+use crate::journal::{Journal, JournalRecord};
 
 /// A simple column-aligned table with CSV export.
 ///
@@ -186,6 +190,68 @@ pub fn sparkline(values: &[f64], width: usize) -> String {
         .collect()
 }
 
+/// Summarizes a run journal as a table: one row per phase boundary and
+/// GA section, with generation counts and the best fitness recorded so
+/// far. This is what `audit-cli --resume` prints so the user can see
+/// where the killed run got to before it continues.
+pub fn journal_summary(journal: &Journal) -> Table {
+    let mut t = Table::new(vec!["record", "detail"]);
+    let mut gens = 0usize;
+    let mut best = f64::NEG_INFINITY;
+    let flush_ga = |t: &mut Table, gens: &mut usize, best: &mut f64| {
+        if *gens > 0 {
+            t.row(vec![
+                "ga".into(),
+                format!("{gens} generations, best fitness {best:.6}"),
+            ]);
+            *gens = 0;
+            *best = f64::NEG_INFINITY;
+        }
+    };
+    for rec in &journal.records {
+        match rec {
+            JournalRecord::RunStart { schema, mode, .. } => {
+                t.row(vec![
+                    "run_start".into(),
+                    format!("mode {mode}, schema v{schema}"),
+                ]);
+            }
+            JournalRecord::PhaseStart { name } => {
+                flush_ga(&mut t, &mut gens, &mut best);
+                t.row(vec!["phase_start".into(), name.clone()]);
+            }
+            JournalRecord::PhaseEnd { name, .. } => {
+                flush_ga(&mut t, &mut gens, &mut best);
+                t.row(vec!["phase_end".into(), name.clone()]);
+            }
+            JournalRecord::GaStart { cfg, .. } => {
+                flush_ga(&mut t, &mut gens, &mut best);
+                t.row(vec![
+                    "ga_start".into(),
+                    format!(
+                        "population {}, up to {} generations, seed {:#x}",
+                        cfg.population, cfg.generations, cfg.seed
+                    ),
+                ]);
+            }
+            JournalRecord::Generation(g) => {
+                gens += 1;
+                best = g.scores.iter().copied().fold(best, f64::max);
+            }
+            JournalRecord::GaEnd => {
+                flush_ga(&mut t, &mut gens, &mut best);
+                t.row(vec!["ga_end".into(), "search complete".into()]);
+            }
+            JournalRecord::RunEnd => {
+                flush_ga(&mut t, &mut gens, &mut best);
+                t.row(vec!["run_end".into(), "run complete".into()]);
+            }
+        }
+    }
+    flush_ga(&mut t, &mut gens, &mut best);
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -251,5 +317,32 @@ mod tests {
         t.row(vec!["1".into()]);
         assert_eq!(t.len(), 1);
         assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn journal_summary_compresses_generations() {
+        use crate::ga::{evolve_journaled, GaConfig, Gene};
+        use crate::journal::MemJournal;
+        use audit_cpu::Opcode;
+
+        let cfg = GaConfig {
+            population: 6,
+            generations: 3,
+            stall_generations: 3,
+            ..GaConfig::default()
+        };
+        let mut mem = MemJournal::default();
+        let run = evolve_journaled(&cfg, &Opcode::stress_menu(), 4, &[], |g: &[Gene]| {
+            g.iter().filter(|x| x.opcode == Opcode::SimdFma).count() as f64
+        }, &mut mem)
+        .unwrap();
+        let summary = journal_summary(&mem.as_journal());
+        let text = summary.to_string();
+        assert!(text.contains("ga_start"), "{text}");
+        assert!(
+            text.contains(&format!("{} generations", run.generations_run + 1)),
+            "{text}"
+        );
+        assert!(text.contains("search complete"), "{text}");
     }
 }

@@ -7,6 +7,8 @@
 //! that produces the worst-case droop". That loop length is the resonant
 //! period used for all subsequent resonant-stressmark generation.
 
+use audit_error::AuditError;
+use audit_measure::json::JsonValue;
 use serde::{Deserialize, Serialize};
 
 use crate::harness::{MeasureSpec, Rig};
@@ -31,6 +33,75 @@ impl ResonanceResult {
             .find(|(p, _)| *p == self.period_cycles)
             .map(|(_, d)| *d)
             .unwrap_or(0.0)
+    }
+
+    /// Encodes the sweep for a run-journal phase payload (samples as
+    /// `[period, droop]` pairs, droops in shortest-round-trip form).
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object(vec![
+            (
+                "period_cycles",
+                JsonValue::from_u64(u64::from(self.period_cycles)),
+            ),
+            ("frequency_hz", JsonValue::from_f64(self.frequency_hz)),
+            (
+                "samples",
+                JsonValue::Array(
+                    self.samples
+                        .iter()
+                        .map(|&(p, d)| {
+                            JsonValue::Array(vec![
+                                JsonValue::from_u64(u64::from(p)),
+                                JsonValue::from_f64(d),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Decodes a sweep from a run-journal phase payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuditError::Resume`] if the payload is missing fields
+    /// or malformed.
+    pub fn from_json(v: &JsonValue) -> Result<Self, AuditError> {
+        let missing = |what: &str| AuditError::resume(format!("resonance payload: {what}"));
+        let period_cycles = v
+            .get("period_cycles")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| missing("no `period_cycles`"))? as u32;
+        let frequency_hz = v
+            .get("frequency_hz")
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| missing("no `frequency_hz`"))?;
+        let samples = v
+            .get("samples")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| missing("no `samples` array"))?
+            .iter()
+            .map(|pair| {
+                let pair = pair
+                    .as_array()
+                    .filter(|p| p.len() == 2)
+                    .ok_or_else(|| missing("sample is not a [period, droop] pair"))?;
+                let p = pair[0]
+                    .as_u64()
+                    .ok_or_else(|| missing("sample period is not an integer"))?
+                    as u32;
+                let d = pair[1]
+                    .as_f64()
+                    .ok_or_else(|| missing("sample droop is not a number"))?;
+                Ok((p, d))
+            })
+            .collect::<Result<Vec<_>, AuditError>>()?;
+        Ok(ResonanceResult {
+            period_cycles,
+            frequency_hz,
+            samples,
+        })
     }
 }
 
@@ -148,5 +219,20 @@ mod tests {
     #[should_panic(expected = "at least one period")]
     fn empty_sweep_panics() {
         let _ = find_resonance(&Rig::bulldozer(), 1, [], MeasureSpec::ga_eval());
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let r = ResonanceResult {
+            period_cycles: 26,
+            frequency_hz: 1.234e8,
+            samples: vec![(16, 0.031), (26, 0.08125), (32, 1.0 / 3.0)],
+        };
+        let back = ResonanceResult::from_json(&r.to_json()).unwrap();
+        assert_eq!(back, r);
+        for ((_, a), (_, b)) in r.samples.iter().zip(&back.samples) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert!(ResonanceResult::from_json(&audit_measure::json::JsonValue::Null).is_err());
     }
 }

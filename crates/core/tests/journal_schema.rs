@@ -1,0 +1,188 @@
+//! Schema-stability tests for the run-journal NDJSON format.
+//!
+//! The golden fixture under `tests/fixtures/` is a complete v1 journal
+//! written by [`regen_golden_fixture`] (run it with
+//! `cargo test -p audit-core --test journal_schema -- --ignored` after
+//! an *intentional* format change). The tests pin both directions:
+//! today's code must decode the checked-in bytes, and re-encoding the
+//! decoded records must reproduce those bytes exactly — so any
+//! accidental rename, field drop, or numeric-formatting change fails
+//! loudly instead of silently orphaning old checkpoints.
+
+use std::path::PathBuf;
+
+use audit_core::ga::{evolve_journaled, GaConfig, Gene};
+use audit_core::journal::{Journal, JournalRecord, JournalWriter, MemJournal};
+use audit_core::resonance::ResonanceResult;
+use audit_cpu::Opcode;
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/journal_v1.ndjson")
+}
+
+/// Deterministic GA shape shared by the fixture writer and the tests.
+fn fixture_cfg() -> GaConfig {
+    GaConfig {
+        population: 6,
+        generations: 4,
+        stall_generations: 4,
+        seed: 0xA0D17,
+        threads: 1,
+        ..GaConfig::default()
+    }
+}
+
+/// Pure fitness used for the fixture's GA section. Exercises negative
+/// and fractional scores so float formatting is pinned too.
+fn fixture_fitness(g: &[Gene]) -> f64 {
+    g.iter()
+        .enumerate()
+        .map(|(i, gene)| match gene.opcode {
+            Opcode::SimdFma => 1.0 + i as f64 / 7.0,
+            Opcode::Nop => -0.25,
+            _ => 0.125,
+        })
+        .sum()
+}
+
+fn fixture_resonance() -> ResonanceResult {
+    ResonanceResult {
+        period_cycles: 30,
+        frequency_hz: 3.2e9 / 30.0,
+        samples: vec![(16, 0.031), (30, 0.08125), (64, 1.0 / 96.0)],
+    }
+}
+
+/// Builds the fixture's records in memory (everything but `run_start`,
+/// which [`JournalWriter::create`] emits itself).
+fn fixture_records() -> Vec<JournalRecord> {
+    let mut mem = MemJournal::default();
+    mem.records.push(JournalRecord::PhaseStart {
+        name: "resonance".into(),
+    });
+    mem.records.push(JournalRecord::PhaseEnd {
+        name: "resonance".into(),
+        payload: fixture_resonance().to_json(),
+    });
+    evolve_journaled(
+        &fixture_cfg(),
+        &Opcode::stress_menu(),
+        5,
+        &[],
+        fixture_fitness,
+        &mut mem,
+    )
+    .expect("fixture GA runs");
+    mem.records.push(JournalRecord::RunEnd);
+    mem.records
+}
+
+/// Regenerates the golden fixture. `#[ignore]`d: run explicitly after
+/// an intentional schema change, and commit the diff.
+#[test]
+#[ignore = "rewrites the golden fixture; run only after an intentional schema change"]
+fn regen_golden_fixture() {
+    use audit_measure::json::JsonValue;
+    let meta = JsonValue::object(vec![(
+        "argv",
+        JsonValue::Array(vec![
+            JsonValue::String("--fast".into()),
+            JsonValue::String("--threads".into()),
+            JsonValue::String("2".into()),
+        ]),
+    )]);
+    let mut writer =
+        JournalWriter::create(fixture_path(), "generate", meta).expect("fixture writes");
+    for record in fixture_records() {
+        use audit_core::journal::JournalSink;
+        writer.append(&record).expect("fixture writes");
+    }
+}
+
+#[test]
+fn golden_journal_decodes() {
+    let journal = Journal::load(fixture_path()).expect("golden fixture decodes");
+    assert_eq!(journal.mode(), Some("generate"));
+    assert!(journal.is_complete());
+    let kinds: Vec<&str> = journal.records.iter().map(JournalRecord::kind).collect();
+    assert_eq!(kinds[..4], ["run_start", "phase_start", "phase_end", "ga_start"]);
+    assert_eq!(kinds[kinds.len() - 2..], ["ga_end", "run_end"]);
+    assert!(kinds.iter().filter(|k| **k == "generation").count() >= 2);
+
+    let resonance = ResonanceResult::from_json(
+        journal.phase_payload("resonance").expect("resonance payload"),
+    )
+    .expect("payload decodes");
+    assert_eq!(resonance, fixture_resonance());
+
+    let section = journal.last_ga_section().expect("GA section");
+    assert!(section.complete);
+    assert_eq!(section.cfg, &fixture_cfg());
+    assert_eq!(section.genome_len, 5);
+    assert_eq!(section.menu, &Opcode::stress_menu()[..]);
+    for rec in &section.generations {
+        assert_eq!(rec.population.len(), 6);
+        assert_eq!(rec.scores.len(), 6);
+        assert!(rec.scores.iter().all(|s| s.is_finite()));
+    }
+}
+
+#[test]
+fn golden_journal_reencodes_byte_identically() {
+    let text = std::fs::read_to_string(fixture_path()).expect("golden fixture exists");
+    let journal = Journal::parse(&text).expect("golden fixture decodes");
+    for (line, record) in text.lines().zip(&journal.records) {
+        assert_eq!(
+            record.to_json().encode(),
+            line,
+            "encode drifted for a `{}` record",
+            record.kind()
+        );
+    }
+    assert_eq!(text.lines().count(), journal.records.len());
+}
+
+#[test]
+fn golden_journal_matches_todays_writer() {
+    // A fresh run with the fixture's configuration must produce the
+    // same records the fixture holds (wall-clock excluded via the
+    // GenerationRecord equality convention) — proving resume of an old
+    // journal replays exactly what today's engine would compute.
+    let journal = Journal::load(fixture_path()).expect("golden fixture decodes");
+    let fresh = fixture_records();
+    assert_eq!(&journal.records[1..], &fresh[..]);
+}
+
+#[test]
+fn schema_field_names_are_pinned() {
+    // Field renames orphan old checkpoints. Pin every key of the two
+    // stateful record kinds.
+    let text = std::fs::read_to_string(fixture_path()).expect("golden fixture exists");
+    let generation = text
+        .lines()
+        .find(|l| l.contains("\"generation\""))
+        .expect("a generation record");
+    for key in [
+        "\"kind\"",
+        "\"index\"",
+        "\"stream_seed\"",
+        "\"population\"",
+        "\"scores\"",
+        "\"executed\"",
+        "\"cache_hits\"",
+        "\"wall_s\"",
+    ] {
+        assert!(generation.contains(key), "generation record lost {key}");
+    }
+    let ga_start = text
+        .lines()
+        .find(|l| l.contains("\"ga_start\""))
+        .expect("a ga_start record");
+    for key in ["\"cfg\"", "\"genome_len\"", "\"menu\"", "\"seeds\""] {
+        assert!(ga_start.contains(key), "ga_start record lost {key}");
+    }
+    let run_start = text.lines().next().expect("run_start line");
+    for key in ["\"schema\"", "\"mode\"", "\"meta\""] {
+        assert!(run_start.contains(key), "run_start record lost {key}");
+    }
+}

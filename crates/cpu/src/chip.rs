@@ -1,8 +1,7 @@
 //! The whole-chip simulator: modules + uncore, stepped one clock cycle
 //! at a time, reporting total current draw.
 
-use std::error::Error;
-use std::fmt;
+use audit_error::AuditError;
 
 use crate::config::{ChipConfig, DidtLimiter};
 use crate::inst::Program;
@@ -23,61 +22,16 @@ pub struct ChipCycle {
     pub max_path: f64,
 }
 
-/// Error building a [`ChipSim`].
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum ChipError {
-    /// Program uses FMA-class ops on a chip without FMA (paper §5.C: SM1
-    /// could not run on the older processor).
-    UnsupportedInstruction {
-        /// Name of the offending program.
-        program: String,
-    },
-    /// Placement and program counts differ.
-    PlacementMismatch {
-        /// Number of placement slots.
-        slots: usize,
-        /// Number of programs supplied.
-        programs: usize,
-    },
-    /// A slot references a module/core that does not exist.
-    BadSlot {
-        /// The offending `(module, core)` slot.
-        slot: (u32, u32),
-    },
-}
-
-impl fmt::Display for ChipError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            ChipError::UnsupportedInstruction { program } => {
-                write!(
-                    f,
-                    "program `{program}` uses instructions this chip does not support"
-                )
-            }
-            ChipError::PlacementMismatch { slots, programs } => {
-                write!(
-                    f,
-                    "placement has {slots} slots but {programs} programs were supplied"
-                )
-            }
-            ChipError::BadSlot { slot } => write!(f, "slot {slot:?} does not exist on this chip"),
-        }
-    }
-}
-
-impl Error for ChipError {}
-
 /// The chip simulator.
 ///
 /// # Example
 ///
 /// ```
-/// use audit_cpu::{ChipConfig, ChipSim, Program};
+/// use audit_cpu::{AuditError, ChipConfig, ChipSim, Program};
 ///
-/// # fn main() -> Result<(), audit_cpu::ChipError> {
+/// # fn main() -> Result<(), AuditError> {
 /// let config = ChipConfig::bulldozer();
-/// let placement = config.spread_placement(2);
+/// let placement = config.spread_placement(2)?;
 /// let programs = [Program::nops(16), Program::nops(16)];
 /// let mut chip = ChipSim::new(&config, &placement, &programs)?;
 /// for _ in 0..1000 {
@@ -107,13 +61,14 @@ impl ChipSim {
     ///
     /// # Errors
     ///
-    /// Returns [`ChipError`] if counts mismatch, a slot is invalid, or a
-    /// program needs FMA on a non-FMA chip.
+    /// Returns [`AuditError::InvalidConfig`] if counts mismatch or a
+    /// slot is invalid, and [`AuditError::Unsupported`] if a program
+    /// needs FMA on a non-FMA chip.
     pub fn new(
         config: &ChipConfig,
         placement: &Placement,
         programs: &[Program],
-    ) -> Result<Self, ChipError> {
+    ) -> Result<Self, AuditError> {
         Self::with_start_offsets(config, placement, programs, &vec![0; programs.len()])
     }
 
@@ -123,25 +78,33 @@ impl ChipSim {
     ///
     /// # Errors
     ///
-    /// Returns [`ChipError`] under the same conditions as
-    /// [`ChipSim::new`]; offsets beyond the program count are a
-    /// mismatch as well.
+    /// Fails under the same conditions as [`ChipSim::new`]; offsets
+    /// beyond the program count are a mismatch as well.
     pub fn with_start_offsets(
         config: &ChipConfig,
         placement: &Placement,
         programs: &[Program],
         start_offsets: &[u64],
-    ) -> Result<Self, ChipError> {
+    ) -> Result<Self, AuditError> {
         if placement.thread_count() != programs.len() || programs.len() != start_offsets.len() {
-            return Err(ChipError::PlacementMismatch {
-                slots: placement.thread_count(),
-                programs: programs.len(),
-            });
+            return Err(AuditError::invalid(
+                "ChipSim",
+                "programs",
+                format!(
+                    "placement has {} slots but {} programs were supplied",
+                    placement.thread_count(),
+                    programs.len()
+                ),
+            ));
         }
         for p in programs {
             if !config.supports_fma && !p.avoids_fma() {
-                return Err(ChipError::UnsupportedInstruction {
-                    program: p.name().to_string(),
+                return Err(AuditError::Unsupported {
+                    context: "ChipSim",
+                    message: format!(
+                        "program `{}` uses instructions this chip does not support",
+                        p.name()
+                    ),
                 });
             }
         }
@@ -152,7 +115,11 @@ impl ChipSim {
             placement.slots().iter().zip(programs).zip(start_offsets)
         {
             if m >= config.modules || c >= config.module.cores {
-                return Err(ChipError::BadSlot { slot: (m, c) });
+                return Err(AuditError::invalid(
+                    "ChipSim",
+                    "placement",
+                    format!("slot ({m}, {c}) does not exist on this chip"),
+                ));
             }
             modules[m as usize].load(c, program, offset);
         }
@@ -279,7 +246,7 @@ mod tests {
         let cfg = ChipConfig::bulldozer();
         let mut prev = 0.0;
         for n in [1u32, 2, 4] {
-            let placement = cfg.spread_placement(n);
+            let placement = cfg.spread_placement(n).unwrap();
             let programs = vec![fp_program(); n as usize];
             let mut chip = ChipSim::new(&cfg, &placement, &programs).unwrap();
             let amps = avg_amps(&mut chip, 5_000);
@@ -293,7 +260,7 @@ mod tests {
         // 4T→8T shares FPUs: current grows sublinearly for FP loops.
         let cfg = ChipConfig::bulldozer();
         let run = |n: u32| {
-            let placement = cfg.spread_placement(n);
+            let placement = cfg.spread_placement(n).unwrap();
             let programs = vec![fp_program(); n as usize];
             let mut chip = ChipSim::new(&cfg, &placement, &programs).unwrap();
             avg_amps(&mut chip, 5_000)
@@ -308,7 +275,7 @@ mod tests {
 
     fn run_idle(cfg: &ChipConfig) -> f64 {
         // A single NOP thread approximates the gated-idle floor.
-        let placement = cfg.spread_placement(1);
+        let placement = cfg.spread_placement(1).unwrap();
         let mut chip = ChipSim::new(cfg, &placement, &[Program::nops(8)]).unwrap();
         avg_amps(&mut chip, 2_000)
     }
@@ -316,31 +283,29 @@ mod tests {
     #[test]
     fn fma_program_rejected_on_phenom() {
         let cfg = ChipConfig::phenom();
-        let placement = cfg.spread_placement(1);
+        let placement = cfg.spread_placement(1).unwrap();
         let p = Program::new("sm1-like", vec![Inst::new(Opcode::SimdFma)]);
         let err = ChipSim::new(&cfg, &placement, &[p]).unwrap_err();
-        assert!(matches!(err, ChipError::UnsupportedInstruction { .. }));
+        assert!(matches!(err, AuditError::Unsupported { .. }));
         assert!(err.to_string().contains("sm1-like"));
     }
 
     #[test]
     fn placement_mismatch_is_reported() {
         let cfg = ChipConfig::bulldozer();
-        let placement = cfg.spread_placement(2);
+        let placement = cfg.spread_placement(2).unwrap();
         let err = ChipSim::new(&cfg, &placement, &[Program::nops(4)]).unwrap_err();
-        assert_eq!(
-            err,
-            ChipError::PlacementMismatch {
-                slots: 2,
-                programs: 1
-            }
+        assert!(matches!(err, AuditError::InvalidConfig { .. }));
+        assert!(
+            err.to_string().contains("2 slots") && err.to_string().contains("1 programs"),
+            "{err}"
         );
     }
 
     #[test]
     fn start_offsets_shift_thread_progress() {
         let cfg = ChipConfig::bulldozer();
-        let placement = cfg.spread_placement(2);
+        let placement = cfg.spread_placement(2).unwrap();
         let programs = vec![fp_program(), fp_program()];
         let mut chip = ChipSim::with_start_offsets(&cfg, &placement, &programs, &[0, 500]).unwrap();
         for _ in 0..1_000 {
@@ -352,7 +317,7 @@ mod tests {
     #[test]
     fn chip_current_includes_uncore_floor() {
         let cfg = ChipConfig::bulldozer();
-        let placement = cfg.spread_placement(1);
+        let placement = cfg.spread_placement(1).unwrap();
         let mut chip = ChipSim::new(&cfg, &placement, &[Program::nops(8)]).unwrap();
         let amps = chip.step().amps;
         assert!(amps >= cfg.energy.uncore_amps);
@@ -361,7 +326,7 @@ mod tests {
     #[test]
     fn determinism_across_clones() {
         let cfg = ChipConfig::bulldozer();
-        let placement = cfg.spread_placement(4);
+        let placement = cfg.spread_placement(4).unwrap();
         let programs = vec![fp_program(); 4];
         let run = || {
             let mut chip = ChipSim::new(&cfg, &placement, &programs).unwrap();
@@ -385,7 +350,7 @@ mod tests {
             _ => Inst::new(Opcode::Nop),
         }));
         let program = Program::new("bursty", body);
-        let placement = base.spread_placement(4);
+        let placement = base.spread_placement(4).unwrap();
         let programs = vec![program; 4];
 
         // The limiter is reactive: it cannot clip the first cycle of a
@@ -422,7 +387,7 @@ mod tests {
             hold_cycles: 32,
             fetch_cap: 1,
         });
-        let placement = base.spread_placement(2);
+        let placement = base.spread_placement(2).unwrap();
         let programs = vec![fp_program(); 2];
         let run = |cfg: &ChipConfig| {
             let mut chip = ChipSim::new(cfg, &placement, &programs).unwrap();
@@ -437,7 +402,7 @@ mod tests {
     #[test]
     fn injected_stall_reduces_current() {
         let cfg = ChipConfig::bulldozer();
-        let placement = cfg.spread_placement(1);
+        let placement = cfg.spread_placement(1).unwrap();
         let mut chip = ChipSim::new(&cfg, &placement, &[fp_program()]).unwrap();
         let before = avg_amps(&mut chip, 2_000);
         chip.inject_stall(0, 2_000);

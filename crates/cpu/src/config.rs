@@ -8,6 +8,7 @@
 //!   board in §5.C: four single-thread cores, private FPUs, narrower
 //!   pipeline, no FMA, weaker clock gating.
 
+use audit_error::AuditError;
 use serde::{Deserialize, Serialize};
 
 use crate::cache::CacheConfig;
@@ -245,11 +246,69 @@ impl ChipConfig {
     /// private modules); only past `modules` threads do modules get their
     /// second core filled.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `n` exceeds [`ChipConfig::total_threads`].
-    pub fn spread_placement(&self, n: u32) -> Placement {
+    /// Returns [`AuditError::InvalidConfig`] if `n` is zero or exceeds
+    /// [`ChipConfig::total_threads`].
+    pub fn spread_placement(&self, n: u32) -> Result<Placement, AuditError> {
         Placement::spread(self, n)
+    }
+
+    /// Checks structural parameters: module/core counts, pipeline
+    /// widths, clock, and limiter tuning must all be positive (and the
+    /// clock finite).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuditError::InvalidConfig`] naming the first offending
+    /// field.
+    pub fn validate(&self) -> Result<(), AuditError> {
+        let positives: [(u64, &'static str); 8] = [
+            (u64::from(self.modules), "modules"),
+            (u64::from(self.module.cores), "module.cores"),
+            (u64::from(self.module.fp_pipes), "module.fp_pipes"),
+            (u64::from(self.core.fetch_width), "core.fetch_width"),
+            (u64::from(self.core.issue_width), "core.issue_width"),
+            (u64::from(self.core.writeback_ports), "core.writeback_ports"),
+            (u64::from(self.core.retire_width), "core.retire_width"),
+            (u64::from(self.core.rob_size), "core.rob_size"),
+        ];
+        for (v, field) in positives {
+            if v == 0 {
+                return Err(AuditError::invalid(
+                    "ChipConfig",
+                    field,
+                    "must be at least 1 (got 0)",
+                ));
+            }
+        }
+        if !(self.clock_hz.is_finite() && self.clock_hz > 0.0) {
+            return Err(AuditError::invalid(
+                "ChipConfig",
+                "clock_hz",
+                format!("must be positive and finite (got {:?})", self.clock_hz),
+            ));
+        }
+        if let Some(l) = &self.didt_limiter {
+            if !(l.slew_amps_per_cycle.is_finite() && l.slew_amps_per_cycle > 0.0) {
+                return Err(AuditError::invalid(
+                    "ChipConfig",
+                    "didt_limiter.slew_amps_per_cycle",
+                    format!(
+                        "must be positive and finite (got {:?})",
+                        l.slew_amps_per_cycle
+                    ),
+                ));
+            }
+            if l.fetch_cap == 0 {
+                return Err(AuditError::invalid(
+                    "ChipConfig",
+                    "didt_limiter.fetch_cap",
+                    "must be at least 1 (got 0); use hold_cycles to modulate strength",
+                ));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -282,6 +341,34 @@ mod tests {
         assert_eq!(m.total_threads(), 16);
         assert_eq!(m.module.cores, 2);
         assert!(m.energy.uncore_amps > ChipConfig::bulldozer().energy.uncore_amps);
+    }
+
+    #[test]
+    fn presets_validate() {
+        ChipConfig::bulldozer().validate().unwrap();
+        ChipConfig::phenom().validate().unwrap();
+        ChipConfig::manycore().validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_zero_modules_and_bad_clock() {
+        let mut c = ChipConfig::bulldozer();
+        c.modules = 0;
+        let err = c.validate().unwrap_err();
+        assert!(err.to_string().contains("modules"), "{err}");
+
+        let mut c = ChipConfig::bulldozer();
+        c.clock_hz = f64::NAN;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_limiter() {
+        let mut limiter = DidtLimiter::default_tuning();
+        limiter.fetch_cap = 0;
+        let c = ChipConfig::bulldozer().with_didt_limiter(limiter);
+        let err = c.validate().unwrap_err();
+        assert!(err.to_string().contains("fetch_cap"), "{err}");
     }
 
     #[test]

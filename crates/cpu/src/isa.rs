@@ -374,6 +374,40 @@ impl Opcode {
         }
     }
 
+    /// Stable, unique identifier for this opcode — the variant name.
+    ///
+    /// Unlike [`Opcode::mnemonic`] (where `MovImm`, `Load`, and `Store`
+    /// all render as `mov`), these names round-trip through
+    /// [`Opcode::from_name`], which is what the run journal relies on.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Opcode::Nop => "Nop",
+            Opcode::MovImm => "MovImm",
+            Opcode::IAdd => "IAdd",
+            Opcode::ISub => "ISub",
+            Opcode::IXor => "IXor",
+            Opcode::Lea => "Lea",
+            Opcode::IMul => "IMul",
+            Opcode::IDiv => "IDiv",
+            Opcode::Load => "Load",
+            Opcode::Store => "Store",
+            Opcode::Branch => "Branch",
+            Opcode::FAdd => "FAdd",
+            Opcode::FMul => "FMul",
+            Opcode::Fma => "Fma",
+            Opcode::FDiv => "FDiv",
+            Opcode::SimdIAdd => "SimdIAdd",
+            Opcode::SimdFMul => "SimdFMul",
+            Opcode::SimdFma => "SimdFma",
+            Opcode::SimdShuffle => "SimdShuffle",
+        }
+    }
+
+    /// Inverse of [`Opcode::name`]. Returns `None` for unknown names.
+    pub fn from_name(name: &str) -> Option<Opcode> {
+        Opcode::ALL.into_iter().find(|op| op.name() == name)
+    }
+
     /// The high-power opcode menu AUDIT seeds its genetic search with by
     /// default: everything except NOP and branches.
     pub fn stress_menu() -> Vec<Opcode> {
@@ -460,5 +494,14 @@ mod tests {
         for op in Opcode::ALL {
             assert!(!op.mnemonic().is_empty());
         }
+    }
+
+    #[test]
+    fn names_round_trip_and_are_unique() {
+        for op in Opcode::ALL {
+            assert_eq!(Opcode::from_name(op.name()), Some(op));
+            assert_eq!(op.name(), format!("{op:?}"));
+        }
+        assert_eq!(Opcode::from_name("mov"), None);
     }
 }

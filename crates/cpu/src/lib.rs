@@ -33,7 +33,7 @@
 //! let body = vec![Inst::new(Opcode::FMul).fp_dst(0).fp_srcs(1, 2); 8];
 //! let program = Program::new("fp-loop", body);
 //! let config = ChipConfig::bulldozer();
-//! let placement = config.spread_placement(4); // 1 thread per module
+//! let placement = config.spread_placement(4).unwrap(); // 1 thread per module
 //! let programs = vec![program; 4];
 //! let mut chip = ChipSim::new(&config, &placement, &programs).unwrap();
 //! let out = chip.step();
@@ -55,8 +55,9 @@ pub mod module_sim;
 pub mod placement;
 
 pub use analysis::ProgramProfile;
+pub use audit_error::AuditError;
 pub use cache::{Cache, CacheConfig, Hierarchy, MemLevel};
-pub use chip::{ChipCycle, ChipError, ChipSim};
+pub use chip::{ChipCycle, ChipSim};
 pub use config::{ChipConfig, CoreConfig, DidtLimiter, ModuleConfig};
 pub use core_sim::{CoreTelemetry, StallReason};
 pub use energy::EnergyModel;

@@ -5,6 +5,7 @@
 //! droops larger when threads are spatially distributed); the 8T run
 //! fills both cores of every module.
 
+use audit_error::AuditError;
 use serde::{Deserialize, Serialize};
 
 use crate::config::ChipConfig;
@@ -24,39 +25,61 @@ pub struct Placement {
 impl Placement {
     /// Creates a placement from explicit slots.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `slots` is empty or contains duplicates.
-    pub fn new(slots: Vec<Slot>) -> Self {
-        assert!(
-            !slots.is_empty(),
-            "placement must contain at least one slot"
-        );
+    /// Returns [`AuditError::InvalidConfig`] if `slots` is empty or
+    /// contains duplicates.
+    pub fn new(slots: Vec<Slot>) -> Result<Self, AuditError> {
+        if slots.is_empty() {
+            return Err(AuditError::invalid(
+                "Placement",
+                "slots",
+                "must contain at least one slot",
+            ));
+        }
         for (i, a) in slots.iter().enumerate() {
             for b in &slots[i + 1..] {
-                assert_ne!(a, b, "duplicate placement slot {a:?}");
+                if a == b {
+                    return Err(AuditError::invalid(
+                        "Placement",
+                        "slots",
+                        format!("duplicate placement slot {a:?}"),
+                    ));
+                }
             }
         }
-        Placement { slots }
+        Ok(Placement { slots })
     }
 
     /// The paper's spreading policy: one thread per module first, then
     /// second cores.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `n` is zero or exceeds the chip's thread count.
-    pub fn spread(config: &ChipConfig, n: u32) -> Self {
-        assert!(n >= 1, "need at least one thread");
-        assert!(
-            n <= config.total_threads(),
-            "{n} threads exceed chip capacity {}",
-            config.total_threads()
-        );
+    /// Returns [`AuditError::InvalidConfig`] if `n` is zero or exceeds
+    /// the chip's thread count.
+    pub fn spread(config: &ChipConfig, n: u32) -> Result<Self, AuditError> {
+        if n == 0 {
+            return Err(AuditError::invalid(
+                "Placement",
+                "threads",
+                "need at least one thread",
+            ));
+        }
+        if n > config.total_threads() {
+            return Err(AuditError::invalid(
+                "Placement",
+                "threads",
+                format!(
+                    "{n} threads exceed chip capacity {}",
+                    config.total_threads()
+                ),
+            ));
+        }
         let slots = (0..n)
             .map(|i| (i % config.modules, i / config.modules))
             .collect();
-        Placement { slots }
+        Ok(Placement { slots })
     }
 
     /// The slots, in thread order.
@@ -85,7 +108,7 @@ mod tests {
     #[test]
     fn spread_fills_modules_first() {
         let c = ChipConfig::bulldozer();
-        let p = Placement::spread(&c, 4);
+        let p = Placement::spread(&c, 4).unwrap();
         assert_eq!(p.slots(), &[(0, 0), (1, 0), (2, 0), (3, 0)]);
         assert!(!p.shares_modules());
     }
@@ -93,21 +116,27 @@ mod tests {
     #[test]
     fn spread_eight_threads_shares_modules() {
         let c = ChipConfig::bulldozer();
-        let p = Placement::spread(&c, 8);
+        let p = Placement::spread(&c, 8).unwrap();
         assert_eq!(p.thread_count(), 8);
         assert!(p.shares_modules());
         assert_eq!(p.slots()[4], (0, 1));
     }
 
     #[test]
-    #[should_panic(expected = "exceed chip capacity")]
     fn spread_rejects_too_many_threads() {
-        let _ = Placement::spread(&ChipConfig::phenom(), 8);
+        let err = Placement::spread(&ChipConfig::phenom(), 8).unwrap_err();
+        assert!(err.to_string().contains("exceed chip capacity"), "{err}");
     }
 
     #[test]
-    #[should_panic(expected = "duplicate")]
-    fn new_rejects_duplicates() {
-        let _ = Placement::new(vec![(0, 0), (0, 0)]);
+    fn spread_rejects_zero_threads() {
+        assert!(Placement::spread(&ChipConfig::phenom(), 0).is_err());
+    }
+
+    #[test]
+    fn new_rejects_duplicates_and_empty() {
+        let err = Placement::new(vec![(0, 0), (0, 0)]).unwrap_err();
+        assert!(err.to_string().contains("duplicate"), "{err}");
+        assert!(Placement::new(vec![]).is_err());
     }
 }

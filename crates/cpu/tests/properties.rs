@@ -40,7 +40,7 @@ proptest! {
     #[test]
     fn random_programs_make_forward_progress(program in any_program()) {
         let cfg = ChipConfig::bulldozer();
-        let placement = cfg.spread_placement(1);
+        let placement = cfg.spread_placement(1).unwrap();
         let mut chip = ChipSim::new(&cfg, &placement, &[program]).unwrap();
         let mut max_amps = 0.0f64;
         for _ in 0..20_000 {
@@ -58,7 +58,7 @@ proptest! {
     #[test]
     fn ipc_respects_width(program in any_program()) {
         let cfg = ChipConfig::bulldozer();
-        let placement = cfg.spread_placement(1);
+        let placement = cfg.spread_placement(1).unwrap();
         let mut chip = ChipSim::new(&cfg, &placement, &[program]).unwrap();
         let cycles = 10_000u64;
         for _ in 0..cycles {
@@ -82,7 +82,7 @@ proptest! {
         let cfg = ChipConfig::bulldozer();
         let mut prev = 0.0;
         for n in [1u32, 2, 4] {
-            let placement = cfg.spread_placement(n);
+            let placement = cfg.spread_placement(n).unwrap();
             let programs = vec![program.clone(); n as usize];
             let mut chip = ChipSim::new(&cfg, &placement, &programs).unwrap();
             let mut total = 0.0;
@@ -99,7 +99,7 @@ proptest! {
     #[test]
     fn chip_is_deterministic(program in any_program()) {
         let cfg = ChipConfig::bulldozer();
-        let placement = cfg.spread_placement(2);
+        let placement = cfg.spread_placement(2).unwrap();
         let programs = vec![program.clone(), program];
         let run = || {
             let mut chip = ChipSim::new(&cfg, &placement, &programs).unwrap();
@@ -119,7 +119,7 @@ proptest! {
             )
         };
         let cfg = ChipConfig::bulldozer();
-        let placement = cfg.spread_placement(1);
+        let placement = cfg.spread_placement(1).unwrap();
         let avg = |p: Program| {
             let mut chip = ChipSim::new(&cfg, &placement, &[p]).unwrap();
             let mut total = 0.0;

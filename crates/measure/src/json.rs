@@ -1,0 +1,472 @@
+//! A small, dependency-free JSON value type with an exact `f64`
+//! round-trip — the wire format of the run journal.
+//!
+//! The offline build pins `serde` to a no-op stub (see
+//! `.verify-stubs/README.md`), so the journal cannot rely on derive
+//! macros: records are encoded and decoded by hand through [`JsonValue`].
+//! Two properties matter for the journal's bit-identical-resume
+//! guarantee:
+//!
+//! * **Exact floats.** Numbers are written with Rust's shortest-repr
+//!   formatting (`{:?}`), which round-trips every finite `f64` exactly.
+//!   Non-finite values, which JSON cannot express as numbers, are
+//!   encoded as the strings `"NaN"`, `"inf"`, and `"-inf"` and revived
+//!   by [`JsonValue::as_f64`].
+//! * **Deterministic output.** Object keys are kept in insertion order,
+//!   so encoding the same record twice yields byte-identical lines.
+
+use std::fmt::Write as _;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (always carried as `f64`; integers up to 2^53
+    /// survive exactly).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object, keys in insertion order.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Builds an object from key/value pairs (insertion order kept).
+    pub fn object(pairs: Vec<(&str, JsonValue)>) -> JsonValue {
+        JsonValue::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Encodes a float, mapping non-finite values to marker strings.
+    pub fn from_f64(v: f64) -> JsonValue {
+        if v.is_finite() {
+            JsonValue::Number(v)
+        } else if v.is_nan() {
+            JsonValue::String("NaN".into())
+        } else if v > 0.0 {
+            JsonValue::String("inf".into())
+        } else {
+            JsonValue::String("-inf".into())
+        }
+    }
+
+    /// Encodes an unsigned integer (exact up to 2^53).
+    pub fn from_u64(v: u64) -> JsonValue {
+        JsonValue::Number(v as f64)
+    }
+
+    /// Looks up a key in an object.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a float, reviving the non-finite markers written by
+    /// [`JsonValue::from_f64`].
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(v) => Some(*v),
+            JsonValue::String(s) => match s.as_str() {
+                "NaN" => Some(f64::NAN),
+                "inf" => Some(f64::INFINITY),
+                "-inf" => Some(f64::NEG_INFINITY),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer (rejects fractions).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Number(v) if *v >= 0.0 && v.fract() == 0.0 && *v <= 2f64.powi(53) => {
+                Some(*v as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Serializes to a single-line JSON string (no trailing newline).
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(true) => out.push_str("true"),
+            JsonValue::Bool(false) => out.push_str("false"),
+            JsonValue::Number(v) => {
+                // {:?} is Rust's shortest round-trip repr; integers get a
+                // trailing `.0` stripped so counters stay readable.
+                let s = format!("{v:?}");
+                out.push_str(s.strip_suffix(".0").unwrap_or(&s));
+            }
+            JsonValue::String(s) => write_string(out, s),
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(out, k);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses a complete JSON document. Trailing content is an error.
+    pub fn parse(text: &str) -> Result<JsonValue, JsonError> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(JsonError {
+                offset: pos,
+                message: "trailing content after document".into(),
+            });
+        }
+        Ok(value)
+    }
+}
+
+/// Parse failure with byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the failure in the input.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn err(offset: usize, message: impl Into<String>) -> JsonError {
+    JsonError {
+        offset,
+        message: message.into(),
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, JsonError> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(err(*pos, "unexpected end of input")),
+        Some(b'n') => parse_lit(bytes, pos, b"null", JsonValue::Null),
+        Some(b't') => parse_lit(bytes, pos, b"true", JsonValue::Bool(true)),
+        Some(b'f') => parse_lit(bytes, pos, b"false", JsonValue::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(JsonValue::String),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(JsonValue::Array(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Array(items));
+                    }
+                    _ => return Err(err(*pos, "expected `,` or `]` in array")),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut pairs = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(JsonValue::Object(pairs));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(err(*pos, "expected `:` after object key"));
+                }
+                *pos += 1;
+                let value = parse_value(bytes, pos)?;
+                pairs.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Object(pairs));
+                    }
+                    _ => return Err(err(*pos, "expected `,` or `}` in object")),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_lit(
+    bytes: &[u8],
+    pos: &mut usize,
+    lit: &[u8],
+    value: JsonValue,
+) -> Result<JsonValue, JsonError> {
+    if bytes[*pos..].starts_with(lit) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(err(*pos, "invalid literal"))
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(err(*pos, "expected string"));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(err(*pos, "unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| err(*pos, "truncated \\u escape"))?;
+                        let hex = std::str::from_utf8(hex)
+                            .map_err(|_| err(*pos, "non-ascii \\u escape"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| err(*pos, "bad \\u escape"))?;
+                        // Surrogates are not produced by our writer; map
+                        // them (and any invalid scalar) to U+FFFD.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(err(*pos, "bad escape")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Advance one UTF-8 scalar at a time.
+                let rest = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| err(*pos, "invalid utf-8 in string"))?;
+                let c = rest.chars().next().unwrap();
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, JsonError> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).unwrap();
+    text.parse::<f64>()
+        .map(JsonValue::Number)
+        .map_err(|_| err(start, format!("invalid number `{text}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        for text in ["null", "true", "false", "0", "-17", "3.25", "\"hi\""] {
+            let v = JsonValue::parse(text).unwrap();
+            assert_eq!(v.encode(), text);
+        }
+    }
+
+    #[test]
+    fn f64_round_trip_is_exact() {
+        for v in [
+            0.1,
+            1.0 / 3.0,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            -2.2250738585072014e-308,
+            1.2345678901234567,
+            -0.0,
+        ] {
+            let encoded = JsonValue::from_f64(v).encode();
+            let back = JsonValue::parse(&encoded).unwrap().as_f64().unwrap();
+            assert_eq!(v.to_bits(), back.to_bits(), "{v} -> {encoded} -> {back}");
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_use_markers() {
+        assert_eq!(JsonValue::from_f64(f64::NAN).encode(), "\"NaN\"");
+        assert_eq!(JsonValue::from_f64(f64::INFINITY).encode(), "\"inf\"");
+        assert_eq!(JsonValue::from_f64(f64::NEG_INFINITY).encode(), "\"-inf\"");
+        assert!(JsonValue::parse("\"NaN\"").unwrap().as_f64().unwrap().is_nan());
+        assert_eq!(
+            JsonValue::parse("\"-inf\"").unwrap().as_f64(),
+            Some(f64::NEG_INFINITY)
+        );
+    }
+
+    #[test]
+    fn objects_keep_insertion_order() {
+        let v = JsonValue::object(vec![
+            ("zebra", JsonValue::from_u64(1)),
+            ("alpha", JsonValue::from_u64(2)),
+        ]);
+        assert_eq!(v.encode(), "{\"zebra\":1,\"alpha\":2}");
+        let back = JsonValue::parse(&v.encode()).unwrap();
+        assert_eq!(back, v);
+        assert_eq!(back.get("alpha").unwrap().as_u64(), Some(2));
+    }
+
+    #[test]
+    fn nested_structures_round_trip() {
+        let text = r#"{"kind":"generation","pop":[["SimdFma",3,12,13,false],["IAdd",1,2,3,true]],"scores":[0.081,-0.5],"n":42}"#;
+        let v = JsonValue::parse(text).unwrap();
+        assert_eq!(v.encode(), text);
+        assert_eq!(v.get("kind").unwrap().as_str(), Some("generation"));
+        assert_eq!(v.get("n").unwrap().as_u64(), Some(42));
+        let pop = v.get("pop").unwrap().as_array().unwrap();
+        assert_eq!(pop.len(), 2);
+        assert_eq!(pop[0].as_array().unwrap()[0].as_str(), Some("SimdFma"));
+        assert_eq!(pop[1].as_array().unwrap()[4].as_bool(), Some(true));
+    }
+
+    #[test]
+    fn strings_escape_and_unescape() {
+        let s = "line1\nline2\t\"quoted\" \\ back \u{1}";
+        let encoded = JsonValue::String(s.into()).encode();
+        let back = JsonValue::parse(&encoded).unwrap();
+        assert_eq!(back.as_str(), Some(s));
+    }
+
+    #[test]
+    fn unicode_survives() {
+        let s = "π ≈ 3.14159 — μarch";
+        let encoded = JsonValue::String(s.into()).encode();
+        assert_eq!(JsonValue::parse(&encoded).unwrap().as_str(), Some(s));
+    }
+
+    #[test]
+    fn parse_errors_carry_offsets() {
+        assert!(JsonValue::parse("").is_err());
+        assert!(JsonValue::parse("{\"a\":}").is_err());
+        assert!(JsonValue::parse("[1,2").is_err());
+        assert!(JsonValue::parse("{\"a\":1} trailing").is_err());
+        let e = JsonValue::parse("nul").unwrap_err();
+        assert!(e.to_string().contains("byte"));
+    }
+
+    #[test]
+    fn as_u64_rejects_fractions_and_negatives() {
+        assert_eq!(JsonValue::Number(1.5).as_u64(), None);
+        assert_eq!(JsonValue::Number(-3.0).as_u64(), None);
+        assert_eq!(JsonValue::Number(7.0).as_u64(), Some(7));
+    }
+
+    #[test]
+    fn whitespace_is_tolerated() {
+        let v = JsonValue::parse(" { \"a\" : [ 1 , 2 ] , \"b\" : null } ").unwrap();
+        assert_eq!(v.encode(), "{\"a\":[1,2],\"b\":null}");
+    }
+}

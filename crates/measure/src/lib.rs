@@ -17,7 +17,10 @@
 //!   magnitude alone does not determine the failure point,
 //! * [`spectrum`] — FFT-based power spectra of captured traces, for
 //!   locating resonant energy in measurements,
-//! * [`traceio`] — CSV persistence for captured waveforms,
+//! * [`traceio`] — CSV persistence for captured waveforms and the
+//!   [`traceio::JournalReader`] for offline run-journal inspection,
+//! * [`json`] — the dependency-free JSON codec the run journal is
+//!   written with,
 //! * [`predictor`] — signature-based voltage-emergency prediction
 //!   (Reddi et al., the paper's reference \[22\]).
 
@@ -26,6 +29,7 @@
 
 pub mod failure;
 pub mod histogram;
+pub mod json;
 pub mod predictor;
 pub mod scope;
 pub mod spectrum;
@@ -34,6 +38,8 @@ pub mod traceio;
 
 pub use failure::{FailureModel, VoltageAtFailure};
 pub use histogram::Histogram;
+pub use json::{JsonError, JsonValue};
 pub use scope::Oscilloscope;
 pub use spectrum::SpectralLine;
 pub use stats::DroopStats;
+pub use traceio::JournalReader;

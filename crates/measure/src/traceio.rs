@@ -1,11 +1,20 @@
-//! Trace persistence: CSV export/import for captured waveforms.
+//! Trace persistence: CSV export/import for captured waveforms, plus an
+//! offline reader for NDJSON run journals.
 //!
 //! Lab workflows archive scope captures; the reproduction does the same
 //! so traces can be post-processed outside the simulator (plotted,
 //! diffed across runs, or replayed through alternative PDN models). The
-//! format is deliberately plain: a header line, then one row per sample.
+//! CSV format is deliberately plain: a header line, then one row per
+//! sample. Run journals (see `docs/RUN_JOURNAL.md`) are newline-delimited
+//! JSON; [`JournalReader`] iterates their records without interpreting
+//! them, tolerating the torn final line a crash can leave behind.
 
 use std::io::{self, BufRead, Write};
+use std::path::Path;
+
+use audit_error::AuditError;
+
+use crate::json::JsonValue;
 
 /// Writes a trace as two-column CSV (`cycle,value`).
 ///
@@ -91,6 +100,111 @@ pub fn read_csv<R: BufRead>(r: R) -> Result<Vec<f64>, TraceReadError> {
     Ok(out)
 }
 
+/// Offline reader for NDJSON run journals.
+///
+/// Each journal line is one JSON object with a `"kind"` field. The
+/// reader is schema-agnostic: it hands back [`JsonValue`]s so tools can
+/// inspect journals written by newer builds. A torn final line (the
+/// signature of a crash mid-append under non-atomic writers) is *not* an
+/// error — it is dropped and remembered in [`JournalReader::torn_tail`].
+///
+/// # Example
+///
+/// ```
+/// use audit_measure::traceio::JournalReader;
+///
+/// let text = "{\"kind\":\"run_start\",\"schema\":1}\n{\"kind\":\"gener";
+/// let reader = JournalReader::parse(text).unwrap();
+/// assert_eq!(reader.records().len(), 1);
+/// assert!(reader.torn_tail());
+/// assert_eq!(reader.kinds(), vec!["run_start"]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct JournalReader {
+    records: Vec<JsonValue>,
+    torn_tail: bool,
+}
+
+impl JournalReader {
+    /// Reads a journal file from disk.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuditError::Io`] if the file cannot be read, or
+    /// [`AuditError::Journal`] if a non-final line is malformed.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, AuditError> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| AuditError::io(path.display(), &e))?;
+        Self::parse(&text)
+    }
+
+    /// Parses journal text (one JSON object per line).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuditError::Journal`] naming the 1-based line if any
+    /// line other than the last fails to parse, or if a parsed record is
+    /// not an object with a string `"kind"`.
+    pub fn parse(text: &str) -> Result<Self, AuditError> {
+        let lines: Vec<&str> = text
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty())
+            .collect();
+        let mut records = Vec::with_capacity(lines.len());
+        let mut torn_tail = false;
+        for (idx, line) in lines.iter().enumerate() {
+            match JsonValue::parse(line) {
+                Ok(record) => {
+                    if record.get("kind").and_then(JsonValue::as_str).is_none() {
+                        return Err(AuditError::journal(
+                            idx + 1,
+                            "record is not an object with a string `kind`",
+                        ));
+                    }
+                    records.push(record);
+                }
+                Err(e) if idx + 1 == lines.len() => {
+                    // Crash tail: an interrupted append leaves a partial
+                    // final line. Recoverable by construction.
+                    let _ = e;
+                    torn_tail = true;
+                }
+                Err(e) => return Err(AuditError::journal(idx + 1, e.to_string())),
+            }
+        }
+        Ok(JournalReader { records, torn_tail })
+    }
+
+    /// All complete records, in journal order.
+    pub fn records(&self) -> &[JsonValue] {
+        &self.records
+    }
+
+    /// True if the final line was torn (partial write before a crash).
+    pub fn torn_tail(&self) -> bool {
+        self.torn_tail
+    }
+
+    /// The `"kind"` of every record, in order — the quickest way to see
+    /// a run's shape (`run_start`, phases, generations, `run_end`).
+    pub fn kinds(&self) -> Vec<&str> {
+        self.records
+            .iter()
+            .filter_map(|r| r.get("kind").and_then(JsonValue::as_str))
+            .collect()
+    }
+
+    /// Records of one kind, in order (e.g. `"generation"`).
+    pub fn of_kind(&self, kind: &str) -> Vec<&JsonValue> {
+        self.records
+            .iter()
+            .filter(|r| r.get("kind").and_then(JsonValue::as_str) == Some(kind))
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,5 +249,56 @@ mod tests {
     fn error_display_is_informative() {
         let e = TraceReadError::Malformed { line: 7 };
         assert_eq!(e.to_string(), "malformed trace row at line 7");
+    }
+
+    #[test]
+    fn journal_reader_iterates_records() {
+        let text = concat!(
+            "{\"kind\":\"run_start\",\"schema\":1,\"mode\":\"ga\"}\n",
+            "{\"kind\":\"generation\",\"index\":0}\n",
+            "{\"kind\":\"generation\",\"index\":1}\n",
+            "{\"kind\":\"run_end\"}\n",
+        );
+        let r = JournalReader::parse(text).unwrap();
+        assert!(!r.torn_tail());
+        assert_eq!(
+            r.kinds(),
+            vec!["run_start", "generation", "generation", "run_end"]
+        );
+        let gens = r.of_kind("generation");
+        assert_eq!(gens.len(), 2);
+        assert_eq!(gens[1].get("index").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn journal_reader_tolerates_torn_tail_only() {
+        let torn = "{\"kind\":\"run_start\",\"schema\":1}\n{\"kind\":\"gen";
+        let r = JournalReader::parse(torn).unwrap();
+        assert!(r.torn_tail());
+        assert_eq!(r.records().len(), 1);
+
+        // A malformed line in the *middle* is a real error.
+        let bad = "{\"kind\":\"run_start\"}\n{broken\n{\"kind\":\"run_end\"}\n";
+        let err = JournalReader::parse(bad).unwrap_err();
+        assert!(err.to_string().contains("record 2"), "{err}");
+    }
+
+    #[test]
+    fn journal_reader_rejects_kindless_records() {
+        let err = JournalReader::parse("{\"schema\":1}\n{\"kind\":\"x\"}\n").unwrap_err();
+        assert!(err.to_string().contains("kind"), "{err}");
+    }
+
+    #[test]
+    fn journal_reader_open_reports_missing_file() {
+        let err = JournalReader::open("/nonexistent/journal.ndjson").unwrap_err();
+        assert!(err.to_string().contains("/nonexistent/journal.ndjson"));
+    }
+
+    #[test]
+    fn empty_journal_is_empty_not_an_error() {
+        let r = JournalReader::parse("").unwrap();
+        assert!(r.records().is_empty());
+        assert!(!r.torn_tail());
     }
 }

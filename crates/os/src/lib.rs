@@ -225,7 +225,7 @@ mod tests {
 
     fn chip(n: u32) -> ChipSim {
         let cfg = ChipConfig::bulldozer();
-        let placement = cfg.spread_placement(n);
+        let placement = cfg.spread_placement(n).unwrap();
         let programs = vec![Program::nops(16); n as usize];
         ChipSim::new(&cfg, &placement, &programs).unwrap()
     }

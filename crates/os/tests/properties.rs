@@ -6,7 +6,7 @@ use proptest::prelude::*;
 
 fn chip(n: u32) -> ChipSim {
     let cfg = ChipConfig::bulldozer();
-    let placement = cfg.spread_placement(n);
+    let placement = cfg.spread_placement(n).unwrap();
     ChipSim::new(&cfg, &placement, &vec![Program::nops(16); n as usize]).unwrap()
 }
 

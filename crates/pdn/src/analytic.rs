@@ -158,7 +158,9 @@ mod tests {
         // Board/package stages huge C + tiny L ⇒ ideal source feed.
         let transparent = PdnStage::new(1e-15, 1e-9, 10.0, 1e-9);
         let die = PdnStage::new(0.65e-12, 0.03e-3, 3.9e-6, 1e-12);
-        let pdn = PdnModel::new(
+        // `new_unchecked`: the transparent stages are deliberately
+        // degenerate and would fail validation.
+        let pdn = PdnModel::new_unchecked(
             1.2,
             crate::loadline::LoadLine::disabled(),
             [transparent, transparent, die],

@@ -50,5 +50,6 @@ pub mod trapezoidal;
 pub use complex::Complex;
 pub use impedance::{ImpedanceSweep, Resonance};
 pub use loadline::LoadLine;
-pub use model::{PdnError, PdnModel, PdnStage};
+pub use audit_error::AuditError;
+pub use model::{PdnModel, PdnStage};
 pub use transient::Transient;

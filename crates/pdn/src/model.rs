@@ -9,9 +9,7 @@
 //! stage's inductance with the next capacitor downstream produces the
 //! first/second/third droop resonances described in §2 of the paper.
 
-use std::error::Error;
-use std::fmt;
-
+use audit_error::AuditError;
 use serde::{Deserialize, Serialize};
 
 use crate::loadline::LoadLine;
@@ -63,41 +61,11 @@ impl PdnStage {
     }
 }
 
-/// Error returned when a [`PdnModel`] fails validation.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum PdnError {
-    /// A stage parameter was zero, negative, or non-finite.
-    InvalidStage {
-        /// Index of the offending stage (0 = board, 1 = package, 2 = die).
-        stage: usize,
-        /// Name of the offending field.
-        field: &'static str,
-    },
-    /// The nominal supply voltage was not a positive finite number.
-    InvalidVoltage,
-}
-
-impl fmt::Display for PdnError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            PdnError::InvalidStage { stage, field } => {
-                write!(
-                    f,
-                    "stage {stage} has a non-positive or non-finite `{field}`"
-                )
-            }
-            PdnError::InvalidVoltage => write!(f, "nominal voltage must be positive and finite"),
-        }
-    }
-}
-
-impl Error for PdnError {}
-
 /// Full PDN description: VRM + three ladder stages.
 ///
 /// Build one with a preset ([`PdnModel::bulldozer_board`],
-/// [`PdnModel::phenom_board`]) or configure stages directly and call
-/// [`PdnModel::validate`].
+/// [`PdnModel::phenom_board`]) or configure stages directly with the
+/// validating [`PdnModel::new`].
 ///
 /// # Example
 ///
@@ -117,12 +85,33 @@ pub struct PdnModel {
 }
 
 impl PdnModel {
-    /// Creates a model from explicit stages.
+    /// Creates a model from explicit stages, validating every parameter.
     ///
     /// `stages[0]` is the motherboard, `stages[1]` the package,
-    /// `stages[2]` the die attach. Use [`PdnModel::validate`] before
-    /// simulating a hand-built model.
-    pub fn new(nominal_voltage: f64, load_line: LoadLine, stages: [PdnStage; 3]) -> Self {
+    /// `stages[2]` the die attach.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuditError::InvalidConfig`] naming the first offending
+    /// stage/field, or an invalid nominal voltage.
+    pub fn new(
+        nominal_voltage: f64,
+        load_line: LoadLine,
+        stages: [PdnStage; 3],
+    ) -> Result<Self, AuditError> {
+        let pdn = Self::new_unchecked(nominal_voltage, load_line, stages);
+        pdn.validate()?;
+        Ok(pdn)
+    }
+
+    /// Creates a model from explicit stages without validation — for
+    /// presets and callers that deliberately build degenerate networks
+    /// (e.g. electrically transparent stages in solver tests).
+    pub const fn new_unchecked(
+        nominal_voltage: f64,
+        load_line: LoadLine,
+        stages: [PdnStage; 3],
+    ) -> Self {
         PdnModel {
             nominal_voltage,
             load_line,
@@ -233,12 +222,20 @@ impl PdnModel {
     ///
     /// # Errors
     ///
-    /// Returns [`PdnError::InvalidStage`] naming the first offending
-    /// stage/field, or [`PdnError::InvalidVoltage`].
-    pub fn validate(&self) -> Result<(), PdnError> {
+    /// Returns [`AuditError::InvalidConfig`] naming the first offending
+    /// stage/field (as `stages[i].<field>`) or the nominal voltage.
+    pub fn validate(&self) -> Result<(), AuditError> {
         if !(self.nominal_voltage.is_finite() && self.nominal_voltage > 0.0) {
-            return Err(PdnError::InvalidVoltage);
+            return Err(AuditError::invalid(
+                "PdnModel",
+                "nominal_voltage",
+                format!(
+                    "must be positive and finite (got {:?})",
+                    self.nominal_voltage
+                ),
+            ));
         }
+        const STAGE_FIELDS: [&str; 3] = ["stages[0]", "stages[1]", "stages[2]"];
         for (i, s) in self.stages.iter().enumerate() {
             let fields = [
                 (s.series_l, "series_l"),
@@ -248,10 +245,11 @@ impl PdnModel {
             ];
             for (v, name) in fields {
                 if !(v.is_finite() && v > 0.0) {
-                    return Err(PdnError::InvalidStage {
-                        stage: i,
-                        field: name,
-                    });
+                    return Err(AuditError::invalid(
+                        "PdnModel",
+                        STAGE_FIELDS[i],
+                        format!("{name} must be positive and finite (got {v:?})"),
+                    ));
                 }
             }
         }
@@ -306,19 +304,35 @@ mod tests {
     #[test]
     fn validate_rejects_zero_inductance() {
         let bad = PdnModel::bulldozer_board().with_stage(1, PdnStage::new(0.0, 1e-3, 1e-6, 1e-3));
-        assert_eq!(
-            bad.validate(),
-            Err(PdnError::InvalidStage {
-                stage: 1,
-                field: "series_l"
-            })
-        );
+        let err = bad.validate().unwrap_err();
+        match &err {
+            AuditError::InvalidConfig { context, field, message } => {
+                assert_eq!(*context, "PdnModel");
+                assert_eq!(*field, "stages[1]");
+                assert!(message.contains("series_l"), "message = {message}");
+            }
+            other => panic!("unexpected error: {other:?}"),
+        }
     }
 
     #[test]
     fn validate_rejects_nan_voltage() {
         let bad = PdnModel::bulldozer_board().with_nominal_voltage(f64::NAN);
-        assert_eq!(bad.validate(), Err(PdnError::InvalidVoltage));
+        let err = bad.validate().unwrap_err();
+        assert!(err.to_string().contains("nominal_voltage"), "err = {err}");
+    }
+
+    #[test]
+    fn new_validates_and_new_unchecked_does_not() {
+        let stages = *PdnModel::bulldozer_board().stages();
+        let ok = PdnModel::new(1.2, LoadLine::disabled(), stages).unwrap();
+        assert_eq!(ok, PdnModel::bulldozer_board().with_nominal_voltage(1.2));
+
+        let mut bad_stages = stages;
+        bad_stages[2].shunt_c = -1.0;
+        assert!(PdnModel::new(1.2, LoadLine::disabled(), bad_stages).is_err());
+        // The unchecked constructor accepts the same degenerate input.
+        let _ = PdnModel::new_unchecked(1.2, LoadLine::disabled(), bad_stages);
     }
 
     #[test]
@@ -331,12 +345,10 @@ mod tests {
 
     #[test]
     fn error_display_is_lowercase_and_concise() {
-        let e = PdnError::InvalidStage {
-            stage: 2,
-            field: "shunt_c",
-        };
-        let msg = e.to_string();
-        assert!(msg.starts_with("stage 2"));
+        let bad =
+            PdnModel::bulldozer_board().with_stage(2, PdnStage::new(1e-12, 1e-3, 0.0, 1e-3));
+        let msg = bad.validate().unwrap_err().to_string();
+        assert!(msg.contains("stages[2]"), "msg = {msg}");
         assert!(!msg.ends_with('.'));
     }
 }

@@ -14,7 +14,7 @@ fn main() {
     let spec = MeasureSpec::ga_eval();
 
     // SM1 simply does not run on the older part (FMA4-class ops).
-    let placement = rig.placement(1);
+    let placement = rig.placement(1).unwrap();
     match ChipSim::new(&rig.chip, &placement, &[manual::sm1()]) {
         Err(e) => println!("SM1: {e}"),
         Ok(_) => println!("SM1 unexpectedly ran"),

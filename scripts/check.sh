@@ -4,9 +4,36 @@
 # Fails on:
 #   - any rustdoc warning (missing docs are warnings in every crate, so
 #     RUSTDOCFLAGS turns them fatal),
-#   - any clippy lint across all targets.
+#   - any clippy lint across all targets,
+#   - any drift of the public API surface from the checked-in
+#     api-surface.txt snapshot (run `scripts/check.sh --bless-api`
+#     after an *intentional* API change and commit the diff).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# One line per `pub` item across the workspace's library sources,
+# normalized (signatures truncated at the line break — this is a drift
+# detector, not a parser) and sorted deterministically.
+api_surface() {
+    grep -rE '^[[:space:]]*pub (fn|struct|enum|trait|mod|const|type|use|static)' \
+        crates/*/src --include='*.rs' \
+        | sed -E 's/:[[:space:]]+/: /; s/[[:space:]]+/ /g; s/ \{.*$//; s/;.*$//; s/ ->.*$//; s/[[:space:]]+$//' \
+        | LC_ALL=C sort
+}
+
+if [[ "${1:-}" == "--bless-api" ]]; then
+    api_surface > api-surface.txt
+    echo "blessed $(wc -l < api-surface.txt) public items into api-surface.txt"
+    exit 0
+fi
+
+echo "==> public API surface (vs api-surface.txt)"
+if ! diff -u api-surface.txt <(api_surface); then
+    echo "public API surface drifted; review the diff above and run" >&2
+    echo "  scripts/check.sh --bless-api" >&2
+    echo "if the change is intentional." >&2
+    exit 1
+fi
 
 echo "==> cargo doc (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --document-private-items

@@ -75,11 +75,11 @@ fn fpu_throttling_suppresses_resonant_stressmark() {
 #[test]
 fn sm1_rejected_on_phenom_and_accepted_on_bulldozer() {
     let phenom = ChipConfig::phenom();
-    let err = ChipSim::new(&phenom, &phenom.spread_placement(1), &[manual::sm1()]);
+    let err = ChipSim::new(&phenom, &phenom.spread_placement(1).unwrap(), &[manual::sm1()]);
     assert!(err.is_err(), "SM1 must not run on the Phenom-class part");
 
     let bd = ChipConfig::bulldozer();
-    assert!(ChipSim::new(&bd, &bd.spread_placement(1), &[manual::sm1()]).is_ok());
+    assert!(ChipSim::new(&bd, &bd.spread_placement(1).unwrap(), &[manual::sm1()]).is_ok());
 }
 
 #[test]
@@ -135,7 +135,7 @@ fn all_workloads_run_and_draw_distinct_power() {
 #[test]
 fn eight_thread_placement_reaches_every_module_core() {
     let cfg = ChipConfig::bulldozer();
-    let placement = cfg.spread_placement(8);
+    let placement = cfg.spread_placement(8).unwrap();
     let mut seen = std::collections::HashSet::new();
     for slot in placement.slots() {
         seen.insert(*slot);
