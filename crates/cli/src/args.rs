@@ -47,6 +47,9 @@ const VALUE_FLAGS: &[&str] = &[
     "--save",
     "--checkpoint",
     "--resume",
+    "--builtin",
+    "--allow",
+    "--deny",
 ];
 
 impl Args {

@@ -2,12 +2,15 @@
 
 use std::fs;
 
+use audit_analyze::{check, Code, Diagnostic, LintConfig, Severity, VerifyTarget};
 use audit_core::audit::{Audit, StressmarkRun};
 use audit_core::journal::{Journal, JournalWriter};
 use audit_core::report::{journal_summary, mv, Table};
 use audit_core::resonance;
 use audit_core::AuditError;
-use audit_stressmark::{nasm, workloads};
+use audit_cpu::{ChipConfig, Program};
+use audit_measure::json::JsonValue;
+use audit_stressmark::{manual, nasm, progfile, workloads};
 
 use crate::args::{ArgError, Args};
 use crate::platform;
@@ -51,6 +54,13 @@ USAGE:
   audit failure    (--workload NAME | --stressmark NAME | --file X.prog)
                    [--threads N] [--chip C] [--throttle N] [--fast]
       Lower Vdd in 12.5 mV steps until the part fails.
+
+  audit lint       (<file.prog> | --builtin NAME | --all-builtins)
+                   [--chip bulldozer|phenom] [--json] [--deny-warnings]
+                   [--allow AUD###[,..]] [--deny AUD###[,..]]
+      Statically verify and lint a stressmark. File diagnostics carry
+      source line numbers; --chip also checks chip capabilities (e.g.
+      FMA on Phenom). Exits non-zero on any error-level finding.
 
   audit list
       List available workloads and manual stressmarks.
@@ -258,6 +268,219 @@ pub fn failure(args: &Args) -> Result<(), ArgError> {
     Ok(())
 }
 
+/// One analyzed program: its diagnostics plus an optional body-index →
+/// source-line table (present only for `.prog` files).
+struct LintReport {
+    name: String,
+    diags: Vec<Diagnostic>,
+    spans: Option<Vec<usize>>,
+}
+
+/// Every built-in program `--all-builtins` covers: the synthetic
+/// workload suites plus the paper's manual stressmarks.
+fn all_builtins() -> Vec<Program> {
+    let mut programs: Vec<Program> = workloads::spec2006()
+        .iter()
+        .chain(workloads::parsec().iter())
+        .map(|w| w.synthesize(4_000, 1))
+        .collect();
+    programs.extend([
+        manual::sm1(),
+        manual::sm2(),
+        manual::sm_res(),
+        manual::barrier_burst(),
+    ]);
+    programs
+}
+
+/// Looks a `--builtin NAME` up among workloads and manual stressmarks.
+fn builtin_by_name(name: &str) -> Result<Program, ArgError> {
+    if let Some(w) = workloads::by_name(name) {
+        return Ok(w.synthesize(4_000, 1));
+    }
+    platform::stressmark_by_name(name)
+        .ok_or_else(|| ArgError(format!("unknown builtin `{name}` (see `audit list`)")))
+}
+
+/// Parses a comma-separated `--allow`/`--deny` code list.
+fn codes_from(list: &str, flag: &str) -> Result<Vec<Code>, ArgError> {
+    list.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            Code::parse(s).ok_or_else(|| ArgError(format!("{flag}: unknown code `{s}`")))
+        })
+        .collect()
+}
+
+fn diag_to_json(d: &Diagnostic, spans: Option<&[usize]>) -> JsonValue {
+    let mut fields = vec![
+        ("code", JsonValue::String(d.code.as_str().to_string())),
+        (
+            "severity",
+            JsonValue::String(
+                match d.severity {
+                    Severity::Warning => "warning",
+                    Severity::Error => "error",
+                }
+                .to_string(),
+            ),
+        ),
+        ("message", JsonValue::String(d.message.clone())),
+    ];
+    if let Some(i) = d.inst_index {
+        fields.push(("inst", JsonValue::from_u64(i as u64)));
+        if let Some(line) = spans.and_then(|s| s.get(i)) {
+            fields.push(("line", JsonValue::from_u64(*line as u64)));
+        }
+    }
+    if let Some(help) = &d.help {
+        fields.push(("help", JsonValue::String(help.clone())));
+    }
+    JsonValue::object(fields)
+}
+
+fn print_report(report: &LintReport, json: bool) {
+    if json {
+        let value = JsonValue::object(vec![
+            ("program", JsonValue::String(report.name.clone())),
+            (
+                "diagnostics",
+                JsonValue::Array(
+                    report
+                        .diags
+                        .iter()
+                        .map(|d| diag_to_json(d, report.spans.as_deref()))
+                        .collect(),
+                ),
+            ),
+        ]);
+        println!("{}", value.encode());
+        return;
+    }
+    if report.diags.is_empty() {
+        println!("{}: clean", report.name);
+        return;
+    }
+    println!("{}:", report.name);
+    for d in &report.diags {
+        let location = match (d.inst_index, &report.spans) {
+            (Some(i), Some(spans)) => spans
+                .get(i)
+                .map(|line| format!("line {line}"))
+                .unwrap_or_else(|| format!("inst {i}")),
+            (Some(i), None) => format!("inst {i}"),
+            (None, _) => "program".to_string(),
+        };
+        let severity = match d.severity {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        };
+        println!("  {} {severity} [{location}]: {}", d.code, d.message);
+        if let Some(help) = &d.help {
+            println!("    help: {help}");
+        }
+    }
+}
+
+/// `audit lint`.
+pub fn lint(args: &Args) -> Result<(), ArgError> {
+    let builtin = args.opt_flag("--builtin");
+    let all = args.bool_flag("--all-builtins");
+    let chip = args.opt_flag("--chip");
+    let json = args.bool_flag("--json");
+    let deny_warnings = args.bool_flag("--deny-warnings");
+    let allow = args.opt_flag("--allow");
+    let deny = args.opt_flag("--deny");
+    let file = args.positionals().get(1).cloned();
+    args.reject_unknown()?;
+
+    // Without --chip the structural target is permissive: chip
+    // capability findings (AUD003) only make sense against a chip.
+    let target = match chip.as_deref() {
+        None => VerifyTarget::permissive(),
+        Some("bulldozer") => VerifyTarget::for_chip(&ChipConfig::bulldozer()),
+        Some("phenom") => VerifyTarget::for_chip(&ChipConfig::phenom()),
+        Some(other) => {
+            return Err(ArgError(format!(
+                "unknown chip `{other}` (expected bulldozer or phenom)"
+            )))
+        }
+    };
+    let mut lints = LintConfig::new();
+    if let Some(list) = allow {
+        for code in codes_from(&list, "--allow")? {
+            lints = lints.allow(code);
+        }
+    }
+    if let Some(list) = deny {
+        for code in codes_from(&list, "--deny")? {
+            lints = lints.deny(code);
+        }
+    }
+
+    let reports: Vec<LintReport> = match (&file, &builtin, all) {
+        (Some(path), None, false) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| ArgError(format!("reading {path}: {e}")))?;
+            let (program, spans) =
+                progfile::parse_spanned(&text).map_err(|e| ArgError(format!("{path}: {e}")))?;
+            vec![LintReport {
+                name: path.clone(),
+                diags: check(&program, &target, &lints),
+                spans: Some(spans),
+            }]
+        }
+        (None, Some(name), false) => {
+            let program = builtin_by_name(name)?;
+            vec![LintReport {
+                name: program.name().to_string(),
+                diags: check(&program, &target, &lints),
+                spans: None,
+            }]
+        }
+        (None, None, true) => all_builtins()
+            .iter()
+            .map(|p| LintReport {
+                name: p.name().to_string(),
+                diags: check(p, &target, &lints),
+                spans: None,
+            })
+            .collect(),
+        (None, None, false) => {
+            return Err(ArgError(
+                "need a <file.prog>, --builtin <name>, or --all-builtins".into(),
+            ))
+        }
+        _ => {
+            return Err(ArgError(
+                "give exactly one of <file.prog>, --builtin, or --all-builtins".into(),
+            ))
+        }
+    };
+
+    for report in &reports {
+        print_report(report, json);
+    }
+
+    let errors = reports
+        .iter()
+        .flat_map(|r| &r.diags)
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    let warnings = reports
+        .iter()
+        .flat_map(|r| &r.diags)
+        .filter(|d| d.severity == Severity::Warning)
+        .count();
+    if errors > 0 || (deny_warnings && warnings > 0) {
+        return Err(ArgError(format!(
+            "lint failed: {errors} error(s), {warnings} warning(s)"
+        )));
+    }
+    Ok(())
+}
+
 /// `audit list`.
 pub fn list(args: &Args) -> Result<(), ArgError> {
     args.reject_unknown()?;
@@ -297,4 +520,78 @@ pub fn spice(args: &Args) -> Result<(), ArgError> {
     fs::write(&out, deck).map_err(|e| ArgError(format!("writing {out}: {e}")))?;
     println!("captured {} samples; wrote {out}", m.current_trace.len());
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Args;
+
+    fn parse(words: &[&str]) -> Args {
+        Args::parse(words.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn every_builtin_lints_clean() {
+        // The self-lint gate: shipping workloads and manual stressmarks
+        // must be clean under the default configuration.
+        let target = VerifyTarget::permissive();
+        let lints = LintConfig::new();
+        for program in all_builtins() {
+            let diags = check(&program, &target, &lints);
+            assert!(diags.is_empty(), "{}: {diags:?}", program.name());
+        }
+    }
+
+    #[test]
+    fn lint_all_builtins_succeeds() {
+        assert!(lint(&parse(&["lint", "--all-builtins"])).is_ok());
+    }
+
+    #[test]
+    fn lint_requires_exactly_one_selector() {
+        assert!(lint(&parse(&["lint"])).is_err());
+        assert!(lint(&parse(&["lint", "x.prog", "--all-builtins"])).is_err());
+        assert!(lint(&parse(&["lint", "--builtin", "sm1", "--all-builtins"])).is_err());
+    }
+
+    #[test]
+    fn lint_builtin_lookup() {
+        assert!(lint(&parse(&["lint", "--builtin", "SM-Res"])).is_ok());
+        assert!(lint(&parse(&["lint", "--builtin", "zeusmp"])).is_ok());
+        let err = lint(&parse(&["lint", "--builtin", "crysis"])).unwrap_err();
+        assert!(err.to_string().contains("crysis"));
+    }
+
+    #[test]
+    fn lint_rejects_bad_code_lists_and_chips() {
+        let err = lint(&parse(&["lint", "--all-builtins", "--deny", "AUD999"])).unwrap_err();
+        assert!(err.to_string().contains("AUD999"));
+        let err = lint(&parse(&["lint", "--all-builtins", "--chip", "epyc"])).unwrap_err();
+        assert!(err.to_string().contains("epyc"));
+    }
+
+    #[test]
+    fn codes_from_parses_comma_lists() {
+        let codes = codes_from("AUD101, AUD104", "--allow").unwrap();
+        assert_eq!(codes, vec![Code::DeadValue, Code::SerializingDivide]);
+        assert!(codes_from("bogus", "--allow").is_err());
+    }
+
+    #[test]
+    fn diag_json_carries_line_numbers() {
+        let d = Diagnostic::new(
+            Code::RegisterOutOfRange,
+            Severity::Error,
+            Some(1),
+            "register r20 outside the 16-entry file",
+        );
+        let v = diag_to_json(&d, Some(&[4, 9]));
+        assert_eq!(v.get("code").and_then(JsonValue::as_str), Some("AUD002"));
+        assert_eq!(v.get("line").and_then(JsonValue::as_f64), Some(9.0));
+        // Without spans there is no line, but the body index survives.
+        let v = diag_to_json(&d, None);
+        assert!(v.get("line").is_none());
+        assert_eq!(v.get("inst").and_then(JsonValue::as_f64), Some(1.0));
+    }
 }

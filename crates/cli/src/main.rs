@@ -10,6 +10,8 @@
 //! audit measure    (--workload NAME | --stressmark NAME) [--threads N]
 //!                  [--chip C] [--volts V] [--throttle N] [--cycles N] [--fast]
 //! audit failure    (--workload NAME | --stressmark NAME) [--threads N] [--chip C] [--fast]
+//! audit lint       (<file.prog> | --builtin NAME | --all-builtins)
+//!                  [--chip C] [--json] [--deny-warnings] [--allow AUD###] [--deny AUD###]
 //! audit list
 //! audit spice      [--chip C] [--out file.sp] [--cycles N]
 //! ```
@@ -44,6 +46,7 @@ fn run(raw: Vec<String>) -> Result<(), String> {
         "generate" => commands::generate(&parsed),
         "measure" => commands::measure(&parsed),
         "failure" => commands::failure(&parsed),
+        "lint" => commands::lint(&parsed),
         "list" => commands::list(&parsed),
         "spice" => commands::spice(&parsed),
         "help" | "--help" | "-h" => {

@@ -39,8 +39,10 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use super::genome::Gene;
-use crate::journal::{GenerationRecord, Journal, JournalRecord, JournalSink, NullSink};
+use audit_analyze::{swing_score, MachineModel};
+
+use super::genome::{to_sub_block, Gene};
+use crate::journal::{GenerationAnalysis, GenerationRecord, Journal, JournalRecord, JournalSink, NullSink};
 
 /// GA hyper-parameters.
 ///
@@ -79,6 +81,15 @@ pub struct GaConfig {
     /// wholesale — a deterministic policy that keeps lookups transparent.
     #[serde(default = "default_cache_capacity")]
     pub cache_capacity: usize,
+    /// Order fitness evaluations by the static analyzer's current-swing
+    /// surrogate (`audit_analyze::swing_score`), most promising first.
+    /// Purely a *scheduling* hint: every cache miss is still evaluated
+    /// exactly once and scores land in their population slot by index,
+    /// so results are bit-identical with the flag on or off — it only
+    /// changes which candidates reach the measurement harness earliest
+    /// (useful when a wall-clock budget may cut a run short).
+    #[serde(default)]
+    pub surrogate_rank: bool,
 }
 
 fn default_threads() -> usize {
@@ -102,6 +113,7 @@ impl Default for GaConfig {
             seed: 0xA0D17,
             threads: default_threads(),
             cache_capacity: default_cache_capacity(),
+            surrogate_rank: false,
         }
     }
 }
@@ -578,8 +590,15 @@ fn run_ga<F: Fn(&[Gene]) -> f64 + Sync>(
                     .collect(),
             );
         }
-        scores =
-            evaluate_population(&population, &fitness, &mut cache, workers, &mut telemetry);
+        debug_verify_population(&population);
+        scores = evaluate_population(
+            &population,
+            &fitness,
+            &mut cache,
+            workers,
+            cfg.surrogate_rank,
+            &mut telemetry,
+        );
         append_generation(sink, cfg, 0, &population, &scores, &telemetry)?;
 
         let best_idx = argmax(&scores);
@@ -653,8 +672,15 @@ fn run_ga<F: Fn(&[Gene]) -> f64 + Sync>(
         }
 
         population = next;
-        scores =
-            evaluate_population(&population, &fitness, &mut cache, workers, &mut telemetry);
+        debug_verify_population(&population);
+        scores = evaluate_population(
+            &population,
+            &fitness,
+            &mut cache,
+            workers,
+            cfg.surrogate_rank,
+            &mut telemetry,
+        );
         append_generation(sink, cfg, generation, &population, &scores, &telemetry)?;
 
         let best_idx = argmax(&scores);
@@ -697,7 +723,49 @@ fn append_generation(
         executed: telemetry.gen_evaluations.last().copied().unwrap_or(0),
         cache_hits: telemetry.gen_cache_hits.last().copied().unwrap_or(0),
         wall_s: telemetry.gen_wall_s.last().copied().unwrap_or(0.0),
+        analysis: Some(analyze_population(population)),
     }))
+}
+
+/// Static-analyzer summary of one generation: best/mean surrogate swing
+/// score under the generic machine model. Journal-only metadata — never
+/// feeds back into selection.
+fn analyze_population(population: &[Vec<Gene>]) -> GenerationAnalysis {
+    let model = MachineModel::generic();
+    let mut best = f64::NEG_INFINITY;
+    let mut sum = 0.0;
+    for genome in population {
+        let s = swing_score(&to_sub_block(genome), &model);
+        best = best.max(s);
+        sum += s;
+    }
+    GenerationAnalysis {
+        best_swing: if population.is_empty() { 0.0 } else { best },
+        mean_swing: if population.is_empty() {
+            0.0
+        } else {
+            sum / population.len() as f64
+        },
+    }
+}
+
+/// Debug-build invariant: everything the breeder produces must pass the
+/// structural verifier. `Gene::to_inst` lowers through the same checked
+/// builders the verifier models, so a finding here means the GA operators
+/// and the verifier have drifted apart — catch it at the source, not at
+/// NASM emission time.
+fn debug_verify_population(population: &[Vec<Gene>]) {
+    #[cfg(debug_assertions)]
+    for (i, genome) in population.iter().enumerate() {
+        let program = audit_cpu::Program::new("ga-candidate", to_sub_block(genome));
+        let diags = audit_analyze::verify(&program, &audit_analyze::VerifyTarget::permissive());
+        assert!(
+            diags.is_empty(),
+            "GA bred an unverifiable genome in slot {i}: {diags:?}"
+        );
+    }
+    #[cfg(not(debug_assertions))]
+    let _ = population;
 }
 
 fn check_replay_record(
@@ -772,11 +840,18 @@ pub fn resolve_workers(threads: usize) -> usize {
 /// shared work queue. Results land in their population slot by index,
 /// and the cache is updated in slot order, keeping both selection order
 /// *and* cache state identical to a sequential evaluation.
+///
+/// `surrogate` reorders the *dispatch* of cache misses by descending
+/// static swing score (ties broken by slot). Because results are sorted
+/// back into slot order before any cache insert, dispatch order is
+/// unobservable — scores, cache state, and `executed` are bit-identical
+/// with the flag on or off; only which genome is measured first changes.
 fn evaluate_population<F: Fn(&[Gene]) -> f64 + Sync>(
     population: &[Vec<Gene>],
     fitness: &F,
     cache: &mut EvalCache,
     workers: usize,
+    surrogate: bool,
     telemetry: &mut GaTelemetry,
 ) -> Vec<f64> {
     let t0 = Instant::now();
@@ -802,6 +877,16 @@ fn evaluate_population<F: Fn(&[Gene]) -> f64 + Sync>(
         }
     } else {
         jobs.extend(0..n);
+    }
+
+    if surrogate && jobs.len() > 1 {
+        let model = MachineModel::generic();
+        let mut keyed: Vec<(usize, f64)> = jobs
+            .iter()
+            .map(|&slot| (slot, swing_score(&to_sub_block(&population[slot]), &model)))
+            .collect();
+        keyed.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        jobs = keyed.into_iter().map(|(slot, _)| slot).collect();
     }
 
     let mut results: Vec<(usize, f64)> = if workers <= 1 || jobs.len() <= 1 {
@@ -975,6 +1060,84 @@ mod tests {
             assert_eq!(sequential, parallel, "diverged at {threads} threads");
             assert_eq!(sequential.history, parallel.history);
             assert_eq!(sequential.best, parallel.best);
+        }
+    }
+
+    #[test]
+    fn surrogate_ranking_is_bit_identical_to_plain_order() {
+        // The surrogate only reorders dispatch; results, evaluation
+        // counts, and cache-hit counts are part of GaRun equality, so
+        // this pins the full contract across worker counts.
+        let plain = GaConfig {
+            population: 12,
+            generations: 10,
+            stall_generations: 10,
+            threads: 1,
+            surrogate_rank: false,
+            ..GaConfig::default()
+        };
+        let baseline = evolve(&plain, &menu(), 10, &[], fma_count);
+        for threads in [1, 3, 6] {
+            let cfg = GaConfig {
+                threads,
+                surrogate_rank: true,
+                ..plain.clone()
+            };
+            let ranked = evolve(&cfg, &menu(), 10, &[], fma_count);
+            assert_eq!(baseline, ranked, "diverged at {threads} threads");
+            assert_eq!(baseline.evaluations, ranked.evaluations);
+            assert_eq!(baseline.cache_hits, ranked.cache_hits);
+        }
+    }
+
+    #[test]
+    fn surrogate_ranking_never_increases_evaluations() {
+        // "Surrogate" means *ordering*, never *skipping*: the cache-miss
+        // set is identical, so the simulation count must be too, even on
+        // a longer run where populations churn.
+        let base = GaConfig {
+            population: 16,
+            generations: 20,
+            stall_generations: 20,
+            ..GaConfig::default()
+        };
+        let off = evolve(&base, &menu(), 8, &[], fma_count);
+        let on = evolve(
+            &GaConfig {
+                surrogate_rank: true,
+                ..base
+            },
+            &menu(),
+            8,
+            &[],
+            fma_count,
+        );
+        assert_eq!(off.evaluations, on.evaluations);
+    }
+
+    #[test]
+    fn generation_records_carry_analysis_summaries() {
+        let mut mem = crate::journal::MemJournal::default();
+        let cfg = GaConfig {
+            population: 6,
+            generations: 3,
+            stall_generations: 3,
+            ..GaConfig::default()
+        };
+        evolve_journaled(&cfg, &menu(), 6, &[], fma_count, &mut mem).unwrap();
+        let gens: Vec<_> = mem
+            .records
+            .iter()
+            .filter_map(|r| match r {
+                JournalRecord::Generation(g) => Some(g),
+                _ => None,
+            })
+            .collect();
+        assert!(!gens.is_empty());
+        for g in gens {
+            let a = g.analysis.expect("live runs always attach analysis");
+            assert!(a.best_swing.is_finite() && a.mean_swing.is_finite());
+            assert!(a.best_swing >= a.mean_swing);
         }
     }
 

@@ -23,5 +23,5 @@ pub use engine::{
     evolve, evolve_journaled, resolve_workers, stream_seed, try_evolve, EvalCache, GaConfig,
     GaRun, GaTelemetry,
 };
-pub use genome::Gene;
+pub use genome::{from_program, to_sub_block, Gene};
 pub use study::{resume_study, run_study, run_study_journaled, try_run_study, StudySummary};

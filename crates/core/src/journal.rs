@@ -72,6 +72,24 @@ pub struct GenerationRecord {
     /// Wall-clock seconds spent evaluating (informational only; ignored
     /// by resume equality).
     pub wall_s: f64,
+    /// Static-analyzer summary of this population (see
+    /// [`GenerationAnalysis`]). Informational only, like `wall_s`:
+    /// ignored by resume equality, and `None` when reading journals
+    /// written before the analyzer existed.
+    pub analysis: Option<GenerationAnalysis>,
+}
+
+/// Static-analysis summary riding in each generation record: the
+/// surrogate swing scores (`audit_analyze::swing_score` under the
+/// generic machine model) of the generation's population. Lets offline
+/// tooling see how static droop potential evolved without re-lowering
+/// the journaled genomes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GenerationAnalysis {
+    /// Highest static current-swing score in the population.
+    pub best_swing: f64,
+    /// Mean static current-swing score across the population.
+    pub mean_swing: f64,
 }
 
 impl PartialEq for GenerationRecord {
@@ -183,22 +201,36 @@ impl JournalRecord {
                     JsonValue::Array(seeds.iter().map(|g| encode_genome(g)).collect()),
                 ),
             ]),
-            JournalRecord::Generation(r) => JsonValue::object(vec![
-                ("kind", JsonValue::String("generation".into())),
-                ("index", JsonValue::from_u64(r.index as u64)),
-                ("stream_seed", encode_u64(r.stream_seed)),
-                (
-                    "population",
-                    JsonValue::Array(r.population.iter().map(|g| encode_genome(g)).collect()),
-                ),
-                (
-                    "scores",
-                    JsonValue::Array(r.scores.iter().map(|&s| JsonValue::from_f64(s)).collect()),
-                ),
-                ("executed", JsonValue::from_u64(r.executed)),
-                ("cache_hits", JsonValue::from_u64(r.cache_hits)),
-                ("wall_s", JsonValue::from_f64(r.wall_s)),
-            ]),
+            JournalRecord::Generation(r) => {
+                let mut fields = vec![
+                    ("kind", JsonValue::String("generation".into())),
+                    ("index", JsonValue::from_u64(r.index as u64)),
+                    ("stream_seed", encode_u64(r.stream_seed)),
+                    (
+                        "population",
+                        JsonValue::Array(r.population.iter().map(|g| encode_genome(g)).collect()),
+                    ),
+                    (
+                        "scores",
+                        JsonValue::Array(
+                            r.scores.iter().map(|&s| JsonValue::from_f64(s)).collect(),
+                        ),
+                    ),
+                    ("executed", JsonValue::from_u64(r.executed)),
+                    ("cache_hits", JsonValue::from_u64(r.cache_hits)),
+                    ("wall_s", JsonValue::from_f64(r.wall_s)),
+                ];
+                if let Some(a) = &r.analysis {
+                    fields.push((
+                        "analysis",
+                        JsonValue::object(vec![
+                            ("best_swing", JsonValue::from_f64(a.best_swing)),
+                            ("mean_swing", JsonValue::from_f64(a.mean_swing)),
+                        ]),
+                    ));
+                }
+                JsonValue::object(fields)
+            }
             JournalRecord::GaEnd => {
                 JsonValue::object(vec![("kind", JsonValue::String("ga_end".into()))])
             }
@@ -319,6 +351,13 @@ impl JournalRecord {
                         .get("wall_s")
                         .and_then(JsonValue::as_f64)
                         .unwrap_or(0.0),
+                    // Absent in journals written before the analyzer.
+                    analysis: v.get("analysis").and_then(|a| {
+                        Some(GenerationAnalysis {
+                            best_swing: a.get("best_swing").and_then(JsonValue::as_f64)?,
+                            mean_swing: a.get("mean_swing").and_then(JsonValue::as_f64)?,
+                        })
+                    }),
                 }))
             }
             "ga_end" => Ok(JournalRecord::GaEnd),
@@ -382,6 +421,7 @@ fn encode_cfg(cfg: &GaConfig) -> JsonValue {
             "cache_capacity",
             JsonValue::from_u64(cfg.cache_capacity as u64),
         ),
+        ("surrogate_rank", JsonValue::Bool(cfg.surrogate_rank)),
     ])
 }
 
@@ -406,6 +446,12 @@ fn decode_cfg(v: &JsonValue) -> Result<GaConfig, AuditError> {
         )?,
         threads: field_u64(v, "cfg", "threads")? as usize,
         cache_capacity: field_u64(v, "cfg", "cache_capacity")? as usize,
+        // Absent in journals written before surrogate ranking existed;
+        // the flag never changes results, so defaulting is always safe.
+        surrogate_rank: v
+            .get("surrogate_rank")
+            .and_then(JsonValue::as_bool)
+            .unwrap_or(false),
     })
 }
 
@@ -790,6 +836,10 @@ mod tests {
             executed: 2,
             cache_hits: 0,
             wall_s: 0.25,
+            analysis: Some(GenerationAnalysis {
+                best_swing: 1.5,
+                mean_swing: 0.75,
+            }),
         }
     }
 

@@ -22,7 +22,10 @@
 //! * [`report`] — plain-text/CSV table emission for the experiment
 //!   binaries,
 //! * [`suite`] — §5.A.6 stressmark-*suite* generation: one stressmark
-//!   per usage scenario, cross-evaluated.
+//!   per usage scenario, cross-evaluated,
+//! * [`analyze`] — the static stressmark analyzer (re-export of
+//!   `audit-analyze`): IR verifier, lint catalog, and the static
+//!   pressure model the GA uses as a pre-screen surrogate.
 //!
 //! # Quickstart
 //!
@@ -50,6 +53,7 @@ pub mod resonance;
 pub mod suite;
 
 pub use audit::{Audit, AuditOptions, AuditOptionsBuilder};
+pub use audit_analyze as analyze;
 pub use audit_error::{AuditError, AuditResult};
 pub use harness::{MeasureSpec, MeasureSpecBuilder, Measurement, Rig};
 pub use journal::{Journal, JournalRecord, JournalSink, JournalWriter, MemJournal, NullSink};

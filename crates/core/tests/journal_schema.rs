@@ -171,6 +171,9 @@ fn schema_field_names_are_pinned() {
         "\"executed\"",
         "\"cache_hits\"",
         "\"wall_s\"",
+        "\"analysis\"",
+        "\"best_swing\"",
+        "\"mean_swing\"",
     ] {
         assert!(generation.contains(key), "generation record lost {key}");
     }
@@ -178,7 +181,13 @@ fn schema_field_names_are_pinned() {
         .lines()
         .find(|l| l.contains("\"ga_start\""))
         .expect("a ga_start record");
-    for key in ["\"cfg\"", "\"genome_len\"", "\"menu\"", "\"seeds\""] {
+    for key in [
+        "\"cfg\"",
+        "\"genome_len\"",
+        "\"menu\"",
+        "\"seeds\"",
+        "\"surrogate_rank\"",
+    ] {
         assert!(ga_start.contains(key), "ga_start record lost {key}");
     }
     let run_start = text.lines().next().expect("run_start line");

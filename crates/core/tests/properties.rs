@@ -2,11 +2,13 @@
 //! dithering arithmetic, genome lowering, activity patterns, cost
 //! functions, and report tables.
 
+use audit_core::analyze::{verify, VerifyTarget};
 use audit_core::dither::DitherPlan;
-use audit_core::ga::{CostFunction, Gene};
+use audit_core::ga::{evolve_journaled, to_sub_block, CostFunction, GaConfig, Gene};
+use audit_core::journal::{JournalRecord, MemJournal};
 use audit_core::patterns::ActivityPattern;
 use audit_core::report::{vf_rel, Table};
-use audit_cpu::Opcode;
+use audit_cpu::{Opcode, Program};
 use proptest::prelude::*;
 
 proptest! {
@@ -58,6 +60,41 @@ proptest! {
         }
         let misses = !matches!(inst.mem, audit_cpu::MemBehavior::L1Hit);
         prop_assert_eq!(misses, miss && opcode == Opcode::Load);
+    }
+
+    /// For any run seed, every genome the GA breeds — initial random
+    /// population, crossover offspring, and mutants alike — lowers to a
+    /// program that passes the structural verifier. The journaled
+    /// populations are the breeder's raw output, so this covers all
+    /// three operators through the public API.
+    #[test]
+    fn ga_bred_genomes_always_verify(seed in any::<u64>()) {
+        let cfg = GaConfig {
+            population: 6,
+            generations: 2,
+            stall_generations: 2,
+            seed,
+            threads: 1,
+            ..GaConfig::default()
+        };
+        let mut mem = MemJournal::default();
+        evolve_journaled(
+            &cfg,
+            &Opcode::stress_menu(),
+            6,
+            &[],
+            |g: &[Gene]| g.iter().filter(|x| x.opcode == Opcode::IMul).count() as f64,
+            &mut mem,
+        )
+        .expect("tiny GA runs");
+        for record in &mem.records {
+            let JournalRecord::Generation(generation) = record else { continue };
+            for genome in &generation.population {
+                let program = Program::new("bred", to_sub_block(genome));
+                let diags = verify(&program, &VerifyTarget::permissive());
+                prop_assert!(diags.is_empty(), "seed {seed}: {diags:?}");
+            }
+        }
     }
 
     /// The activity waveform has exactly H high cycles per period.

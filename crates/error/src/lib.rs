@@ -68,6 +68,13 @@ pub enum AuditError {
         /// What was inconsistent.
         message: String,
     },
+    /// A text artifact (e.g. a `.prog` program file) failed to parse.
+    Parse {
+        /// 1-based line number of the first malformed line, 0 if unknown.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
 }
 
 impl AuditError {
@@ -102,6 +109,14 @@ impl AuditError {
             message: message.into(),
         }
     }
+
+    /// Shorthand for [`AuditError::Parse`].
+    pub fn parse(line: usize, message: impl Into<String>) -> Self {
+        AuditError::Parse {
+            line,
+            message: message.into(),
+        }
+    }
 }
 
 impl fmt::Display for AuditError {
@@ -128,6 +143,13 @@ impl fmt::Display for AuditError {
                 "journal schema v{found} is not supported (this build reads v{supported})"
             ),
             AuditError::Resume { message } => write!(f, "cannot resume: {message}"),
+            AuditError::Parse { line, message } => {
+                if *line == 0 {
+                    write!(f, "parse error: {message}")
+                } else {
+                    write!(f, "parse error at line {line}: {message}")
+                }
+            }
         }
     }
 }
@@ -175,6 +197,18 @@ mod tests {
         };
         assert!(e.to_string().contains("v9"));
         assert!(e.to_string().contains("v1"));
+    }
+
+    #[test]
+    fn parse_line_zero_is_generic() {
+        assert_eq!(
+            AuditError::parse(0, "empty file").to_string(),
+            "parse error: empty file"
+        );
+        assert_eq!(
+            AuditError::parse(3, "unknown opcode `warp`").to_string(),
+            "parse error at line 3: unknown opcode `warp`"
+        );
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! chains on its processor, §3.C).
 
 use audit_cpu::{Inst, Opcode, Program};
+use audit_error::AuditError;
 use serde::{Deserialize, Serialize};
 
 /// A high/low stressmark loop.
@@ -38,14 +39,35 @@ impl Kernel {
     ///
     /// # Panics
     ///
-    /// Panics if the high-power region is empty.
+    /// Panics if the high-power region is empty; use [`Self::try_new`]
+    /// to handle that as an error.
     pub fn new(name: impl Into<String>, hp: Vec<Inst>, lp_nops: usize) -> Self {
-        assert!(!hp.is_empty(), "high-power region must not be empty");
-        Kernel {
+        Kernel::try_new(name, hp, lp_nops).expect("high-power region must not be empty")
+    }
+
+    /// Fallible form of [`Self::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuditError::InvalidConfig`] if the high-power region
+    /// is empty.
+    pub fn try_new(
+        name: impl Into<String>,
+        hp: Vec<Inst>,
+        lp_nops: usize,
+    ) -> Result<Self, AuditError> {
+        if hp.is_empty() {
+            return Err(AuditError::invalid(
+                "Kernel",
+                "hp",
+                "high-power region must not be empty",
+            ));
+        }
+        Ok(Kernel {
             name: name.into(),
             hp,
             lp_nops,
-        }
+        })
     }
 
     /// Hierarchical construction: the HP region is `s` copies of
@@ -53,22 +75,51 @@ impl Kernel {
     ///
     /// # Panics
     ///
-    /// Panics if `sub_block` is empty or `s == 0`.
+    /// Panics if `sub_block` is empty or `s == 0`; use
+    /// [`Self::try_from_sub_blocks`] to handle those as errors.
     pub fn from_sub_blocks(
         name: impl Into<String>,
         sub_block: &[Inst],
         s: usize,
         lp_nops: usize,
     ) -> Self {
-        assert!(!sub_block.is_empty(), "sub-block must not be empty");
-        assert!(s > 0, "need at least one sub-block");
+        Kernel::try_from_sub_blocks(name, sub_block, s, lp_nops)
+            .expect("sub-block must be non-empty and replicated at least once")
+    }
+
+    /// Fallible form of [`Self::from_sub_blocks`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuditError::InvalidConfig`] if `sub_block` is empty or
+    /// `s == 0`.
+    pub fn try_from_sub_blocks(
+        name: impl Into<String>,
+        sub_block: &[Inst],
+        s: usize,
+        lp_nops: usize,
+    ) -> Result<Self, AuditError> {
+        if sub_block.is_empty() {
+            return Err(AuditError::invalid(
+                "Kernel",
+                "sub_block",
+                "sub-block must not be empty",
+            ));
+        }
+        if s == 0 {
+            return Err(AuditError::invalid(
+                "Kernel",
+                "s",
+                "need at least one sub-block",
+            ));
+        }
         let hp: Vec<Inst> = sub_block
             .iter()
             .copied()
             .cycle()
             .take(sub_block.len() * s)
             .collect();
-        Kernel::new(name, hp, lp_nops)
+        Kernel::try_new(name, hp, lp_nops)
     }
 
     /// Kernel name.
@@ -179,6 +230,24 @@ mod tests {
     #[should_panic(expected = "sub-block")]
     fn empty_sub_block_panics() {
         let _ = Kernel::from_sub_blocks("k", &[], 2, 4);
+    }
+
+    #[test]
+    fn try_builders_return_errors_instead_of_panicking() {
+        assert_eq!(
+            Kernel::try_new("k", Vec::new(), 4).unwrap_err(),
+            AuditError::invalid("Kernel", "hp", "high-power region must not be empty")
+        );
+        assert_eq!(
+            Kernel::try_from_sub_blocks("k", &[], 2, 4).unwrap_err(),
+            AuditError::invalid("Kernel", "sub_block", "sub-block must not be empty")
+        );
+        assert_eq!(
+            Kernel::try_from_sub_blocks("k", &block(), 0, 4).unwrap_err(),
+            AuditError::invalid("Kernel", "s", "need at least one sub-block")
+        );
+        let k = Kernel::try_from_sub_blocks("k", &block(), 3, 10).unwrap();
+        assert_eq!(k, Kernel::from_sub_blocks("k", &block(), 3, 10));
     }
 
     #[test]

@@ -17,6 +17,7 @@
 use std::fmt::Write as _;
 
 use audit_cpu::{BranchBehavior, Inst, MemBehavior, Opcode, Program, Reg};
+use audit_error::AuditError;
 
 /// Error from [`parse`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -34,6 +35,12 @@ impl std::fmt::Display for ParseError {
 }
 
 impl std::error::Error for ParseError {}
+
+impl From<ParseError> for AuditError {
+    fn from(e: ParseError) -> Self {
+        AuditError::parse(e.line, e.message)
+    }
+}
 
 fn keyword(op: Opcode) -> &'static str {
     match op {
@@ -131,8 +138,30 @@ pub fn emit(program: &Program) -> String {
 ///
 /// Returns [`ParseError`] locating the first malformed line.
 pub fn parse(text: &str) -> Result<Program, ParseError> {
+    parse_spanned(text).map(|(program, _)| program)
+}
+
+/// [`parse`] under the workspace-wide error type.
+///
+/// # Errors
+///
+/// Returns [`AuditError::Parse`] locating the first malformed line.
+pub fn try_parse(text: &str) -> Result<Program, AuditError> {
+    parse(text).map_err(AuditError::from)
+}
+
+/// Parses a program and returns, for each instruction of the body, the
+/// 1-based source line it came from. This is what lets diagnostics from
+/// `audit-analyze` (which carry body indices) be reported against the
+/// original `.prog` text.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] locating the first malformed line.
+pub fn parse_spanned(text: &str) -> Result<(Program, Vec<usize>), ParseError> {
     let mut name = "unnamed".to_string();
     let mut body = Vec::new();
+    let mut spans = Vec::new();
     for (idx, raw) in text.lines().enumerate() {
         let line_no = idx + 1;
         let err = |message: String| ParseError {
@@ -155,6 +184,7 @@ pub fn parse(text: &str) -> Result<Program, ParseError> {
             opcode_from(op_word).ok_or_else(|| err(format!("unknown opcode `{op_word}`")))?;
         if opcode.is_nop() {
             body.push(Inst::new(Opcode::Nop));
+            spans.push(line_no);
             continue;
         }
         let dst = reg_from(words.next().ok_or_else(|| err("missing dst".into()))?).map_err(&err)?;
@@ -224,6 +254,7 @@ pub fn parse(text: &str) -> Result<Program, ParseError> {
             }
         }
         body.push(inst);
+        spans.push(line_no);
     }
     if body.is_empty() {
         return Err(ParseError {
@@ -231,7 +262,7 @@ pub fn parse(text: &str) -> Result<Program, ParseError> {
             message: "program has no instructions".into(),
         });
     }
-    Ok(Program::new(name, body))
+    Ok((Program::new(name, body), spans))
 }
 
 #[cfg(test)]
@@ -289,6 +320,24 @@ mod tests {
     #[test]
     fn empty_program_is_rejected() {
         assert!(parse("# name: empty\n").is_err());
+    }
+
+    #[test]
+    fn spans_map_instructions_to_source_lines() {
+        let text = "# name: spans\n\nnop\n# comment\niadd r0 r8 r9 t=1.00\n\nstore - r0 r9 t=1.00\n";
+        let (program, spans) = parse_spanned(text).unwrap();
+        assert_eq!(program.len(), 3);
+        assert_eq!(spans, vec![3, 5, 7]);
+    }
+
+    #[test]
+    fn try_parse_converts_to_audit_error() {
+        let err = try_parse("warp r0 r1 r2\n").unwrap_err();
+        assert_eq!(
+            err,
+            AuditError::parse(1, "unknown opcode `warp`".to_string())
+        );
+        assert!(try_parse(&emit(&manual::sm2())).is_ok());
     }
 
     #[test]

@@ -1,0 +1,180 @@
+//! Seeded corpus of known-bad programs: every fixture under
+//! `tests/fixtures/` must trigger exactly the `AUD###` code its file
+//! name documents, under the target/configuration its header comment
+//! describes. This pins the verifier and lint catalog — a diagnostic
+//! that stops firing (or fires under a new code) fails here before it
+//! reaches users.
+
+use audit_analyze::{check, Code, DefSet, LintConfig, Severity, VerifyTarget};
+use audit_cpu::ChipConfig;
+use audit_stressmark::progfile;
+
+/// Which environment a fixture is analyzed under.
+enum Setup {
+    /// `VerifyTarget::permissive()` + default lints.
+    Default,
+    /// The pre-fix NASM preamble's def set (low registers undefined).
+    LegacyPreamble,
+    /// `VerifyTarget::for_chip(phenom)` — no FMA support.
+    Phenom,
+    /// Default target, with AUD101 escalated from its `Allow` default.
+    DenyDeadValue,
+}
+
+fn corpus() -> Vec<(&'static str, &'static str, Code, Setup)> {
+    vec![
+        (
+            "aud001_use_before_def.prog",
+            include_str!("fixtures/aud001_use_before_def.prog"),
+            Code::UseBeforeDef,
+            Setup::LegacyPreamble,
+        ),
+        (
+            "aud002_register_out_of_range.prog",
+            include_str!("fixtures/aud002_register_out_of_range.prog"),
+            Code::RegisterOutOfRange,
+            Setup::Default,
+        ),
+        (
+            "aud003_fma_on_phenom.prog",
+            include_str!("fixtures/aud003_fma_on_phenom.prog"),
+            Code::FmaUnsupported,
+            Setup::Phenom,
+        ),
+        (
+            "aud004_mem_flag_on_alu.prog",
+            include_str!("fixtures/aud004_mem_flag_on_alu.prog"),
+            Code::MemFlagOnNonMemOp,
+            Setup::Default,
+        ),
+        (
+            "aud005_branch_flag_on_alu.prog",
+            include_str!("fixtures/aud005_branch_flag_on_alu.prog"),
+            Code::BranchFlagOnNonBranch,
+            Setup::Default,
+        ),
+        (
+            "aud006_store_with_dst.prog",
+            include_str!("fixtures/aud006_store_with_dst.prog"),
+            Code::OperandShape,
+            Setup::Default,
+        ),
+        (
+            "aud007_zero_period.prog",
+            include_str!("fixtures/aud007_zero_period.prog"),
+            Code::MalformedLoop,
+            Setup::Default,
+        ),
+        (
+            "aud101_dead_value.prog",
+            include_str!("fixtures/aud101_dead_value.prog"),
+            Code::DeadValue,
+            Setup::DenyDeadValue,
+        ),
+        (
+            "aud102_nop_desert.prog",
+            include_str!("fixtures/aud102_nop_desert.prog"),
+            Code::NopRun,
+            Setup::Default,
+        ),
+        (
+            "aud103_unreachable_toggle.prog",
+            include_str!("fixtures/aud103_unreachable_toggle.prog"),
+            Code::UnreachableToggle,
+            Setup::Default,
+        ),
+        (
+            "aud104_serializing_divide.prog",
+            include_str!("fixtures/aud104_serializing_divide.prog"),
+            Code::SerializingDivide,
+            Setup::Default,
+        ),
+        (
+            "aud105_monoculture.prog",
+            include_str!("fixtures/aud105_monoculture.prog"),
+            Code::UnitMonoculture,
+            Setup::Default,
+        ),
+    ]
+}
+
+fn analyze(text: &str, setup: &Setup) -> Vec<audit_analyze::Diagnostic> {
+    let program = progfile::parse(text).expect("fixtures must parse");
+    let (target, lints) = match setup {
+        Setup::Default => (VerifyTarget::permissive(), LintConfig::new()),
+        Setup::LegacyPreamble => (
+            VerifyTarget {
+                init: DefSet::legacy_preamble(),
+                supports_fma: true,
+            },
+            LintConfig::new(),
+        ),
+        Setup::Phenom => (
+            VerifyTarget::for_chip(&ChipConfig::phenom()),
+            LintConfig::new(),
+        ),
+        Setup::DenyDeadValue => (
+            VerifyTarget::permissive(),
+            LintConfig::new().deny(Code::DeadValue),
+        ),
+    };
+    check(&program, &target, &lints)
+}
+
+#[test]
+fn every_bad_fixture_triggers_its_documented_code() {
+    for (file, text, expected, setup) in corpus() {
+        let diags = analyze(text, &setup);
+        assert!(
+            diags.iter().any(|d| d.code == expected),
+            "{file}: expected {expected}, got {:?}",
+            diags.iter().map(|d| d.code.as_str()).collect::<Vec<_>>()
+        );
+        // The file name's code prefix and the expected code agree, so
+        // the corpus stays self-documenting.
+        assert!(
+            file.starts_with(&expected.as_str().to_lowercase()),
+            "{file} is named after the wrong code"
+        );
+    }
+}
+
+#[test]
+fn verifier_fixtures_fail_with_errors_not_warnings() {
+    for (file, text, expected, setup) in corpus() {
+        if expected.is_lint() {
+            continue;
+        }
+        let diags = analyze(text, &setup);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == expected && d.severity == Severity::Error),
+            "{file}: {expected} must be an error"
+        );
+    }
+}
+
+#[test]
+fn fixtures_are_clean_under_the_fixed_preamble_where_expected() {
+    // The AUD001 fixture exists *because* of the old preamble: under
+    // the fixed (full-init) preamble it is a perfectly fine program.
+    let (_, text, _, _) = &corpus()[0];
+    let program = progfile::parse(text).unwrap();
+    let diags = check(&program, &VerifyTarget::permissive(), &LintConfig::new());
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn spanned_parse_maps_diagnostics_to_fixture_lines() {
+    let (_, text, expected, setup) = &corpus()[1]; // aud002, single inst
+    let (program, spans) = progfile::parse_spanned(text).unwrap();
+    let diags = {
+        let _ = setup;
+        check(&program, &VerifyTarget::permissive(), &LintConfig::new())
+    };
+    let diag = diags.iter().find(|d| d.code == *expected).unwrap();
+    let line = spans[diag.inst_index.unwrap()];
+    // The offending instruction sits on the line the span table says.
+    assert_eq!(text.lines().nth(line - 1).unwrap().trim(), "iadd r0 r20 r8 t=1.00");
+}

@@ -11,8 +11,12 @@ fn any_hp_inst() -> impl Strategy<Value = Inst> {
         let inst = Inst::new(op);
         if op.props().fp_dst {
             inst.fp_dst(d).fp_srcs(s1, s2)
-        } else if matches!(op, Opcode::Nop | Opcode::Store | Opcode::Branch) {
+        } else if matches!(op, Opcode::Nop | Opcode::Branch) {
             inst
+        } else if op == Opcode::Store {
+            // Stores need a value source to verify (and to emit
+            // anything meaningful).
+            inst.int_srcs(s1, s2)
         } else {
             inst.int_dst(d).int_srcs(s1, s2)
         }
@@ -85,10 +89,10 @@ proptest! {
         let program = audit_cpu::Program::new("prop", body.clone());
         let asm = nasm::emit(&program, iters);
         prop_assert!(asm.contains("BITS 64"));
-        let counter_line = format!("mov rcx, {iters}");
+        let counter_line = format!("counter: dq {iters}");
         prop_assert!(asm.contains(&counter_line));
         let loop_start = asm.find(".loop:").expect("loop label");
-        let loop_end = asm.find("    dec rcx").expect("loop decrement");
+        let loop_end = asm.find("    dec qword [rel counter]").expect("loop decrement");
         let body_lines = asm[loop_start..loop_end].lines().count() - 1;
         prop_assert_eq!(body_lines, body.len());
     }

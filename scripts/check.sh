@@ -41,4 +41,7 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --document-private-it
 echo "==> cargo clippy (warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> self-lint (every built-in program must be clean)"
+cargo run --release -q -p audit-cli --bin audit -- lint --all-builtins --deny-warnings
+
 echo "OK"
