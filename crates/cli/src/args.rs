@@ -50,6 +50,10 @@ const VALUE_FLAGS: &[&str] = &[
     "--builtin",
     "--allow",
     "--deny",
+    "--faults",
+    "--repeat",
+    "--retries",
+    "--cycle-budget",
 ];
 
 impl Args {

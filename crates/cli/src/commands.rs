@@ -4,8 +4,9 @@ use std::fs;
 
 use audit_analyze::{check, Code, Diagnostic, LintConfig, Severity, VerifyTarget};
 use audit_core::audit::{Audit, StressmarkRun};
-use audit_core::journal::{Journal, JournalWriter};
+use audit_core::journal::{Journal, JournalWriter, NullSink};
 use audit_core::report::{journal_summary, mv, Table};
+use audit_core::resilient::{self, VminResult, VminSearch};
 use audit_core::resonance;
 use audit_core::AuditError;
 use audit_cpu::{ChipConfig, Program};
@@ -32,12 +33,20 @@ USAGE:
                    [--cost droop|droop-per-amp|sensitive] [--throttle N]
                    [--workers N] [--out file.asm] [--save file.prog]
                    [--iterations N] [--fast] [--checkpoint run.ndjson]
+                   [--faults SEED:RATES] [--repeat K] [--retries N]
+                   [--cycle-budget N]
       Evolve a stressmark; --out writes NASM, --save archives the
       lossless .prog form for later `audit measure --file`.
       --workers sets GA evaluation threads (0 = all cores); results
       are bit-identical for any worker count.
       --checkpoint journals every generation to an NDJSON file,
       atomically, so a killed run can be continued.
+      --faults injects deterministic measurement faults (e.g.
+      7:noise=0.002,outlier=0.001,hang=0.01,crash=0.005); --repeat
+      takes the MAD-filtered median of K measurements, --retries
+      bounds transient-fault retries, --cycle-budget arms a watchdog.
+      Fault schedules are seeded per candidate: results stay
+      bit-identical across worker counts and kill/--resume.
 
   audit generate   --resume run.ndjson [--out file.asm] [--save file.prog]
                    [--iterations N]
@@ -48,12 +57,23 @@ USAGE:
 
   audit measure    (--workload NAME | --stressmark NAME | --file X.prog)
                    [--threads N] [--chip C] [--volts V] [--throttle N]
-                   [--cycles N] [--fast]
-      Run a workload and report droop, power, and IPC.
+                   [--cycles N] [--fast] [--faults SEED:RATES]
+                   [--repeat K] [--retries N] [--cycle-budget N]
+      Run a workload and report droop, power, and IPC. The resilience
+      flags behave as in `generate`.
 
   audit failure    (--workload NAME | --stressmark NAME | --file X.prog)
                    [--threads N] [--chip C] [--throttle N] [--fast]
-      Lower Vdd in 12.5 mV steps until the part fails.
+                   [--faults SEED:RATES] [--retries N] [--cycle-budget N]
+                   [--checkpoint run.ndjson]
+      Bisect Vdd to the failure point (12.5 mV resolution). With
+      --checkpoint every probed voltage is journaled write-ahead, so a
+      crashed search resumes without repeating completed probes.
+
+  audit failure    --resume run.ndjson
+      Continue a killed --checkpoint Vmin search. Configuration is
+      restored from the journal; settled probes are replayed and the
+      answer is bit-identical to an uninterrupted search.
 
   audit lint       (<file.prog> | --builtin NAME | --all-builtins)
                    [--chip bulldozer|phenom] [--json] [--deny-warnings]
@@ -213,6 +233,15 @@ fn print_run(
         run.kernel.hp().len(),
         run.kernel.lp_nops()
     );
+    if run.resilience.evaluations > 0 {
+        println!(
+            "  resilience   : {} eval(s), {} retry(ies), {} quarantined, backoff {} cycles",
+            run.resilience.evaluations,
+            run.resilience.retries,
+            run.resilience.quarantined,
+            run.resilience.backoff_cycles
+        );
+    }
 
     if let Some(path) = out {
         let asm = nasm::emit(&run.program, iterations);
@@ -232,11 +261,33 @@ pub fn measure(args: &Args) -> Result<(), ArgError> {
     let rig = platform::rig_from(args)?;
     let threads = args.num_flag("--threads", 4usize)?;
     let spec = platform::spec_from(args)?;
+    let policy = platform::policy_from(args)?;
     let program = platform::program_from(args)?;
     args.reject_unknown()?;
 
-    let m = rig.measure_aligned(&vec![program.clone(); threads], spec);
+    let programs = vec![program.clone(); threads];
     println!("{} × {threads}T on {}:", program.name(), rig.chip.name);
+    let m = if policy.is_noop() {
+        rig.measure_aligned(&programs, spec)
+    } else {
+        let key = resilient::program_key(&programs);
+        let offsets = vec![0; threads];
+        let outcome = policy.measure(&rig, &programs, &offsets, spec, key);
+        println!(
+            "  resilience   : {} attempt(s), {} of {} repeats kept, backoff {} cycles",
+            outcome.attempts, outcome.repeats_kept, policy.repeat, outcome.backoff_cycles
+        );
+        match outcome.measurement {
+            Some(m) => m,
+            None => {
+                println!(
+                    "  quarantined  : no clean measurement in {} attempts",
+                    outcome.attempts
+                );
+                return Ok(());
+            }
+        }
+    };
     println!("  max droop    : {}", mv(m.max_droop()));
     println!("  overshoot    : {}", mv(m.stats.overshoot()));
     println!("  mean current : {:.1} A", m.mean_amps);
@@ -246,26 +297,105 @@ pub fn measure(args: &Args) -> Result<(), ArgError> {
     Ok(())
 }
 
-/// `audit failure`.
+/// `audit failure`: the crash-tolerant Vmin bisection.
 pub fn failure(args: &Args) -> Result<(), ArgError> {
+    if let Some(journal_path) = args.opt_flag("--resume") {
+        return resume_failure(args, &journal_path);
+    }
     let rig = platform::rig_from(args)?;
     let threads = args.num_flag("--threads", 4usize)?;
     let spec = platform::spec_from(args)?;
+    let policy = platform::policy_from(args)?;
     let program = platform::program_from(args)?;
+    let checkpoint = args.opt_flag("--checkpoint");
+    let meta = platform::failure_meta(args);
     args.reject_unknown()?;
 
+    let programs = vec![program.clone(); threads];
+    let offsets = vec![0; threads];
+    let search = VminSearch::paper(rig.pdn.nominal_voltage(), policy);
     println!(
-        "searching from {:.4} V in 12.5 mV steps…",
-        rig.pdn.nominal_voltage()
+        "bisecting from {:.4} V to {:.4} mV resolution…",
+        search.v_start,
+        search.resolution * 1e3
     );
-    match rig.voltage_at_failure(&vec![program.clone(); threads], spec) {
-        Some(vf) => println!("{} × {threads}T fails at {vf:.4} V", program.name()),
-        None => println!(
-            "{} × {threads}T never failed above the search floor",
-            program.name()
-        ),
-    }
+    let result = match &checkpoint {
+        Some(path) => {
+            let mut writer = JournalWriter::create(path, "failure", meta).map_err(core_err)?;
+            let result = search
+                .run(&rig, &programs, &offsets, spec, &mut writer)
+                .map_err(core_err)?;
+            writer.finish().map_err(core_err)?;
+            println!("checkpoint: {path} ({} records)", writer.len());
+            result
+        }
+        None => search
+            .run(&rig, &programs, &offsets, spec, &mut NullSink)
+            .map_err(core_err)?,
+    };
+    print_vmin(program.name(), threads, &result);
     Ok(())
+}
+
+/// `audit failure --resume <journal>`: restores the search from its
+/// `run_start` metadata, replays settled probes, and finishes live.
+fn resume_failure(args: &Args, journal_path: &str) -> Result<(), ArgError> {
+    args.reject_unknown()?;
+
+    let journal = Journal::load(journal_path).map_err(core_err)?;
+    if journal.mode() != Some("failure") {
+        return Err(ArgError(format!(
+            "{journal_path}: not a `failure` checkpoint (mode {:?})",
+            journal.mode().unwrap_or("<none>")
+        )));
+    }
+    let meta = journal
+        .meta()
+        .ok_or_else(|| ArgError(format!("{journal_path}: journal has no run_start record")))?;
+    let saved = platform::args_from_meta(meta)?;
+    let rig = platform::rig_from(&saved)?;
+    let threads = saved.num_flag("--threads", 4usize)?;
+    let spec = platform::spec_from(&saved)?;
+    let policy = platform::policy_from(&saved)?;
+    let program = platform::program_from(&saved)?;
+
+    println!("resuming {journal_path}:");
+    print!("{}", journal_summary(&journal));
+    let complete = journal.is_complete();
+
+    let programs = vec![program.clone(); threads];
+    let offsets = vec![0; threads];
+    let search = VminSearch::paper(rig.pdn.nominal_voltage(), policy);
+    let mut writer = JournalWriter::resume(journal_path).map_err(core_err)?;
+    let result = search
+        .resume_from(&journal, &rig, &programs, &offsets, spec, &mut writer)
+        .map_err(core_err)?;
+    if !complete {
+        writer.finish().map_err(core_err)?;
+    }
+    println!("checkpoint: {journal_path} ({} records)", writer.len());
+    print_vmin(program.name(), threads, &result);
+    Ok(())
+}
+
+/// Prints a finished Vmin search.
+fn print_vmin(name: &str, threads: usize, result: &VminResult) {
+    match result.v_fail {
+        Some(vf) => println!("{name} × {threads}T fails at {vf:.4} V"),
+        None => println!("{name} × {threads}T never failed above the search floor"),
+    }
+    println!(
+        "  probes       : {} ({} live, {} replayed)",
+        result.steps,
+        result.live_steps,
+        result.steps - result.live_steps
+    );
+    if result.crashes > 0 || result.retries > 0 || result.quarantined > 0 {
+        println!(
+            "  resilience   : {} crash(es) survived, {} retry(ies), {} quarantined step(s)",
+            result.crashes, result.retries, result.quarantined
+        );
+    }
 }
 
 /// One analyzed program: its diagnostics plus an optional body-index →

@@ -2,8 +2,10 @@
 
 use audit_core::audit::AuditOptions;
 use audit_core::harness::{MeasureSpec, Rig};
+use audit_core::resilient::MeasurePolicy;
 use audit_cpu::Program;
 use audit_measure::json::JsonValue;
+use audit_measure::FaultPlan;
 use audit_stressmark::{manual, progfile, workloads};
 
 use crate::args::{ArgError, Args};
@@ -21,13 +23,46 @@ const GENERATE_RESULT_FLAGS: &[&str] = &[
     "--seed",
     "--workers",
     "--cost",
+    "--faults",
+    "--repeat",
+    "--retries",
+    "--cycle-budget",
+];
+
+/// The `failure` flags that determine the *result* of a Vmin search,
+/// recorded in its checkpoint journal so `--resume` can reconstruct
+/// the exact configuration (including the program selector and fault
+/// policy — a resumed search must redraw the same fault schedules).
+const FAILURE_RESULT_FLAGS: &[&str] = &[
+    "--chip",
+    "--threads",
+    "--volts",
+    "--throttle",
+    "--cycles",
+    "--workload",
+    "--stressmark",
+    "--file",
+    "--faults",
+    "--repeat",
+    "--retries",
+    "--cycle-budget",
 ];
 
 /// Captures the result-determining `generate` flags as a `run_start`
 /// metadata object (`{"argv": ["--chip", "phenom", ...]}`).
 pub fn generate_meta(args: &Args) -> JsonValue {
+    meta_from_flags(args, GENERATE_RESULT_FLAGS)
+}
+
+/// Captures the result-determining `failure` flags as a `run_start`
+/// metadata object.
+pub fn failure_meta(args: &Args) -> JsonValue {
+    meta_from_flags(args, FAILURE_RESULT_FLAGS)
+}
+
+fn meta_from_flags(args: &Args, flags: &[&str]) -> JsonValue {
     let mut argv = Vec::new();
-    for flag in GENERATE_RESULT_FLAGS {
+    for flag in flags {
         if let Some(v) = args.opt_flag(flag) {
             argv.push(JsonValue::String((*flag).to_string()));
             argv.push(JsonValue::String(v));
@@ -132,7 +167,41 @@ pub fn options_from(args: &Args) -> Result<AuditOptions, ArgError> {
             }
         });
     }
+    opts = opts.with_policy(policy_from(args)?);
     Ok(opts)
+}
+
+/// Resilience policy from `--faults <seed:rates>`, `--repeat`,
+/// `--retries`, and `--cycle-budget`. With none of them given this is
+/// the no-op default policy (plain measurement path, bit-identical
+/// results).
+///
+/// # Errors
+///
+/// Returns [`ArgError`] for a malformed fault spec or count.
+pub fn policy_from(args: &Args) -> Result<MeasurePolicy, ArgError> {
+    let mut policy = MeasurePolicy::disabled();
+    if let Some(spec) = args.opt_flag("--faults") {
+        policy.faults = FaultPlan::parse(&spec).map_err(|e| ArgError(format!("--faults: {e}")))?;
+    }
+    if let Some(k) = args.opt_flag("--repeat") {
+        policy.repeat = k
+            .parse()
+            .map_err(|_| ArgError(format!("--repeat: cannot parse `{k}`")))?;
+    }
+    if let Some(n) = args.opt_flag("--retries") {
+        policy.retries = n
+            .parse()
+            .map_err(|_| ArgError(format!("--retries: cannot parse `{n}`")))?;
+    }
+    if let Some(b) = args.opt_flag("--cycle-budget") {
+        let budget: u64 = b
+            .parse()
+            .map_err(|_| ArgError(format!("--cycle-budget: cannot parse `{b}`")))?;
+        policy.cycle_budget = Some(budget);
+    }
+    policy.validate().map_err(|e| ArgError(e.to_string()))?;
+    Ok(policy)
 }
 
 /// Measurement spec from `--cycles` and `--fast`.
@@ -252,6 +321,37 @@ mod tests {
         let auto = options_from(&parse(&[])).unwrap();
         assert_eq!(auto.ga.threads, 0);
         assert!(options_from(&parse(&["--workers", "many"])).is_err());
+    }
+
+    #[test]
+    fn policy_flags_parse_and_round_trip_through_meta() {
+        let args = parse(&[
+            "--faults",
+            "7:noise=0.002,hang=0.01",
+            "--repeat",
+            "3",
+            "--retries",
+            "5",
+            "--cycle-budget",
+            "1048576",
+        ]);
+        let policy = policy_from(&args).unwrap();
+        assert!(policy.faults.is_enabled());
+        assert_eq!(policy.faults.seed(), 7);
+        assert_eq!(policy.repeat, 3);
+        assert_eq!(policy.retries, 5);
+        assert_eq!(policy.cycle_budget, Some(1 << 20));
+        // The same flags land in the options and are journaled as
+        // result flags, so --resume reconstructs the policy.
+        let meta = generate_meta(&args);
+        let restored = args_from_meta(&meta).unwrap();
+        assert_eq!(options_from(&restored).unwrap().policy, policy);
+        // Defaults are the no-op policy.
+        assert!(policy_from(&parse(&[])).unwrap().is_noop());
+        // Malformed inputs are rejected with the flag named.
+        assert!(policy_from(&parse(&["--faults", "nonsense"])).is_err());
+        assert!(policy_from(&parse(&["--repeat", "0"])).is_err());
+        assert!(policy_from(&parse(&["--cycle-budget", "soon"])).is_err());
     }
 
     #[test]

@@ -237,6 +237,139 @@ fn checkpointed_generate_survives_a_kill() {
 }
 
 #[test]
+fn checkpointed_vmin_search_survives_a_kill() {
+    let dir = std::env::temp_dir().join("audit-cli-vmin-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let journal = dir.join("vmin.ndjson");
+
+    // Full checkpointed bisection under injected machine crashes.
+    let flags = [
+        "failure",
+        "--stressmark",
+        "sm-res",
+        "--threads",
+        "2",
+        "--fast",
+        "--faults",
+        "5:crash=0.2",
+        "--retries",
+        "4",
+    ];
+    let out = audit(&[&flags[..], &["--checkpoint", journal.to_str().unwrap()]].concat());
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let full_text = stdout(&out);
+    let fails_line = |text: &str| {
+        text.lines()
+            .find(|l| l.contains("fails at"))
+            .map(str::to_string)
+            .expect("fails-at line")
+    };
+    let full_journal = std::fs::read_to_string(&journal).unwrap();
+    let lines: Vec<&str> = full_journal.lines().collect();
+    assert!(
+        lines.iter().any(|l| l.contains("\"vmin_step\"")),
+        "{full_journal}"
+    );
+
+    // Kill 1: cut right after the second *terminal* probe outcome, then
+    // tear the next line mid-record — the torn final line must be
+    // treated as a clean truncation, not a parse error.
+    let cut = lines
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| {
+            l.contains("\"outcome\":\"failed\"") || l.contains("\"outcome\":\"passed\"")
+        })
+        .map(|(i, _)| i)
+        .nth(1)
+        .expect("at least two settled probes");
+    let half = lines[cut + 1].len() / 2;
+    let torn = format!(
+        "{}\n{}",
+        lines[..=cut].join("\n"),
+        &lines[cut + 1][..half]
+    );
+    std::fs::write(&journal, torn).unwrap();
+    let out = audit(&["failure", "--resume", journal.to_str().unwrap()]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let resumed_text = stdout(&out);
+    assert!(resumed_text.contains("resuming"), "{resumed_text}");
+    assert!(resumed_text.contains("replayed"), "{resumed_text}");
+    assert_eq!(fails_line(&full_text), fails_line(&resumed_text));
+    // Cut on a step boundary: the finished journal is byte-identical to
+    // the uninterrupted one.
+    assert_eq!(std::fs::read_to_string(&journal).unwrap(), full_journal);
+
+    // Kill 2: a valid-JSON final line with no `kind` (write buffered,
+    // record half-flushed) is also a clean truncation.
+    let kindless = format!("{}\n{{}}\n", lines[..=cut].join("\n"));
+    std::fs::write(&journal, kindless).unwrap();
+    let out = audit(&["failure", "--resume", journal.to_str().unwrap()]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert_eq!(fails_line(&full_text), fails_line(&stdout(&out)));
+    assert_eq!(std::fs::read_to_string(&journal).unwrap(), full_journal);
+
+    // Kill 3: cut mid-step, right after a write-ahead `pending` record
+    // whose outcome never landed. The orphan pending line stays in the
+    // journal (it is the evidence of the kill); the step is re-probed
+    // and the search still reaches the identical answer, with every
+    // settled outcome matching the uninterrupted run's.
+    let pending_cut = lines
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| l.contains("\"outcome\":\"pending\""))
+        .map(|(i, _)| i)
+        .nth(2)
+        .expect("at least three pending records");
+    std::fs::write(&journal, format!("{}\n", lines[..=pending_cut].join("\n"))).unwrap();
+    let out = audit(&["failure", "--resume", journal.to_str().unwrap()]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert_eq!(fails_line(&full_text), fails_line(&stdout(&out)));
+    let settled = |text: &str| {
+        text.lines()
+            .filter(|l| {
+                l.contains("\"outcome\":\"failed\"") || l.contains("\"outcome\":\"passed\"")
+            })
+            .map(str::to_string)
+            .collect::<Vec<_>>()
+    };
+    let rejournal = std::fs::read_to_string(&journal).unwrap();
+    assert_eq!(settled(&rejournal), settled(&full_journal));
+    assert!(rejournal.lines().last().unwrap().contains("run_end"));
+
+    // A non-failure journal is refused.
+    let bogus = dir.join("bogus.ndjson");
+    std::fs::write(
+        &bogus,
+        "{\"kind\":\"run_start\",\"schema\":1,\"mode\":\"generate\",\"meta\":{}}\n",
+    )
+    .unwrap();
+    let out = audit(&["failure", "--resume", bogus.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("not a `failure` checkpoint"));
+}
+
+#[test]
+fn measure_with_faults_reports_resilience() {
+    let out = audit(&[
+        "measure",
+        "--stressmark",
+        "sm-res",
+        "--threads",
+        "2",
+        "--fast",
+        "--faults",
+        "7:noise=0.002",
+        "--repeat",
+        "3",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("resilience"), "{text}");
+    assert!(text.contains("max droop"), "{text}");
+}
+
+#[test]
 fn spice_writes_a_deck() {
     let dir = std::env::temp_dir().join("audit-cli-test");
     std::fs::create_dir_all(&dir).unwrap();

@@ -20,6 +20,7 @@ use serde::{Deserialize, Serialize};
 use crate::ga::{self, CostFunction, GaConfig, GaRun, Gene};
 use crate::harness::{MeasureSpec, Rig};
 use crate::journal::{Journal, JournalRecord, JournalSink, NullSink};
+use crate::resilient::{self, MeasurePolicy, ResilienceLog, ResilienceReport};
 use crate::resonance::{self, ResonanceResult};
 
 /// Options for a generation run.
@@ -44,6 +45,10 @@ pub struct AuditOptions {
     pub eval_spec: MeasureSpec,
     /// Quiet region of excitation stressmarks, in cycles.
     pub excitation_quiet_cycles: u32,
+    /// Resilience policy for fitness evaluations (fault injection,
+    /// repeat-median, retry, watchdog). The default no-op policy keeps
+    /// the plain measurement path and bit-identical results.
+    pub policy: MeasurePolicy,
 }
 
 impl AuditOptions {
@@ -66,6 +71,7 @@ impl AuditOptions {
     pub fn validate(&self) -> Result<(), AuditError> {
         self.ga.validate()?;
         self.eval_spec.validate()?;
+        self.policy.validate()?;
         if self.sub_block_cycles == 0 {
             return Err(AuditError::invalid(
                 "AuditOptions",
@@ -110,6 +116,7 @@ impl AuditOptions {
             resonance_periods: resonance::default_periods().collect(),
             eval_spec: MeasureSpec::ga_eval(),
             excitation_quiet_cycles: 200,
+            policy: MeasurePolicy::disabled(),
         }
     }
 
@@ -128,6 +135,7 @@ impl AuditOptions {
             resonance_periods: (16..=48).step_by(8).collect(),
             eval_spec: MeasureSpec::ga_eval(),
             excitation_quiet_cycles: 150,
+            policy: MeasurePolicy::disabled(),
         }
     }
 
@@ -148,6 +156,14 @@ impl AuditOptions {
     /// [`crate::ga::engine`].
     pub fn with_eval_threads(mut self, threads: usize) -> Self {
         self.ga.threads = threads;
+        self
+    }
+
+    /// Replaces the resilience policy (fault injection, repeat-median,
+    /// retry, watchdog). Never changes results across worker counts —
+    /// fault schedules are content-addressed per candidate.
+    pub fn with_policy(mut self, policy: MeasurePolicy) -> Self {
+        self.policy = policy;
         self
     }
 }
@@ -228,6 +244,13 @@ impl AuditOptionsBuilder {
         self
     }
 
+    /// Sets the resilience policy. Checked by
+    /// [`MeasurePolicy::validate`] at build.
+    pub fn policy(mut self, policy: MeasurePolicy) -> Self {
+        self.opts.policy = policy;
+        self
+    }
+
     /// Validates and returns the options.
     ///
     /// # Errors
@@ -260,6 +283,9 @@ pub struct StressmarkRun {
     pub ga: GaRun,
     /// Threads the stressmark was trained with.
     pub threads: usize,
+    /// Resilience counters for the run's fitness evaluations (all
+    /// zeros when the policy is the default no-op).
+    pub resilience: ResilienceReport,
 }
 
 /// The AUDIT framework bound to a measurement rig.
@@ -602,7 +628,11 @@ impl Audit {
         // Safe to call from GA worker threads: `measure_aligned` builds
         // every piece of mutable simulator state (ChipSim, OsModel, PDN
         // transient) fresh inside the call, so concurrent evaluations
-        // share only `&Rig` immutably.
+        // share only `&Rig` immutably. The resilience log is a plain
+        // order-insensitive counter behind a mutex.
+        let policy = &self.opts.policy;
+        let plain_path = policy.is_noop();
+        let log = ResilienceLog::default();
         let fitness = |genome: &[Gene]| {
             let kernel = Kernel::from_sub_blocks(
                 "candidate",
@@ -611,7 +641,15 @@ impl Audit {
                 lp_slots,
             );
             let programs = vec![kernel.to_program(); threads];
-            cost.score(&rig.measure_aligned(&programs, spec))
+            if plain_path {
+                cost.score(&rig.measure_aligned(&programs, spec))
+            } else {
+                let offsets = vec![0; threads];
+                let key = resilient::genome_key(genome);
+                let outcome = policy.measure(rig, &programs, &offsets, spec, key);
+                log.record(&outcome);
+                policy.score(cost, &outcome)
+            }
         };
 
         // Seed one individual with a naive high-power pattern — the
@@ -681,6 +719,7 @@ impl Audit {
             resonance,
             ga: ga_run,
             threads,
+            resilience: log.snapshot(),
         })
     }
 }
@@ -793,6 +832,65 @@ mod tests {
             assert_eq!(full.program, resumed.program);
             assert_eq!(full.name, resumed.name);
         }
+    }
+
+    #[test]
+    fn resilient_path_without_faults_matches_plain_bit_identically() {
+        // A non-noop policy (watchdog armed) routes every fitness
+        // evaluation through the resilient path; with faults disabled
+        // the GA must be bit-identical to the plain run — same winner,
+        // same convergence curve, same simulation count.
+        let plain = Audit::new(Rig::bulldozer(), AuditOptions::fast_demo()).generate_resonant(2);
+        let policy = crate::resilient::MeasurePolicy {
+            cycle_budget: Some(u64::MAX),
+            ..crate::resilient::MeasurePolicy::disabled()
+        };
+        assert!(!policy.is_noop());
+        let resilient = Audit::new(
+            Rig::bulldozer(),
+            AuditOptions::fast_demo().with_policy(policy),
+        )
+        .generate_resonant(2);
+        assert_eq!(plain.ga, resilient.ga);
+        assert_eq!(plain.ga.evaluations, resilient.ga.evaluations);
+        assert_eq!(plain.ga.cache_hits, resilient.ga.cache_hits);
+        assert_eq!(plain.best_droop.to_bits(), resilient.best_droop.to_bits());
+        assert_eq!(plain.program, resilient.program);
+        assert_eq!(resilient.resilience.retries, 0);
+        assert_eq!(resilient.resilience.quarantined, 0);
+        assert!(resilient.resilience.evaluations > 0);
+        // The no-op default reports all-zero counters.
+        assert_eq!(plain.resilience, crate::resilient::ResilienceReport::default());
+    }
+
+    #[test]
+    fn faulty_ga_is_identical_across_worker_counts() {
+        use audit_measure::{FaultPlan, FaultRates};
+        // Fault schedules are content-addressed per candidate, so a
+        // noisy, hang-prone run must not depend on evaluation order.
+        let policy = crate::resilient::MeasurePolicy {
+            faults: FaultPlan::new(
+                9,
+                FaultRates {
+                    noise_sigma: 0.002,
+                    hang_rate: 0.05,
+                    ..FaultRates::none()
+                },
+            )
+            .unwrap(),
+            repeat: 2,
+            retries: 3,
+            cycle_budget: Some(1 << 22),
+            ..crate::resilient::MeasurePolicy::disabled()
+        };
+        let opts = AuditOptions::fast_demo().with_policy(policy);
+        let one = Audit::new(Rig::bulldozer(), opts.clone().with_eval_threads(1))
+            .generate_resonant(2);
+        let three =
+            Audit::new(Rig::bulldozer(), opts.with_eval_threads(3)).generate_resonant(2);
+        assert_eq!(one.ga, three.ga);
+        assert_eq!(one.best_droop.to_bits(), three.best_droop.to_bits());
+        assert_eq!(one.resilience, three.resilience);
     }
 
     #[test]

@@ -9,7 +9,8 @@
 use audit_error::AuditError;
 
 use audit_cpu::{ChipConfig, ChipSim, Placement, Program};
-use audit_measure::{DroopStats, FailureModel, Histogram, Oscilloscope, VoltageAtFailure};
+use audit_measure::fault::NoiseStream;
+use audit_measure::{DroopStats, FailureModel, FaultPlan, Histogram, Oscilloscope, VoltageAtFailure};
 use audit_os::{OsConfig, OsModel};
 use audit_pdn::{PdnModel, Transient};
 use serde::{Deserialize, Serialize};
@@ -371,7 +372,81 @@ impl Rig {
         let mut chip = ChipSim::with_start_offsets(&self.chip, &placement, programs, offsets)
             .expect("programs incompatible with chip");
         let mut os = self.os.map(|cfg| OsModel::new(cfg, programs.len()));
-        self.run(&mut chip, os.as_mut(), spec, hook)
+        self.run(&mut chip, os.as_mut(), spec, hook, None)
+    }
+
+    /// Like [`Rig::measure_with_offsets`], but under a seeded
+    /// [`FaultPlan`] and an optional cycle-budget watchdog — the entry
+    /// point of the resilience layer (`crate::resilient`).
+    ///
+    /// The run's fault schedule is a pure function of `(plan, key,
+    /// attempt)`: `key` names the evaluation (hash of the candidate or
+    /// probe voltage) and `attempt` the retry, so results are identical
+    /// across worker counts and kill/resume. With a disabled plan and no
+    /// budget the measurement is bit-identical to
+    /// [`Rig::measure_with_offsets`].
+    ///
+    /// The watchdog bounds the co-simulated work of one evaluation
+    /// (`warmup_cycles + record_cycles`). An evaluation whose work
+    /// exceeds `cycle_budget` — or that draws an injected hang, which
+    /// by definition never completes — is aborted with
+    /// [`AuditError::Timeout`] before burning simulation time. An
+    /// injected machine crash aborts a `check_failure` run with
+    /// [`AuditError::InjectedFault`]; runs that cannot fail have no
+    /// crash path, matching the paper's setup where only the Vmin
+    /// methodology kills the machine. Injected scope noise perturbs the
+    /// *observed* samples only; the simulated physics (and the failure
+    /// check) see the true voltage.
+    ///
+    /// # Errors
+    ///
+    /// [`AuditError::Timeout`] and [`AuditError::InjectedFault`] as
+    /// above; both are transient ([`AuditError::is_transient`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Rig::measure_with_offsets`]
+    /// (placement or program incompatibility — caller bugs, not faults).
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_measure_faulted(
+        &self,
+        programs: &[Program],
+        offsets: &[u64],
+        spec: MeasureSpec,
+        plan: &FaultPlan,
+        key: u64,
+        attempt: u32,
+        cycle_budget: Option<u64>,
+    ) -> Result<Measurement, AuditError> {
+        let mut injector = plan.injector(key, attempt);
+        if injector.hangs() {
+            return Err(AuditError::timeout("harness", cycle_budget.unwrap_or(0)));
+        }
+        if let Some(budget) = cycle_budget {
+            let cost = spec.warmup_cycles + spec.record_cycles;
+            if cost > budget {
+                return Err(AuditError::timeout("harness", budget));
+            }
+        }
+        if spec.check_failure && injector.crashes() {
+            return Err(AuditError::injected(
+                "machine-crash",
+                format!("evaluation {key:#018x} attempt {attempt}"),
+            ));
+        }
+        let placement = self
+            .placement(programs.len())
+            .expect("thread count incompatible with chip");
+        let mut chip = ChipSim::with_start_offsets(&self.chip, &placement, programs, offsets)
+            .expect("programs incompatible with chip");
+        let mut os = self.os.map(|cfg| OsModel::new(cfg, programs.len()));
+        Ok(self.run(
+            &mut chip,
+            os.as_mut(),
+            spec,
+            &mut |_, _| {},
+            injector.noise_mut(),
+        ))
     }
 
     /// The paper's spread placement for `n` threads.
@@ -413,13 +488,18 @@ impl Rig {
         })
     }
 
-    /// Core co-simulation loop shared by every entry point.
+    /// Core co-simulation loop shared by every entry point. `noise`
+    /// perturbs *observed* voltage samples only (scope statistics,
+    /// envelope, traces); the simulated physics and the failure check
+    /// always see the true voltage — measurement noise cannot crash the
+    /// machine.
     fn run(
         &self,
         chip: &mut ChipSim,
         mut os: Option<&mut OsModel>,
         spec: MeasureSpec,
         hook: &mut dyn FnMut(u64, &mut ChipSim),
+        mut noise: Option<&mut NoiseStream>,
     ) -> Measurement {
         let nominal = self.pdn.nominal_voltage();
         let mut transient = Transient::new(&self.pdn, self.chip.clock_hz);
@@ -468,7 +548,11 @@ impl Rig {
             hook(chip.now(), chip);
             let c = chip.step();
             let v = transient.step(c.amps);
-            scope.sample(v);
+            let v_obs = match noise.as_deref_mut() {
+                Some(stream) => stream.perturb(v),
+                None => v,
+            };
+            scope.sample(v_obs);
             amps_acc += c.amps;
             retired_acc += c.retired as u64;
             max_path_seen = max_path_seen.max(c.max_path);
@@ -477,7 +561,7 @@ impl Rig {
             }
             if spec.keep_traces {
                 current_trace.push(c.amps);
-                voltage_trace.push(v);
+                voltage_trace.push(v_obs);
             }
         }
 

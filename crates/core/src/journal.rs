@@ -29,7 +29,17 @@
 //! | `ga_start`    | GA engine         | full [`GaConfig`], menu, seeds     |
 //! | `generation`  | GA engine         | population, scores, stream seed    |
 //! | `ga_end`      | GA engine         | —                                  |
+//! | `vmin_step`   | Vmin search       | `step`, `voltage`, `attempt`, `outcome` |
+//! | `retry`       | Vmin search       | `step`, `attempt`, `reason`, `backoff_cycles` |
+//! | `quarantine`  | Vmin search       | `step`, `attempts`, `fallback`     |
 //! | `run_end`     | [`JournalWriter`] | —                                  |
+//!
+//! The three resilience kinds (`vmin_step`, `retry`, `quarantine`) are
+//! additive to schema v1: journals written before they existed decode
+//! unchanged, and the crash-tolerant Vmin search
+//! ([`crate::resilient::VminSearch`]) journals each probed voltage as a
+//! pending `vmin_step` *before* running it, so a crash mid-probe is
+//! visible on resume.
 
 use std::fs;
 use std::io::Write as _;
@@ -143,8 +153,90 @@ pub enum JournalRecord {
     Generation(GenerationRecord),
     /// The GA search completed (converged or hit its caps).
     GaEnd,
+    /// One probed voltage of a crash-tolerant Vmin search
+    /// ([`crate::resilient::VminSearch`]). A pending record is appended
+    /// *before* the probe runs; the terminal record (`passed`/`failed`)
+    /// after. A crash leaves the pending (or `crashed`) record as the
+    /// journal tail, which resume re-probes.
+    VminStep {
+        /// Probe index within the search (0-based, in probe order).
+        step: u64,
+        /// Supply voltage probed at this step, in volts.
+        voltage: f64,
+        /// Retry attempt within the step (0 = first try).
+        attempt: u32,
+        /// What happened (see [`VminOutcome`]).
+        outcome: VminOutcome,
+    },
+    /// A resilient evaluation attempt hit a transient fault and was
+    /// retried.
+    Retry {
+        /// Evaluation identifier: the Vmin step index.
+        step: u64,
+        /// The attempt that failed (0 = first try).
+        attempt: u32,
+        /// Fault class that triggered the retry (`"timeout"` or
+        /// `"crash"`).
+        reason: String,
+        /// Deterministic backoff charged before the next attempt, in
+        /// cycles (bookkeeping — the simulator does not sleep).
+        backoff_cycles: u64,
+    },
+    /// An evaluation exhausted its retry budget and was quarantined
+    /// with a journaled fallback fitness.
+    Quarantine {
+        /// Evaluation identifier: the Vmin step index.
+        step: u64,
+        /// Total attempts consumed (`retries + 1`).
+        attempts: u32,
+        /// The fallback fitness assigned to the quarantined candidate.
+        fallback: f64,
+    },
     /// The run completed; nothing to resume.
     RunEnd,
+}
+
+/// Outcome tag of a [`JournalRecord::VminStep`] record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VminOutcome {
+    /// The probe was about to run when this record was written.
+    Pending,
+    /// The machine survived the probe voltage (terminal).
+    Passed,
+    /// The machine malfunctioned at the probe voltage (terminal).
+    Failed,
+    /// An injected crash killed the machine mid-probe; the step retries
+    /// (non-terminal).
+    Crashed,
+}
+
+impl VminOutcome {
+    /// The stable journal tag.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            VminOutcome::Pending => "pending",
+            VminOutcome::Passed => "passed",
+            VminOutcome::Failed => "failed",
+            VminOutcome::Crashed => "crashed",
+        }
+    }
+
+    /// Parses a journal tag.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "pending" => Some(VminOutcome::Pending),
+            "passed" => Some(VminOutcome::Passed),
+            "failed" => Some(VminOutcome::Failed),
+            "crashed" => Some(VminOutcome::Crashed),
+            _ => None,
+        }
+    }
+
+    /// True for the outcomes that settle a step (`passed`/`failed`);
+    /// pending and crashed steps are re-probed on resume.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, VminOutcome::Passed | VminOutcome::Failed)
+    }
 }
 
 impl JournalRecord {
@@ -157,6 +249,9 @@ impl JournalRecord {
             JournalRecord::GaStart { .. } => "ga_start",
             JournalRecord::Generation(_) => "generation",
             JournalRecord::GaEnd => "ga_end",
+            JournalRecord::VminStep { .. } => "vmin_step",
+            JournalRecord::Retry { .. } => "retry",
+            JournalRecord::Quarantine { .. } => "quarantine",
             JournalRecord::RunEnd => "run_end",
         }
     }
@@ -234,6 +329,40 @@ impl JournalRecord {
             JournalRecord::GaEnd => {
                 JsonValue::object(vec![("kind", JsonValue::String("ga_end".into()))])
             }
+            JournalRecord::VminStep {
+                step,
+                voltage,
+                attempt,
+                outcome,
+            } => JsonValue::object(vec![
+                ("kind", JsonValue::String("vmin_step".into())),
+                ("step", JsonValue::from_u64(*step)),
+                ("voltage", JsonValue::from_f64(*voltage)),
+                ("attempt", JsonValue::from_u64(u64::from(*attempt))),
+                ("outcome", JsonValue::String(outcome.as_str().into())),
+            ]),
+            JournalRecord::Retry {
+                step,
+                attempt,
+                reason,
+                backoff_cycles,
+            } => JsonValue::object(vec![
+                ("kind", JsonValue::String("retry".into())),
+                ("step", JsonValue::from_u64(*step)),
+                ("attempt", JsonValue::from_u64(u64::from(*attempt))),
+                ("reason", JsonValue::String(reason.clone())),
+                ("backoff_cycles", encode_u64(*backoff_cycles)),
+            ]),
+            JournalRecord::Quarantine {
+                step,
+                attempts,
+                fallback,
+            } => JsonValue::object(vec![
+                ("kind", JsonValue::String("quarantine".into())),
+                ("step", JsonValue::from_u64(*step)),
+                ("attempts", JsonValue::from_u64(u64::from(*attempts))),
+                ("fallback", JsonValue::from_f64(*fallback)),
+            ]),
             JournalRecord::RunEnd => {
                 JsonValue::object(vec![("kind", JsonValue::String("run_end".into()))])
             }
@@ -361,6 +490,42 @@ impl JournalRecord {
                 }))
             }
             "ga_end" => Ok(JournalRecord::GaEnd),
+            "vmin_step" => {
+                let tag = field_str(v, "vmin_step", "outcome")?;
+                let outcome = VminOutcome::parse(tag).ok_or_else(|| {
+                    AuditError::journal(0, format!("unknown vmin_step outcome `{tag}`"))
+                })?;
+                let voltage = v
+                    .get("voltage")
+                    .and_then(JsonValue::as_f64)
+                    .ok_or_else(|| AuditError::journal(0, "vmin_step has no number `voltage`"))?;
+                Ok(JournalRecord::VminStep {
+                    step: field_u64(v, "vmin_step", "step")?,
+                    voltage,
+                    attempt: field_u64(v, "vmin_step", "attempt")? as u32,
+                    outcome,
+                })
+            }
+            "retry" => Ok(JournalRecord::Retry {
+                step: field_u64(v, "retry", "step")?,
+                attempt: field_u64(v, "retry", "attempt")? as u32,
+                reason: field_str(v, "retry", "reason")?.to_string(),
+                backoff_cycles: decode_u64(
+                    v.get("backoff_cycles")
+                        .ok_or_else(|| AuditError::journal(0, "retry has no `backoff_cycles`"))?,
+                )?,
+            }),
+            "quarantine" => {
+                let fallback = v
+                    .get("fallback")
+                    .and_then(JsonValue::as_f64)
+                    .ok_or_else(|| AuditError::journal(0, "quarantine has no number `fallback`"))?;
+                Ok(JournalRecord::Quarantine {
+                    step: field_u64(v, "quarantine", "step")?,
+                    attempts: field_u64(v, "quarantine", "attempts")? as u32,
+                    fallback,
+                })
+            }
             "run_end" => Ok(JournalRecord::RunEnd),
             other => Err(AuditError::journal(0, format!("unknown kind `{other}`"))),
         }
@@ -866,12 +1031,46 @@ mod tests {
             },
             JournalRecord::Generation(sample_generation()),
             JournalRecord::GaEnd,
+            JournalRecord::VminStep {
+                step: 4,
+                voltage: 1.0875,
+                attempt: 1,
+                outcome: VminOutcome::Crashed,
+            },
+            JournalRecord::Retry {
+                step: 4,
+                attempt: 0,
+                reason: "timeout".into(),
+                backoff_cycles: u64::MAX - 1, // forces the string encoding
+            },
+            JournalRecord::Quarantine {
+                step: 7,
+                attempts: 3,
+                fallback: -1.0,
+            },
             JournalRecord::RunEnd,
         ];
         for r in &records {
             let back = JournalRecord::from_json(&r.to_json()).unwrap();
             assert_eq!(&back, r, "{} did not round-trip", r.kind());
         }
+    }
+
+    #[test]
+    fn vmin_outcome_tags_round_trip() {
+        for o in [
+            VminOutcome::Pending,
+            VminOutcome::Passed,
+            VminOutcome::Failed,
+            VminOutcome::Crashed,
+        ] {
+            assert_eq!(VminOutcome::parse(o.as_str()), Some(o));
+        }
+        assert_eq!(VminOutcome::parse("rebooted"), None);
+        assert!(VminOutcome::Passed.is_terminal());
+        assert!(VminOutcome::Failed.is_terminal());
+        assert!(!VminOutcome::Pending.is_terminal());
+        assert!(!VminOutcome::Crashed.is_terminal());
     }
 
     #[test]

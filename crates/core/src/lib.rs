@@ -16,6 +16,9 @@
 //! * [`ga`] — the hierarchical (sub-blocked) genetic search (§3.C),
 //! * [`journal`] — crash-safe checkpoint/resume: the NDJSON run journal
 //!   every long search can be killed into and resumed from,
+//! * [`resilient`] — the resilience layer for fault-injected runs:
+//!   repeat-median measurement, bounded retry, watchdog, quarantine,
+//!   and the crash-tolerant journaled Vmin search,
 //! * [`audit`] — the top-level [`audit::Audit`] driver producing
 //!   the paper's A-Ex, A-Res, A-Res-8T, and A-Res-Th stressmarks,
 //! * [`patterns`] — the idealized high/low activity pattern of Fig. 7,
@@ -49,6 +52,7 @@ pub mod harness;
 pub mod journal;
 pub mod patterns;
 pub mod report;
+pub mod resilient;
 pub mod resonance;
 pub mod suite;
 
@@ -57,3 +61,6 @@ pub use audit_analyze as analyze;
 pub use audit_error::{AuditError, AuditResult};
 pub use harness::{MeasureSpec, MeasureSpecBuilder, Measurement, Rig};
 pub use journal::{Journal, JournalRecord, JournalSink, JournalWriter, MemJournal, NullSink};
+pub use resilient::{
+    MeasurePolicy, ResilienceLog, ResilienceReport, ResilientOutcome, VminResult, VminSearch,
+};

@@ -242,6 +242,48 @@ pub fn journal_summary(journal: &Journal) -> Table {
                 flush_ga(&mut t, &mut gens, &mut best);
                 t.row(vec!["ga_end".into(), "search complete".into()]);
             }
+            JournalRecord::VminStep {
+                step,
+                voltage,
+                attempt,
+                outcome,
+            } => {
+                // Every terminal record is preceded by its write-ahead
+                // pending shadow; skip the shadows so each probe is one
+                // row (a trailing pending row would only repeat what the
+                // resume banner already says).
+                if *outcome != crate::journal::VminOutcome::Pending {
+                    t.row(vec![
+                        "vmin_step".into(),
+                        format!(
+                            "step {step}: {:.4} V {} (attempt {attempt})",
+                            voltage,
+                            outcome.as_str()
+                        ),
+                    ]);
+                }
+            }
+            JournalRecord::Retry {
+                step,
+                attempt,
+                reason,
+                ..
+            } => {
+                t.row(vec![
+                    "retry".into(),
+                    format!("step {step} attempt {attempt}: {reason}"),
+                ]);
+            }
+            JournalRecord::Quarantine {
+                step,
+                attempts,
+                fallback,
+            } => {
+                t.row(vec![
+                    "quarantine".into(),
+                    format!("step {step} after {attempts} attempts, fallback {fallback}"),
+                ]);
+            }
             JournalRecord::RunEnd => {
                 flush_ga(&mut t, &mut gens, &mut best);
                 t.row(vec!["run_end".into(), "run complete".into()]);

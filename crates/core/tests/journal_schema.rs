@@ -12,7 +12,7 @@
 use std::path::PathBuf;
 
 use audit_core::ga::{evolve_journaled, GaConfig, Gene};
-use audit_core::journal::{Journal, JournalRecord, JournalWriter, MemJournal};
+use audit_core::journal::{Journal, JournalRecord, JournalWriter, MemJournal, VminOutcome};
 use audit_core::resonance::ResonanceResult;
 use audit_cpu::Opcode;
 
@@ -64,6 +64,39 @@ fn fixture_records() -> Vec<JournalRecord> {
         name: "resonance".into(),
         payload: fixture_resonance().to_json(),
     });
+    // The resilience kinds (additive in the same schema version): a
+    // write-ahead probe that crashes, retries on a timeout, settles,
+    // and a quarantined step. `backoff_cycles` of 2^53+1 pins the
+    // beyond-f64 u64 codec; the fractional voltage pins float format.
+    mem.records.push(JournalRecord::VminStep {
+        step: 0,
+        voltage: 1.0875,
+        attempt: 0,
+        outcome: VminOutcome::Pending,
+    });
+    mem.records.push(JournalRecord::VminStep {
+        step: 0,
+        voltage: 1.0875,
+        attempt: 0,
+        outcome: VminOutcome::Crashed,
+    });
+    mem.records.push(JournalRecord::Retry {
+        step: 0,
+        attempt: 1,
+        reason: "timeout".into(),
+        backoff_cycles: 9_007_199_254_740_993,
+    });
+    mem.records.push(JournalRecord::VminStep {
+        step: 0,
+        voltage: 1.0875,
+        attempt: 2,
+        outcome: VminOutcome::Failed,
+    });
+    mem.records.push(JournalRecord::Quarantine {
+        step: 1,
+        attempts: 3,
+        fallback: -0.125,
+    });
     evolve_journaled(
         &fixture_cfg(),
         &Opcode::stress_menu(),
@@ -105,9 +138,12 @@ fn golden_journal_decodes() {
     assert_eq!(journal.mode(), Some("generate"));
     assert!(journal.is_complete());
     let kinds: Vec<&str> = journal.records.iter().map(JournalRecord::kind).collect();
-    assert_eq!(kinds[..4], ["run_start", "phase_start", "phase_end", "ga_start"]);
+    assert_eq!(kinds[..3], ["run_start", "phase_start", "phase_end"]);
     assert_eq!(kinds[kinds.len() - 2..], ["ga_end", "run_end"]);
     assert!(kinds.iter().filter(|k| **k == "generation").count() >= 2);
+    for kind in ["vmin_step", "retry", "quarantine"] {
+        assert!(kinds.contains(&kind), "fixture lost its `{kind}` record");
+    }
 
     let resonance = ResonanceResult::from_json(
         journal.phase_payload("resonance").expect("resonance payload"),
@@ -194,4 +230,48 @@ fn schema_field_names_are_pinned() {
     for key in ["\"schema\"", "\"mode\"", "\"meta\""] {
         assert!(run_start.contains(key), "run_start record lost {key}");
     }
+    let vmin = text
+        .lines()
+        .find(|l| l.contains("\"vmin_step\""))
+        .expect("a vmin_step record");
+    for key in ["\"step\"", "\"voltage\"", "\"attempt\"", "\"outcome\""] {
+        assert!(vmin.contains(key), "vmin_step record lost {key}");
+    }
+    let retry = text
+        .lines()
+        .find(|l| l.contains("\"retry\""))
+        .expect("a retry record");
+    for key in ["\"step\"", "\"attempt\"", "\"reason\"", "\"backoff_cycles\""] {
+        assert!(retry.contains(key), "retry record lost {key}");
+    }
+    let quarantine = text
+        .lines()
+        .find(|l| l.contains("\"quarantine\""))
+        .expect("a quarantine record");
+    for key in ["\"step\"", "\"attempts\"", "\"fallback\""] {
+        assert!(quarantine.contains(key), "quarantine record lost {key}");
+    }
+}
+
+#[test]
+fn journal_without_resilience_kinds_still_decodes() {
+    // The three resilience kinds are additive: a journal written before
+    // they existed (here: the fixture minus those lines) must decode,
+    // report completeness, and keep its GA section intact.
+    let text = std::fs::read_to_string(fixture_path()).expect("golden fixture exists");
+    let old: String = text
+        .lines()
+        .filter(|l| {
+            !l.contains("\"vmin_step\"") && !l.contains("\"retry\"")
+                && !l.contains("\"quarantine\"")
+        })
+        .map(|l| format!("{l}\n"))
+        .collect();
+    assert!(old.len() < text.len(), "filter removed nothing");
+    let journal = Journal::parse(&old).expect("pre-resilience journal decodes");
+    assert!(journal.is_complete());
+    assert!(journal.phase_payload("resonance").is_some());
+    let section = journal.last_ga_section().expect("GA section");
+    assert!(section.complete);
+    assert_eq!(section.cfg, &fixture_cfg());
 }

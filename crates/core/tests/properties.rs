@@ -157,3 +157,83 @@ fn cost_functions_monotone_in_droop() {
         );
     }
 }
+
+// Resilience-layer properties. These cases co-simulate the harness, so
+// the case count is kept small.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Median-of-k with MAD rejection converges: under seeded Gaussian
+    /// scope noise of width σ, the reported max droop lands within 6σ
+    /// of the noiseless droop (the minimum of ~1500 noisy samples
+    /// wanders by ~√(2·ln n)·σ ≈ 3.9σ, so 6σ bounds the filtered
+    /// median with margin while a single unfiltered reading has none).
+    #[test]
+    fn median_of_k_converges_under_noise(seed in any::<u64>(), sigma in 0.001f64..0.01) {
+        use audit_core::harness::{MeasureSpec, Rig};
+        use audit_core::resilient::MeasurePolicy;
+        use audit_measure::{FaultPlan, FaultRates};
+        use audit_stressmark::manual;
+
+        let spec = MeasureSpec {
+            warmup_cycles: 500,
+            record_cycles: 1_500,
+            settle_cycles: 20_000,
+            ..MeasureSpec::ga_eval()
+        };
+        let rig = Rig::bulldozer();
+        let programs = vec![manual::sm_res(); 2];
+        let offsets = vec![0; 2];
+        let clean = rig.measure_with_offsets(&programs, &offsets, spec).max_droop();
+
+        let policy = MeasurePolicy {
+            faults: FaultPlan::new(seed, FaultRates {
+                noise_sigma: sigma,
+                ..FaultRates::none()
+            }).unwrap(),
+            repeat: 5,
+            ..MeasurePolicy::disabled()
+        };
+        let out = policy.measure(&rig, &programs, &offsets, spec, seed ^ 0xD1CE);
+        let noisy = out.measurement.expect("noise alone cannot quarantine").max_droop();
+        prop_assert!((noisy - clean).abs() <= 6.0 * sigma,
+            "median droop {noisy} vs clean {clean} beyond 6σ = {}", 6.0 * sigma);
+    }
+
+    /// A candidate whose every attempt hangs is quarantined after
+    /// exactly `retries + 1` attempts — no earlier, no later — for any
+    /// retry budget and repeat count.
+    #[test]
+    fn quarantine_after_exactly_retries_plus_one_hangs(
+        seed in any::<u64>(), retries in 0u32..4, repeat in 1u32..4) {
+        use audit_core::harness::{MeasureSpec, Rig};
+        use audit_core::resilient::{MeasurePolicy, ResilienceLog};
+        use audit_measure::{FaultPlan, FaultRates};
+        use audit_stressmark::manual;
+
+        let policy = MeasurePolicy {
+            faults: FaultPlan::new(seed, FaultRates {
+                hang_rate: 1.0,
+                ..FaultRates::none()
+            }).unwrap(),
+            repeat,
+            retries,
+            cycle_budget: Some(1 << 20),
+            ..MeasurePolicy::disabled()
+        };
+        let rig = Rig::bulldozer();
+        let programs = vec![manual::sm_res(); 2];
+        let spec = MeasureSpec::ga_eval();
+        let out = policy.measure(&rig, &programs, &[0; 2], spec, seed);
+        prop_assert!(out.quarantined);
+        prop_assert!(out.measurement.is_none());
+        prop_assert_eq!(out.attempts, retries + 1);
+        prop_assert_eq!(out.retries, retries + 1);
+        prop_assert_eq!(out.repeats_kept, 0);
+        let log = ResilienceLog::default();
+        log.record(&out);
+        let report = log.snapshot();
+        prop_assert_eq!(report.quarantined, 1);
+        prop_assert_eq!(report.retries, u64::from(retries + 1));
+    }
+}

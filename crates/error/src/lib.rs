@@ -75,6 +75,24 @@ pub enum AuditError {
         /// What was wrong.
         message: String,
     },
+    /// An evaluation exceeded its cycle budget and was aborted by the
+    /// watchdog (a real runaway co-simulation, or an injected hang).
+    Timeout {
+        /// The subsystem whose watchdog fired (e.g. `"harness"`).
+        context: &'static str,
+        /// The cycle budget that was exhausted; 0 if no explicit budget
+        /// was configured (the hang was detected another way).
+        budget: u64,
+    },
+    /// A deterministic injected fault aborted the operation. Only ever
+    /// produced when a fault plan is active; real hardware failures use
+    /// the other variants.
+    InjectedFault {
+        /// The fault class (e.g. `"machine-crash"`).
+        kind: &'static str,
+        /// Human-readable detail (which evaluation, which attempt).
+        message: String,
+    },
 }
 
 impl AuditError {
@@ -117,6 +135,29 @@ impl AuditError {
             message: message.into(),
         }
     }
+
+    /// Shorthand for [`AuditError::Timeout`].
+    pub fn timeout(context: &'static str, budget: u64) -> Self {
+        AuditError::Timeout { context, budget }
+    }
+
+    /// Shorthand for [`AuditError::InjectedFault`].
+    pub fn injected(kind: &'static str, message: impl Into<String>) -> Self {
+        AuditError::InjectedFault {
+            kind,
+            message: message.into(),
+        }
+    }
+
+    /// True for the error classes a resilient measurement policy may
+    /// retry (hangs and injected machine crashes); configuration,
+    /// parse, and journal errors are never retried.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            AuditError::Timeout { .. } | AuditError::InjectedFault { .. }
+        )
+    }
 }
 
 impl fmt::Display for AuditError {
@@ -149,6 +190,16 @@ impl fmt::Display for AuditError {
                 } else {
                     write!(f, "parse error at line {line}: {message}")
                 }
+            }
+            AuditError::Timeout { context, budget } => {
+                if *budget == 0 {
+                    write!(f, "{context} watchdog: evaluation hung")
+                } else {
+                    write!(f, "{context} watchdog: cycle budget of {budget} exhausted")
+                }
+            }
+            AuditError::InjectedFault { kind, message } => {
+                write!(f, "injected fault ({kind}): {message}")
             }
         }
     }
@@ -209,6 +260,36 @@ mod tests {
             AuditError::parse(3, "unknown opcode `warp`").to_string(),
             "parse error at line 3: unknown opcode `warp`"
         );
+    }
+
+    #[test]
+    fn timeout_display_distinguishes_budgeted_and_not() {
+        assert_eq!(
+            AuditError::timeout("harness", 150_000).to_string(),
+            "harness watchdog: cycle budget of 150000 exhausted"
+        );
+        assert_eq!(
+            AuditError::timeout("harness", 0).to_string(),
+            "harness watchdog: evaluation hung"
+        );
+    }
+
+    #[test]
+    fn injected_fault_names_its_kind() {
+        let e = AuditError::injected("machine-crash", "step 3 attempt 1");
+        assert_eq!(
+            e.to_string(),
+            "injected fault (machine-crash): step 3 attempt 1"
+        );
+    }
+
+    #[test]
+    fn only_timeout_and_injected_are_transient() {
+        assert!(AuditError::timeout("harness", 1).is_transient());
+        assert!(AuditError::injected("machine-crash", "x").is_transient());
+        assert!(!AuditError::resume("x").is_transient());
+        assert!(!AuditError::invalid("a", "b", "c").is_transient());
+        assert!(!AuditError::journal(1, "x").is_transient());
     }
 
     #[test]

@@ -4,9 +4,10 @@ use serde::{Deserialize, Serialize};
 
 /// A fixed-range, fixed-bin histogram of `f64` samples.
 ///
-/// Samples outside the range are clamped into the edge bins, so the
-/// total count always equals the number of recorded samples — matching
-/// how a scope bins its full capture.
+/// Finite samples outside the range are clamped into the edge bins, so
+/// the total count always equals the number of finite recorded samples
+/// — matching how a scope bins its full capture. Non-finite samples are
+/// ignored (see [`Histogram::record`]).
 ///
 /// # Example
 ///
@@ -46,8 +47,14 @@ impl Histogram {
         }
     }
 
-    /// Records one sample.
+    /// Records one sample. Non-finite samples are ignored: a NaN casts
+    /// to bin 0 under `as isize` and would silently masquerade as a
+    /// deep-droop event, and infinities carry no bin information — so
+    /// `total()` counts *finite* samples only.
     pub fn record(&mut self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
         let bins = self.counts.len();
         let t = (v - self.lo) / (self.hi - self.lo);
         let idx = ((t * bins as f64) as isize).clamp(0, bins as isize - 1) as usize;
@@ -210,5 +217,18 @@ mod tests {
     #[should_panic(expected = "invalid histogram range")]
     fn rejects_inverted_range() {
         let _ = Histogram::new(2.0, 1.0, 4);
+    }
+
+    #[test]
+    fn non_finite_samples_are_ignored() {
+        let mut h = Histogram::new(0.0, 1.0, 10);
+        h.record(0.55);
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            h.record(bad);
+        }
+        assert_eq!(h.total(), 1);
+        // A NaN must not be silently counted as a bin-0 (deep droop) event.
+        assert_eq!(h.counts()[0], 0);
+        assert_eq!(h.counts()[5], 1);
     }
 }

@@ -15,6 +15,9 @@
 //! * [`failure`] — critical-path failure model and the voltage-at-failure
 //!   stepping search of Table I, capturing the paper's insight that droop
 //!   magnitude alone does not determine the failure point,
+//! * [`fault`] — seeded, deterministic fault injection (scope noise,
+//!   outlier spikes, hangs, machine crashes) for exercising the
+//!   resilience layer in `audit_core::resilient`,
 //! * [`spectrum`] — FFT-based power spectra of captured traces, for
 //!   locating resonant energy in measurements,
 //! * [`traceio`] — CSV persistence for captured waveforms and the
@@ -28,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod failure;
+pub mod fault;
 pub mod histogram;
 pub mod json;
 pub mod predictor;
@@ -37,9 +41,10 @@ pub mod stats;
 pub mod traceio;
 
 pub use failure::{FailureModel, VoltageAtFailure};
+pub use fault::{FaultInjector, FaultPlan, FaultRates};
 pub use histogram::Histogram;
 pub use json::{JsonError, JsonValue};
 pub use scope::Oscilloscope;
 pub use spectrum::SpectralLine;
 pub use stats::DroopStats;
-pub use traceio::JournalReader;
+pub use traceio::{JournalReader, TailOutcome};

@@ -96,7 +96,17 @@ impl Oscilloscope {
     }
 
     /// Feeds one per-cycle voltage sample.
+    ///
+    /// Non-finite samples (a glitched probe reading) are rejected before
+    /// touching any capture state: they would otherwise pin the envelope
+    /// extremes, poison the mean, and count as phantom trigger events.
+    /// Rejections are tallied in [`DroopStats::rejected`] via
+    /// [`Oscilloscope::stats`].
     pub fn sample(&mut self, v: f64) {
+        if !v.is_finite() {
+            self.stats.record(v); // counts the rejection, records nothing
+            return;
+        }
         self.stats.record(v);
         self.histogram.record(v);
         if let Some(level) = self.trigger_level {
@@ -211,5 +221,27 @@ mod tests {
     #[should_panic(expected = "decimation")]
     fn zero_decimation_rejected() {
         let _ = Oscilloscope::new(1.2).with_envelope_decimation(0);
+    }
+
+    #[test]
+    fn non_finite_samples_leave_capture_state_untouched() {
+        let mut clean = Oscilloscope::new(1.2)
+            .with_trigger(1.1)
+            .with_envelope_decimation(2);
+        let mut dirty = clean.clone();
+        let vs = [1.19, 1.05, 1.18, 1.2];
+        for (i, &v) in vs.iter().enumerate() {
+            clean.sample(v);
+            dirty.sample(v);
+            // Interleave garbage between every real sample.
+            dirty.sample([f64::NAN, f64::INFINITY, f64::NEG_INFINITY][i % 3]);
+        }
+        assert_eq!(dirty.stats().count(), clean.stats().count());
+        assert_eq!(dirty.stats().rejected(), 4);
+        assert_eq!(dirty.trigger_events(), clean.trigger_events());
+        assert_eq!(dirty.envelope(), clean.envelope());
+        assert_eq!(dirty.envelope_max(), clean.envelope_max());
+        assert_eq!(dirty.histogram().total(), clean.histogram().total());
+        assert_eq!(dirty.max_droop().to_bits(), clean.max_droop().to_bits());
     }
 }

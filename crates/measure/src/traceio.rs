@@ -100,29 +100,47 @@ pub fn read_csv<R: BufRead>(r: R) -> Result<Vec<f64>, TraceReadError> {
     Ok(out)
 }
 
+/// How the final line of a journal read ended.
+///
+/// Crash recovery is the whole reason the journal exists, so a torn
+/// final line is a first-class *outcome*, not an error: resuming code
+/// branches on it (replay everything complete, re-run the torn step)
+/// instead of unwrapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TailOutcome {
+    /// Every line parsed as a complete record.
+    Clean,
+    /// The final line was torn by a crash mid-append: either it failed
+    /// to parse, or it parsed as JSON that is not a record (a partial
+    /// write can coincidentally be valid JSON — `{}` is a prefix of
+    /// many records). The line is dropped; all prior records stand.
+    TruncatedTail,
+}
+
 /// Offline reader for NDJSON run journals.
 ///
 /// Each journal line is one JSON object with a `"kind"` field. The
 /// reader is schema-agnostic: it hands back [`JsonValue`]s so tools can
 /// inspect journals written by newer builds. A torn final line (the
 /// signature of a crash mid-append under non-atomic writers) is *not* an
-/// error — it is dropped and remembered in [`JournalReader::torn_tail`].
+/// error — it is dropped and reported as a clean
+/// [`TailOutcome::TruncatedTail`] via [`JournalReader::tail`].
 ///
 /// # Example
 ///
 /// ```
-/// use audit_measure::traceio::JournalReader;
+/// use audit_measure::traceio::{JournalReader, TailOutcome};
 ///
 /// let text = "{\"kind\":\"run_start\",\"schema\":1}\n{\"kind\":\"gener";
 /// let reader = JournalReader::parse(text).unwrap();
 /// assert_eq!(reader.records().len(), 1);
-/// assert!(reader.torn_tail());
+/// assert_eq!(reader.tail(), TailOutcome::TruncatedTail);
 /// assert_eq!(reader.kinds(), vec!["run_start"]);
 /// ```
 #[derive(Debug, Clone)]
 pub struct JournalReader {
     records: Vec<JsonValue>,
-    torn_tail: bool,
+    tail: TailOutcome,
 }
 
 impl JournalReader {
@@ -153,11 +171,19 @@ impl JournalReader {
             .filter(|l| !l.is_empty())
             .collect();
         let mut records = Vec::with_capacity(lines.len());
-        let mut torn_tail = false;
+        let mut tail = TailOutcome::Clean;
         for (idx, line) in lines.iter().enumerate() {
+            let last = idx + 1 == lines.len();
             match JsonValue::parse(line) {
                 Ok(record) => {
                     if record.get("kind").and_then(JsonValue::as_str).is_none() {
+                        if last {
+                            // A partial write can still be valid JSON
+                            // (`{}` is a prefix of many records) — the
+                            // same crash tail, just luckier truncation.
+                            tail = TailOutcome::TruncatedTail;
+                            continue;
+                        }
                         return Err(AuditError::journal(
                             idx + 1,
                             "record is not an object with a string `kind`",
@@ -165,16 +191,15 @@ impl JournalReader {
                     }
                     records.push(record);
                 }
-                Err(e) if idx + 1 == lines.len() => {
+                Err(_) if last => {
                     // Crash tail: an interrupted append leaves a partial
                     // final line. Recoverable by construction.
-                    let _ = e;
-                    torn_tail = true;
+                    tail = TailOutcome::TruncatedTail;
                 }
                 Err(e) => return Err(AuditError::journal(idx + 1, e.to_string())),
             }
         }
-        Ok(JournalReader { records, torn_tail })
+        Ok(JournalReader { records, tail })
     }
 
     /// All complete records, in journal order.
@@ -182,9 +207,17 @@ impl JournalReader {
         &self.records
     }
 
+    /// How the final line ended: [`TailOutcome::TruncatedTail`] if it
+    /// was torn by a crash mid-append (and dropped), else
+    /// [`TailOutcome::Clean`].
+    pub fn tail(&self) -> TailOutcome {
+        self.tail
+    }
+
     /// True if the final line was torn (partial write before a crash).
+    /// Shorthand for `tail() == TailOutcome::TruncatedTail`.
     pub fn torn_tail(&self) -> bool {
-        self.torn_tail
+        self.tail == TailOutcome::TruncatedTail
     }
 
     /// The `"kind"` of every record, in order — the quickest way to see
@@ -287,6 +320,29 @@ mod tests {
     fn journal_reader_rejects_kindless_records() {
         let err = JournalReader::parse("{\"schema\":1}\n{\"kind\":\"x\"}\n").unwrap_err();
         assert!(err.to_string().contains("kind"), "{err}");
+    }
+
+    #[test]
+    fn valid_json_kindless_tail_is_truncation_not_error() {
+        // A torn write can coincidentally be valid JSON: `{}` is the
+        // prefix of `{"kind":...}` truncated after one byte plus the
+        // closing brace an editor or filesystem might leave. Must be a
+        // clean TruncatedTail outcome, not a parse error.
+        for tail in ["{}", "{\"kin\":1}", "[1,2]", "42"] {
+            let text = format!("{{\"kind\":\"run_start\",\"schema\":1}}\n{tail}");
+            let r = JournalReader::parse(&text)
+                .unwrap_or_else(|e| panic!("tail `{tail}` errored: {e}"));
+            assert_eq!(r.tail(), TailOutcome::TruncatedTail, "tail `{tail}`");
+            assert!(r.torn_tail());
+            assert_eq!(r.records().len(), 1);
+        }
+    }
+
+    #[test]
+    fn clean_journal_reports_clean_tail() {
+        let r = JournalReader::parse("{\"kind\":\"run_start\",\"schema\":1}\n").unwrap();
+        assert_eq!(r.tail(), TailOutcome::Clean);
+        assert!(!r.torn_tail());
     }
 
     #[test]
