@@ -54,6 +54,10 @@ const VALUE_FLAGS: &[&str] = &[
     "--repeat",
     "--retries",
     "--cycle-budget",
+    "--listen",
+    "--connect",
+    "--min-workers",
+    "--window",
 ];
 
 impl Args {

@@ -1,16 +1,18 @@
 //! The `audit` subcommands.
 
 use std::fs;
+use std::path::Path;
 
 use audit_analyze::{check, Code, Diagnostic, LintConfig, Severity, VerifyTarget};
 use audit_core::audit::{Audit, StressmarkRun};
-use audit_core::journal::{Journal, JournalWriter, NullSink};
+use audit_core::journal::{Journal, JournalSink, JournalWriter, NullSink};
 use audit_core::report::{journal_summary, mv, Table};
 use audit_core::resilient::{self, VminResult, VminSearch};
-use audit_core::resonance;
+use audit_core::resonance::{self, ResonanceResult};
 use audit_core::AuditError;
 use audit_cpu::{ChipConfig, Program};
 use audit_measure::json::JsonValue;
+use audit_net::{run_worker, Broker, BrokerConfig, EvalContext, WorkerOptions};
 use audit_stressmark::{manual, nasm, progfile, workloads};
 
 use crate::args::{ArgError, Args};
@@ -49,11 +51,30 @@ USAGE:
       bit-identical across worker counts and kill/--resume.
 
   audit generate   --resume run.ndjson [--out file.asm] [--save file.prog]
-                   [--iterations N]
+                   [--iterations N] [--distributed [--listen A] ...]
       Continue a killed --checkpoint run. Configuration flags are
       restored from the journal; the journaled generations are
       replayed without re-simulation and the final stressmark is
-      bit-identical to an uninterrupted run's.
+      bit-identical to an uninterrupted run's. With --distributed the
+      continuation evaluates on workers, prefilling any evaluations
+      the dead broker had write-ahead-logged to run.ndjson.wal.
+
+  audit serve      [generate flags] [--listen HOST:PORT|unix:/path]
+                   [--min-workers N] [--window N]
+      `generate`, but fitness evaluations are dispatched to worker
+      processes (`audit work`) over TCP or a Unix socket. Equivalent
+      to `audit generate --distributed`. Results, journals, and
+      checkpoints are byte-identical to a local run for any worker
+      count — workers may join or die mid-run; lost work is retried
+      deterministically on the survivors. --listen defaults to
+      127.0.0.1:0 (the bound port is printed); --min-workers (default
+      1) blocks until that many workers join; --window bounds
+      in-flight evaluations per worker (default 2).
+
+  audit work       --connect HOST:PORT|unix:/path
+      Join a broker and serve fitness evaluations until released. The
+      worker learns the chip, operating point, and fitness function
+      from the broker — no other flags needed.
 
   audit measure    (--workload NAME | --stressmark NAME | --file X.prog)
                    [--threads N] [--chip C] [--volts V] [--throttle N]
@@ -117,8 +138,18 @@ pub fn resonance(args: &Args) -> Result<(), ArgError> {
 
 /// `audit generate`.
 pub fn generate(args: &Args) -> Result<(), ArgError> {
+    let distributed = args.bool_flag("--distributed");
+    generate_inner(args, distributed)
+}
+
+/// `audit serve`: `generate` with the distributed broker always on.
+pub fn serve(args: &Args) -> Result<(), ArgError> {
+    generate_inner(args, true)
+}
+
+fn generate_inner(args: &Args, distributed: bool) -> Result<(), ArgError> {
     if let Some(journal_path) = args.opt_flag("--resume") {
-        return resume_generate(args, &journal_path);
+        return resume_generate(args, &journal_path, distributed);
     }
     let rig = platform::rig_from(args)?;
     let threads = args.num_flag("--threads", 4usize)?;
@@ -129,24 +160,42 @@ pub fn generate(args: &Args) -> Result<(), ArgError> {
     let iterations = args.num_flag("--iterations", 100_000_000u64)?;
     let checkpoint = args.opt_flag("--checkpoint");
     let meta = platform::generate_meta(args);
+    let dist = distributed.then(|| dist_flags(args)).transpose()?;
     args.reject_unknown()?;
 
     let audit = Audit::new(rig, opts);
-    let run = match &checkpoint {
-        Some(path) => {
+    let run = match (&checkpoint, &dist) {
+        (Some(path), _) => {
             let mut writer =
                 JournalWriter::create(path, "generate", meta).map_err(core_err)?;
-            let run = match kind.as_str() {
-                "res" => audit.generate_resonant_journaled(threads, &mut writer),
-                "ex" => audit.generate_excitation_journaled(threads, &mut writer),
-                other => return Err(ArgError(format!("unknown kind `{other}` (res | ex)"))),
-            }
-            .map_err(core_err)?;
+            let run = match &dist {
+                Some(dist) => run_distributed(
+                    &audit,
+                    args,
+                    dist,
+                    threads,
+                    &kind,
+                    &mut writer,
+                    None,
+                    Some(path),
+                )?,
+                None => match kind.as_str() {
+                    "res" => audit.generate_resonant_journaled(threads, &mut writer),
+                    "ex" => audit.generate_excitation_journaled(threads, &mut writer),
+                    other => {
+                        return Err(ArgError(format!("unknown kind `{other}` (res | ex)")))
+                    }
+                }
+                .map_err(core_err)?,
+            };
             writer.finish().map_err(core_err)?;
             println!("checkpoint: {path} ({} records)", writer.len());
             run
         }
-        None => match kind.as_str() {
+        (None, Some(dist)) => {
+            run_distributed(&audit, args, dist, threads, &kind, &mut NullSink, None, None)?
+        }
+        (None, None) => match kind.as_str() {
             "res" => audit.generate_resonant(threads),
             "ex" => audit.generate_excitation(threads),
             other => return Err(ArgError(format!("unknown kind `{other}` (res | ex)"))),
@@ -155,14 +204,149 @@ pub fn generate(args: &Args) -> Result<(), ArgError> {
     print_run(&run, out, save, iterations)
 }
 
+/// `audit work`: serve evaluations to a broker until released.
+pub fn work(args: &Args) -> Result<(), ArgError> {
+    let connect = args
+        .opt_flag("--connect")
+        .ok_or_else(|| ArgError("audit work needs --connect HOST:PORT or unix:/path".into()))?;
+    args.reject_unknown()?;
+
+    println!("worker connecting to {connect}…");
+    let stats = run_worker(&connect, &WorkerOptions::default()).map_err(core_err)?;
+    println!(
+        "served {} evaluation(s); {}",
+        stats.evaluations,
+        if stats.clean_exit {
+            "released by broker"
+        } else {
+            "session ended"
+        }
+    );
+    Ok(())
+}
+
+/// The distribution flags (`--listen`, `--min-workers`, `--window`).
+/// Deliberately *not* recorded in the checkpoint metadata: they are
+/// result-neutral, so a local and a distributed run of the same
+/// configuration produce byte-identical journals.
+struct DistFlags {
+    listen: String,
+    min_workers: usize,
+    window: usize,
+}
+
+fn dist_flags(args: &Args) -> Result<DistFlags, ArgError> {
+    Ok(DistFlags {
+        listen: args.str_flag("--listen", "127.0.0.1:0"),
+        min_workers: args.num_flag("--min-workers", 1usize)?,
+        window: args.num_flag("--window", 2usize)?,
+    })
+}
+
+/// The distributed `generate` driver: local resonance phase, then a
+/// broker dispatching GA evaluations to `audit work` processes. `plat`
+/// carries the platform flags (`--chip`, `--volts`, `--throttle`) — on
+/// resume those come from the journal's saved argv, not the current
+/// command line. With a checkpoint, dispatch is write-ahead-logged to
+/// `<checkpoint>.wal`; the WAL is deleted once the run completes.
+#[allow(clippy::too_many_arguments)]
+fn run_distributed(
+    audit: &Audit,
+    plat: &Args,
+    dist: &DistFlags,
+    threads: usize,
+    kind: &str,
+    sink: &mut dyn JournalSink,
+    resume: Option<&Journal>,
+    wal_base: Option<&str>,
+) -> Result<StressmarkRun, ArgError> {
+    // The resonance sweep runs locally: it is cheap next to the GA, and
+    // the broker needs its result to describe the fitness function to
+    // workers. On resume a completed sweep is decoded from the journal.
+    let resonance = match resume.and_then(|j| j.phase_payload("resonance")) {
+        Some(payload) => ResonanceResult::from_json(payload).map_err(core_err)?,
+        None => audit.journaled_resonance(threads, sink).map_err(core_err)?,
+    };
+    let (fspec, name, seed_miss_load) = match kind {
+        "res" => (
+            audit.resonant_fitness_spec(threads, resonance.period_cycles),
+            format!("A-Res-{threads}T"),
+            false,
+        ),
+        "ex" => (
+            audit.excitation_fitness_spec(threads),
+            format!("A-Ex-{threads}T"),
+            true,
+        ),
+        other => return Err(ArgError(format!("unknown kind `{other}` (res | ex)"))),
+    };
+    let ctx = eval_context(plat, fspec)?;
+    let cfg = BrokerConfig {
+        seed: audit.options().ga.seed,
+        window: dist.window.max(1),
+        ..BrokerConfig::default()
+    };
+    let mut broker = Broker::bind(&dist.listen, &ctx, cfg).map_err(core_err)?;
+    if let Some(base) = wal_base {
+        let wal_path = format!("{base}.wal");
+        broker.attach_wal(Path::new(&wal_path)).map_err(core_err)?;
+    }
+    println!("broker listening on {}", broker.addr());
+    println!("  join with: audit work --connect {}", broker.addr());
+    if dist.min_workers > 0 {
+        println!("waiting for {} worker(s)…", dist.min_workers);
+        broker.wait_for_workers(dist.min_workers).map_err(core_err)?;
+    }
+    let ga_resume = resume.filter(|j| j.last_ga_section().is_some());
+    let run = audit
+        .evolve_dispatched(
+            &name,
+            &fspec,
+            resonance,
+            seed_miss_load,
+            &mut broker,
+            sink,
+            ga_resume,
+        )
+        .map_err(core_err)?;
+    broker.discard_wal();
+    broker.shutdown();
+    Ok(run)
+}
+
+/// Builds the worker-setup context from the platform flags.
+fn eval_context(plat: &Args, fspec: audit_core::FitnessSpec) -> Result<EvalContext, ArgError> {
+    let volts = match plat.opt_flag("--volts") {
+        Some(v) => Some(
+            v.parse::<f64>()
+                .map_err(|_| ArgError(format!("--volts: cannot parse `{v}`")))?,
+        ),
+        None => None,
+    };
+    let throttle = match plat.opt_flag("--throttle") {
+        Some(cap) => Some(
+            cap.parse::<u32>()
+                .map_err(|_| ArgError(format!("--throttle: cannot parse `{cap}`")))?,
+        ),
+        None => None,
+    };
+    Ok(EvalContext {
+        chip: plat.str_flag("--chip", "bulldozer"),
+        volts,
+        throttle,
+        spec: fspec,
+    })
+}
+
 /// `audit generate --resume <journal>`: reconstructs the run's
 /// configuration from the journal's `run_start` metadata, replays the
 /// journaled work without re-simulation, and finishes the run live —
 /// the result is bit-identical to an uninterrupted run's.
-fn resume_generate(args: &Args, journal_path: &str) -> Result<(), ArgError> {
+fn resume_generate(args: &Args, journal_path: &str, distributed: bool) -> Result<(), ArgError> {
     let out = args.opt_flag("--out");
     let save = args.opt_flag("--save");
     let iterations = args.num_flag("--iterations", 100_000_000u64)?;
+    let dist = distributed.then(|| dist_flags(args)).transpose()?;
     args.reject_unknown()?;
 
     let journal = Journal::load(journal_path).map_err(core_err)?;
@@ -187,12 +371,24 @@ fn resume_generate(args: &Args, journal_path: &str) -> Result<(), ArgError> {
 
     let mut writer = JournalWriter::resume(journal_path).map_err(core_err)?;
     let audit = Audit::new(rig, opts);
-    let run = match kind.as_str() {
-        "res" => audit.resume_resonant(&journal, threads, &mut writer),
-        "ex" => audit.resume_excitation(&journal, threads, &mut writer),
-        other => return Err(ArgError(format!("journal has unknown kind `{other}`"))),
-    }
-    .map_err(core_err)?;
+    let run = match &dist {
+        Some(dist) => run_distributed(
+            &audit,
+            &saved,
+            dist,
+            threads,
+            &kind,
+            &mut writer,
+            Some(&journal),
+            Some(journal_path),
+        )?,
+        None => match kind.as_str() {
+            "res" => audit.resume_resonant(&journal, threads, &mut writer),
+            "ex" => audit.resume_excitation(&journal, threads, &mut writer),
+            other => return Err(ArgError(format!("journal has unknown kind `{other}`"))),
+        }
+        .map_err(core_err)?,
+    };
     if !complete {
         writer.finish().map_err(core_err)?;
     }

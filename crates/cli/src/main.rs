@@ -10,6 +10,8 @@
 //! audit measure    (--workload NAME | --stressmark NAME) [--threads N]
 //!                  [--chip C] [--volts V] [--throttle N] [--cycles N] [--fast]
 //! audit failure    (--workload NAME | --stressmark NAME) [--threads N] [--chip C] [--fast]
+//! audit serve      [generate flags] [--listen ADDR] [--min-workers N] [--window N]
+//! audit work       --connect ADDR
 //! audit lint       (<file.prog> | --builtin NAME | --all-builtins)
 //!                  [--chip C] [--json] [--deny-warnings] [--allow AUD###] [--deny AUD###]
 //! audit list
@@ -46,6 +48,8 @@ fn run(raw: Vec<String>) -> Result<(), String> {
         "generate" => commands::generate(&parsed),
         "measure" => commands::measure(&parsed),
         "failure" => commands::failure(&parsed),
+        "serve" => commands::serve(&parsed),
+        "work" => commands::work(&parsed),
         "lint" => commands::lint(&parsed),
         "list" => commands::list(&parsed),
         "spice" => commands::spice(&parsed),

@@ -444,8 +444,17 @@ impl Audit {
     }
 
     /// The journaled resonance phase: `phase_start`, the sweep,
-    /// `phase_end` carrying the result.
-    fn journaled_resonance(
+    /// `phase_end` carrying the result. Public so external drivers
+    /// (e.g. the `audit-net` distributed broker, which must run the
+    /// resonance sweep locally before it can describe the fitness
+    /// function to its workers) can reproduce exactly the phase
+    /// structure [`Audit::generate_resonant_journaled`] writes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuditError::InvalidConfig`] for zero `threads`, and
+    /// any sink I/O error.
+    pub fn journaled_resonance(
         &self,
         threads: usize,
         sink: &mut dyn JournalSink,
@@ -621,8 +630,14 @@ impl Audit {
         let menu = self.opcode_menu();
         let genome_len =
             self.opts.sub_block_cycles as usize * self.rig.chip.core.fetch_width as usize;
-        let cost = self.opts.cost;
-        let spec = self.opts.eval_spec;
+        let fspec = FitnessSpec {
+            threads,
+            sub_blocks,
+            lp_slots,
+            cost: self.opts.cost,
+            spec: self.opts.eval_spec,
+            policy: self.opts.policy,
+        };
         let rig = &self.rig;
 
         // Safe to call from GA worker threads: `measure_aligned` builds
@@ -630,32 +645,90 @@ impl Audit {
         // transient) fresh inside the call, so concurrent evaluations
         // share only `&Rig` immutably. The resilience log is a plain
         // order-insensitive counter behind a mutex.
-        let policy = &self.opts.policy;
-        let plain_path = policy.is_noop();
         let log = ResilienceLog::default();
         let fitness = |genome: &[Gene]| {
-            let kernel = Kernel::from_sub_blocks(
-                "candidate",
-                &ga::genome::to_sub_block(genome),
-                sub_blocks,
-                lp_slots,
-            );
-            let programs = vec![kernel.to_program(); threads];
-            if plain_path {
-                cost.score(&rig.measure_aligned(&programs, spec))
-            } else {
-                let offsets = vec![0; threads];
-                let key = resilient::genome_key(genome);
-                let outcome = policy.measure(rig, &programs, &offsets, spec, key);
-                log.record(&outcome);
-                policy.score(cost, &outcome)
-            }
+            let (f, delta) = fspec.evaluate(rig, genome);
+            log.fold(&delta);
+            f
         };
 
-        // Seed one individual with a naive high-power pattern — the
-        // paper's "initial population … seeded with existing benchmarks
-        // or stressmarks to improve the convergence rate" (§3). The GA
-        // still has to beat it.
+        let seeds = self.ga_seeds(genome_len, seed_miss_load, extra_seeds);
+        let ga_run = match resume {
+            Some(journal) => GaRun::resume_with_sink(journal, fitness, sink)?,
+            None => {
+                ga::evolve_journaled(&self.opts.ga, &menu, genome_len, &seeds, fitness, sink)?
+            }
+        };
+        self.finish_run(name, &fspec, resonance, ga_run, log.snapshot())
+    }
+
+    /// The GA phase evaluated through an explicit
+    /// [`ga::EvalDispatcher`] — the distributed counterpart of the
+    /// closure-based path above, driven by the `audit-net` broker. The
+    /// dispatcher's workers must compute [`FitnessSpec::evaluate`] for
+    /// this exact `fspec` (that is what the broker's setup handshake
+    /// ships them); the engine's slot-ordered merge then makes the
+    /// resulting [`StressmarkRun`], journal bytes, and cache state
+    /// bit-identical to the in-process run for any worker count.
+    ///
+    /// `seed_miss_load` selects the excitation seeding (as in
+    /// [`Audit::generate_excitation`]); `resume` replays a journaled
+    /// prefix exactly as [`Audit::resume_resonant`] does.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Audit::generate_resonant_journaled`], plus any
+    /// dispatch error.
+    #[allow(clippy::too_many_arguments)] // mirrors the journaled path's knobs 1:1
+    pub fn evolve_dispatched(
+        &self,
+        name: &str,
+        fspec: &FitnessSpec,
+        resonance: ResonanceResult,
+        seed_miss_load: bool,
+        dispatcher: &mut dyn ga::EvalDispatcher,
+        sink: &mut dyn JournalSink,
+        resume: Option<&Journal>,
+    ) -> Result<StressmarkRun, AuditError> {
+        if fspec.threads == 0 {
+            return Err(AuditError::invalid(
+                "Audit",
+                "threads",
+                "need at least one thread",
+            ));
+        }
+        let menu = self.opcode_menu();
+        let genome_len =
+            self.opts.sub_block_cycles as usize * self.rig.chip.core.fetch_width as usize;
+        let seeds = self.ga_seeds(genome_len, seed_miss_load, &[]);
+        let ga_run = match resume {
+            Some(journal) => GaRun::resume_dispatched(journal, dispatcher, sink)?,
+            None => ga::evolve_journaled_dispatched(
+                &self.opts.ga,
+                &menu,
+                genome_len,
+                &seeds,
+                dispatcher,
+                sink,
+            )?,
+        };
+        let resilience = dispatcher.resilience();
+        self.finish_run(name, fspec, resonance, ga_run, resilience)
+    }
+
+    /// Builds the seed genomes every generation run starts from: the
+    /// naive high-power pattern (the paper's "initial population …
+    /// seeded with existing benchmarks or stressmarks to improve the
+    /// convergence rate", §3), any caller-provided extras, and — for
+    /// excitation runs — the missing-load variant. Broker and
+    /// in-process paths share this so their `ga_start` records are
+    /// byte-identical.
+    fn ga_seeds(
+        &self,
+        genome_len: usize,
+        seed_miss_load: bool,
+        extra_seeds: &[Vec<Gene>],
+    ) -> Vec<Vec<Gene>> {
         let seed: Vec<Gene> = (0..genome_len)
             .map(|i| {
                 let opcode = match i % 4 {
@@ -693,22 +766,30 @@ impl Audit {
             };
             seeds.push(with_miss);
         }
-        let ga_run = match resume {
-            Some(journal) => GaRun::resume_with_sink(journal, fitness, sink)?,
-            None => {
-                ga::evolve_journaled(&self.opts.ga, &menu, genome_len, &seeds, fitness, sink)?
-            }
-        };
+        seeds
+    }
 
+    /// Packages a finished GA run: lowers the best genome to its named
+    /// kernel, re-measures its droop on the reporting path, and attaches
+    /// the resilience counters.
+    fn finish_run(
+        &self,
+        name: &str,
+        fspec: &FitnessSpec,
+        resonance: ResonanceResult,
+        ga_run: GaRun,
+        resilience: ResilienceReport,
+    ) -> Result<StressmarkRun, AuditError> {
         let kernel = Kernel::from_sub_blocks(
             name,
             &ga::genome::to_sub_block(&ga_run.best),
-            sub_blocks,
-            lp_slots,
+            fspec.sub_blocks,
+            fspec.lp_slots,
         );
         let program = kernel.to_program();
-        let best_droop = rig
-            .measure_aligned(&vec![program.clone(); threads], spec)
+        let best_droop = self
+            .rig
+            .measure_aligned(&vec![program.clone(); fspec.threads], fspec.spec)
             .max_droop();
         Ok(StressmarkRun {
             name: name.to_string(),
@@ -718,9 +799,91 @@ impl Audit {
             best_droop,
             resonance,
             ga: ga_run,
-            threads,
-            resilience: log.snapshot(),
+            threads: fspec.threads,
+            resilience,
         })
+    }
+
+    /// The [`FitnessSpec`] a resonant (A-Res) run evaluates against,
+    /// for a resonance sweep that detected `period` (see
+    /// [`ResonanceResult::period_cycles`]). This is the description a
+    /// distributed broker ships to its workers.
+    pub fn resonant_fitness_spec(&self, threads: usize, period: u32) -> FitnessSpec {
+        let (sub_blocks, lp_slots) = self.resonant_shape(period);
+        self.fitness_spec(threads, sub_blocks, lp_slots)
+    }
+
+    /// The [`FitnessSpec`] an excitation (A-Ex) run evaluates against.
+    pub fn excitation_fitness_spec(&self, threads: usize) -> FitnessSpec {
+        let (sub_blocks, lp_slots) = self.excitation_shape();
+        self.fitness_spec(threads, sub_blocks, lp_slots)
+    }
+
+    fn fitness_spec(&self, threads: usize, sub_blocks: usize, lp_slots: usize) -> FitnessSpec {
+        FitnessSpec {
+            threads,
+            sub_blocks,
+            lp_slots,
+            cost: self.opts.cost,
+            spec: self.opts.eval_spec,
+            policy: self.opts.policy,
+        }
+    }
+}
+
+/// Everything a fitness evaluator — in-process worker thread or remote
+/// `audit work` process — needs to score one genome exactly as the GA
+/// driver does: the loop shape the genome is lowered into, the thread
+/// count, the measurement window, the cost function, and the resilience
+/// policy (whose fault schedule is a pure function of the genome's
+/// content key, so any evaluator draws identical faults).
+///
+/// [`FitnessSpec::evaluate`] is *the* fitness function: the in-process
+/// GA closure and the distributed worker both call it, which is what
+/// makes the two paths bit-identical by construction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FitnessSpec {
+    /// Homogeneous thread count the candidate runs with.
+    pub threads: usize,
+    /// HP-region sub-block replication factor (S, §3.C).
+    pub sub_blocks: usize,
+    /// LP-region slot count absorbing the period rounding.
+    pub lp_slots: usize,
+    /// Cost function scoring each measurement.
+    pub cost: CostFunction,
+    /// Measurement window of each evaluation.
+    pub spec: MeasureSpec,
+    /// Resilience policy (fault plan, repeats, retries, quarantine).
+    pub policy: MeasurePolicy,
+}
+
+impl FitnessSpec {
+    /// Scores one genome on `rig`, returning the fitness and the
+    /// [`ResilienceReport`] delta this evaluation contributes (all
+    /// zeros on the plain path, where the policy is a no-op).
+    ///
+    /// Deterministic per genome: simulator state is built fresh inside
+    /// the call and the fault schedule is content-addressed, so the
+    /// same genome scores bit-identically on any thread, process, or
+    /// host.
+    pub fn evaluate(&self, rig: &Rig, genome: &[Gene]) -> (f64, ResilienceReport) {
+        let kernel = Kernel::from_sub_blocks(
+            "candidate",
+            &ga::genome::to_sub_block(genome),
+            self.sub_blocks,
+            self.lp_slots,
+        );
+        let programs = vec![kernel.to_program(); self.threads];
+        if self.policy.is_noop() {
+            let f = self.cost.score(&rig.measure_aligned(&programs, self.spec));
+            (f, ResilienceReport::default())
+        } else {
+            let offsets = vec![0; self.threads];
+            let key = resilient::genome_key(genome);
+            let outcome = self.policy.measure(rig, &programs, &offsets, self.spec, key);
+            let delta = ResilienceReport::from_outcome(&outcome);
+            (self.policy.score(self.cost, &outcome), delta)
+        }
     }
 }
 

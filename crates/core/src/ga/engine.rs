@@ -43,6 +43,7 @@ use audit_analyze::{swing_score, MachineModel};
 
 use super::genome::{to_sub_block, Gene};
 use crate::journal::{GenerationAnalysis, GenerationRecord, Journal, JournalRecord, JournalSink, NullSink};
+use crate::resilient::ResilienceReport;
 
 /// GA hyper-parameters.
 ///
@@ -90,6 +91,17 @@ pub struct GaConfig {
     /// (useful when a wall-clock budget may cut a run short).
     #[serde(default)]
     pub surrogate_rank: bool,
+    /// Budgeted surrogate early stopping: when non-zero, each
+    /// generation measures only the `surrogate_budget` most promising
+    /// cache misses (ranked by `audit_analyze::swing_score`, the same
+    /// ordering [`GaConfig::surrogate_rank`] uses for dispatch) and
+    /// scores the rest at `f64::NEG_INFINITY` so they lose every
+    /// tournament. Unlike `surrogate_rank` this **changes results** —
+    /// it is off by default (`0`) and excluded from the bit-identity
+    /// invariants; journals record the budget in a `surrogate_budget`
+    /// marker so resumed runs replay the same truncated evaluations.
+    #[serde(default)]
+    pub surrogate_budget: usize,
 }
 
 fn default_threads() -> usize {
@@ -114,6 +126,7 @@ impl Default for GaConfig {
             threads: default_threads(),
             cache_capacity: default_cache_capacity(),
             surrogate_rank: false,
+            surrogate_budget: 0,
         }
     }
 }
@@ -408,15 +421,143 @@ impl GaRun {
         // A section already closed by `ga_end` is replay-only: recompute
         // the result without appending duplicate records.
         let sink: &mut dyn JournalSink = if section.complete { &mut null } else { sink };
+        let mut dispatcher =
+            LocalDispatcher::new(fitness, resolve_workers(section.cfg.threads));
         run_ga(
             section.cfg,
             section.menu,
             section.genome_len,
             section.seeds,
-            fitness,
+            &mut dispatcher,
             sink,
             &section.generations,
         )
+    }
+
+    /// [`GaRun::resume_with_sink`], evaluating through an explicit
+    /// [`EvalDispatcher`] instead of a local fitness closure — the
+    /// resume path of a distributed run (`audit-net` broker). The
+    /// dispatcher must compute the same deterministic fitness the
+    /// original run used or the replayed prefix will not line up.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`GaRun::resume_with_sink`], plus any dispatch error.
+    pub fn resume_dispatched(
+        journal: &Journal,
+        dispatcher: &mut dyn EvalDispatcher,
+        sink: &mut dyn JournalSink,
+    ) -> Result<GaRun, AuditError> {
+        let section = journal
+            .last_ga_section()
+            .ok_or_else(|| AuditError::resume("journal contains no GA section"))?;
+        let mut null = NullSink;
+        let sink: &mut dyn JournalSink = if section.complete { &mut null } else { sink };
+        run_ga(
+            section.cfg,
+            section.menu,
+            section.genome_len,
+            section.seeds,
+            dispatcher,
+            sink,
+            &section.generations,
+        )
+    }
+}
+
+/// Evaluates one generation's cache misses, wherever the compute lives.
+///
+/// The engine hands a dispatcher the population and the slots that need
+/// measuring (`jobs`, already deduplicated, cache-filtered, and — when
+/// surrogate ranking is on — ordered most-promising-first) and expects
+/// one `(slot, fitness)` pair per job back, **in any order**. The engine
+/// sorts results into slot order before touching the cache, so a
+/// conforming dispatcher can never perturb results: local thread pools
+/// ([`LocalDispatcher`]) and remote broker/worker fleets (`audit-net`)
+/// are bit-identical by construction as long as the fitness they compute
+/// is the same deterministic function of the genome.
+pub trait EvalDispatcher {
+    /// Scores `jobs` (slot indices into `population`), returning one
+    /// `(slot, fitness)` pair per job in any order.
+    ///
+    /// # Errors
+    ///
+    /// Dispatch is allowed to fail (e.g. a network broker losing its
+    /// last worker); the engine aborts the run with the error.
+    fn evaluate(
+        &mut self,
+        population: &[Vec<Gene>],
+        jobs: &[usize],
+    ) -> Result<Vec<(usize, f64)>, AuditError>;
+
+    /// Worker parallelism, for telemetry only (never affects results).
+    fn workers(&self) -> usize {
+        1
+    }
+
+    /// Aggregate resilience counters accumulated by the dispatcher's
+    /// evaluations, if it tracks any (a remote broker folds the deltas
+    /// its workers report). Order-insensitive sums, so any scheduling
+    /// produces the same report.
+    fn resilience(&self) -> ResilienceReport {
+        ResilienceReport::default()
+    }
+}
+
+/// The in-process [`EvalDispatcher`]: a `std::thread::scope` work queue
+/// over a fitness closure — exactly the engine's historical evaluation
+/// path, now behind the trait so local and distributed runs share one
+/// merge discipline.
+pub struct LocalDispatcher<F> {
+    fitness: F,
+    workers: usize,
+}
+
+impl<F: Fn(&[Gene]) -> f64 + Sync> LocalDispatcher<F> {
+    /// Wraps `fitness` with a concrete worker count (see
+    /// [`resolve_workers`]).
+    pub fn new(fitness: F, workers: usize) -> Self {
+        LocalDispatcher { fitness, workers }
+    }
+}
+
+impl<F: Fn(&[Gene]) -> f64 + Sync> EvalDispatcher for LocalDispatcher<F> {
+    fn evaluate(
+        &mut self,
+        population: &[Vec<Gene>],
+        jobs: &[usize],
+    ) -> Result<Vec<(usize, f64)>, AuditError> {
+        let fitness = &self.fitness;
+        Ok(if self.workers <= 1 || jobs.len() <= 1 {
+            jobs.iter()
+                .map(|&slot| (slot, fitness(&population[slot])))
+                .collect()
+        } else {
+            let queue = AtomicUsize::new(0);
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..self.workers.min(jobs.len()))
+                    .map(|_| {
+                        s.spawn(|| {
+                            let mut out: Vec<(usize, f64)> = Vec::new();
+                            loop {
+                                let k = queue.fetch_add(1, Ordering::Relaxed);
+                                let Some(&slot) = jobs.get(k) else { break };
+                                out.push((slot, fitness(&population[slot])));
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("fitness worker panicked"))
+                    .collect()
+            })
+        })
+    }
+
+    fn workers(&self) -> usize {
+        self.workers
     }
 }
 
@@ -442,7 +583,26 @@ pub fn try_evolve(
     seeds: &[Vec<Gene>],
     fitness: impl Fn(&[Gene]) -> f64 + Sync,
 ) -> Result<GaRun, AuditError> {
-    run_ga(cfg, menu, genome_len, seeds, fitness, &mut NullSink, &[])
+    let mut dispatcher = LocalDispatcher::new(fitness, resolve_workers(cfg.threads));
+    run_ga(cfg, menu, genome_len, seeds, &mut dispatcher, &mut NullSink, &[])
+}
+
+/// [`try_evolve`], evaluating through an explicit [`EvalDispatcher`]
+/// instead of a local fitness closure — the entry point a distributed
+/// broker (`audit-net`) drives. Results are bit-identical to the local
+/// path for any conforming dispatcher.
+///
+/// # Errors
+///
+/// Same as [`try_evolve`], plus any dispatch error.
+pub fn try_evolve_dispatched(
+    cfg: &GaConfig,
+    menu: &[Opcode],
+    genome_len: usize,
+    seeds: &[Vec<Gene>],
+    dispatcher: &mut dyn EvalDispatcher,
+) -> Result<GaRun, AuditError> {
+    run_ga(cfg, menu, genome_len, seeds, dispatcher, &mut NullSink, &[])
 }
 
 /// [`try_evolve`], with every generation checkpointed to `sink`.
@@ -463,6 +623,24 @@ pub fn evolve_journaled(
     fitness: impl Fn(&[Gene]) -> f64 + Sync,
     sink: &mut dyn JournalSink,
 ) -> Result<GaRun, AuditError> {
+    let mut dispatcher = LocalDispatcher::new(fitness, resolve_workers(cfg.threads));
+    evolve_journaled_dispatched(cfg, menu, genome_len, seeds, &mut dispatcher, sink)
+}
+
+/// [`evolve_journaled`], evaluating through an explicit
+/// [`EvalDispatcher`] — see [`try_evolve_dispatched`].
+///
+/// # Errors
+///
+/// Same as [`evolve_journaled`], plus any dispatch error.
+pub fn evolve_journaled_dispatched(
+    cfg: &GaConfig,
+    menu: &[Opcode],
+    genome_len: usize,
+    seeds: &[Vec<Gene>],
+    dispatcher: &mut dyn EvalDispatcher,
+    sink: &mut dyn JournalSink,
+) -> Result<GaRun, AuditError> {
     cfg.validate()?;
     validate_search(menu, genome_len)?;
     sink.append(&JournalRecord::GaStart {
@@ -471,7 +649,16 @@ pub fn evolve_journaled(
         menu: menu.to_vec(),
         seeds: seeds.to_vec(),
     })?;
-    run_ga(cfg, menu, genome_len, seeds, fitness, sink, &[])
+    if cfg.surrogate_budget > 0 {
+        // Marker record: flags in the journal itself that this run's
+        // scores were produced under budgeted early stopping (the
+        // config inside `ga_start` is authoritative; the marker makes
+        // the non-default mode obvious to `grep`).
+        sink.append(&JournalRecord::SurrogateBudget {
+            budget: cfg.surrogate_budget as u64,
+        })?;
+    }
+    run_ga(cfg, menu, genome_len, seeds, dispatcher, sink, &[])
 }
 
 /// Panicking convenience wrapper around [`try_evolve`] for callers that
@@ -545,12 +732,12 @@ fn validate_search(menu: &[Opcode], genome_len: usize) -> Result<(), AuditError>
 /// The engine proper, shared by fresh ([`try_evolve`]) and resumed
 /// ([`GaRun::resume_from`]) runs: `replay` holds the journaled
 /// generations to reconstruct before evolution continues live.
-fn run_ga<F: Fn(&[Gene]) -> f64 + Sync>(
+fn run_ga(
     cfg: &GaConfig,
     menu: &[Opcode],
     genome_len: usize,
     seeds: &[Vec<Gene>],
-    fitness: F,
+    dispatcher: &mut dyn EvalDispatcher,
     sink: &mut dyn JournalSink,
     replay: &[&GenerationRecord],
 ) -> Result<GaRun, AuditError> {
@@ -558,10 +745,9 @@ fn run_ga<F: Fn(&[Gene]) -> f64 + Sync>(
     validate_search(menu, genome_len)?;
 
     let run_start = Instant::now();
-    let workers = resolve_workers(cfg.threads);
     let mut cache = EvalCache::new(cfg.cache_capacity);
     let mut telemetry = GaTelemetry {
-        threads: workers,
+        threads: dispatcher.workers(),
         ..GaTelemetry::default()
     };
 
@@ -591,14 +777,7 @@ fn run_ga<F: Fn(&[Gene]) -> f64 + Sync>(
             );
         }
         debug_verify_population(&population);
-        scores = evaluate_population(
-            &population,
-            &fitness,
-            &mut cache,
-            workers,
-            cfg.surrogate_rank,
-            &mut telemetry,
-        );
+        scores = evaluate_population(&population, dispatcher, &mut cache, cfg, &mut telemetry)?;
         append_generation(sink, cfg, 0, &population, &scores, &telemetry)?;
 
         let best_idx = argmax(&scores);
@@ -673,14 +852,7 @@ fn run_ga<F: Fn(&[Gene]) -> f64 + Sync>(
 
         population = next;
         debug_verify_population(&population);
-        scores = evaluate_population(
-            &population,
-            &fitness,
-            &mut cache,
-            workers,
-            cfg.surrogate_rank,
-            &mut telemetry,
-        );
+        scores = evaluate_population(&population, dispatcher, &mut cache, cfg, &mut telemetry)?;
         append_generation(sink, cfg, generation, &population, &scores, &telemetry)?;
 
         let best_idx = argmax(&scores);
@@ -814,6 +986,12 @@ fn replay_into_cache(cache: &mut EvalCache, rec: &GenerationRecord) {
     }
     let mut seen: HashSet<&[Gene]> = HashSet::new();
     for (genome, &score) in rec.population.iter().zip(&rec.scores) {
+        // A `surrogate_budget` run records deferred slots as -inf
+        // sentinels; the live run never cached those, so replay must
+        // not either.
+        if score == f64::NEG_INFINITY {
+            continue;
+        }
         if cache.lookup(genome).is_some() {
             continue;
         }
@@ -836,24 +1014,31 @@ pub fn resolve_workers(threads: usize) -> usize {
 }
 
 /// Scores one generation: cache lookups and within-generation dedup
-/// first, then the remaining genomes across `workers` OS threads via a
-/// shared work queue. Results land in their population slot by index,
-/// and the cache is updated in slot order, keeping both selection order
-/// *and* cache state identical to a sequential evaluation.
+/// first, then the remaining genomes through the [`EvalDispatcher`]
+/// (a local thread pool or a remote broker). Results land in their
+/// population slot by index, and the cache is updated in slot order,
+/// keeping both selection order *and* cache state identical to a
+/// sequential evaluation.
 ///
-/// `surrogate` reorders the *dispatch* of cache misses by descending
-/// static swing score (ties broken by slot). Because results are sorted
-/// back into slot order before any cache insert, dispatch order is
-/// unobservable — scores, cache state, and `executed` are bit-identical
-/// with the flag on or off; only which genome is measured first changes.
-fn evaluate_population<F: Fn(&[Gene]) -> f64 + Sync>(
+/// `cfg.surrogate_rank` reorders the *dispatch* of cache misses by
+/// descending static swing score (ties broken by slot). Because results
+/// are sorted back into slot order before any cache insert, dispatch
+/// order is unobservable — scores, cache state, and `executed` are
+/// bit-identical with the flag on or off; only which genome is measured
+/// first changes.
+///
+/// `cfg.surrogate_budget`, by contrast, *truncates* the ranked job list:
+/// only the top `budget` misses are dispatched, and every deferred slot
+/// scores `f64::NEG_INFINITY` (never cached, so a later generation that
+/// re-breeds the genome measures it for real). This changes results and
+/// is excluded from the bit-identity invariants.
+fn evaluate_population(
     population: &[Vec<Gene>],
-    fitness: &F,
+    dispatcher: &mut dyn EvalDispatcher,
     cache: &mut EvalCache,
-    workers: usize,
-    surrogate: bool,
+    cfg: &GaConfig,
     telemetry: &mut GaTelemetry,
-) -> Vec<f64> {
+) -> Result<Vec<f64>, AuditError> {
     let t0 = Instant::now();
     let n = population.len();
     let mut scores: Vec<Option<f64>> = vec![None; n];
@@ -879,7 +1064,8 @@ fn evaluate_population<F: Fn(&[Gene]) -> f64 + Sync>(
         jobs.extend(0..n);
     }
 
-    if surrogate && jobs.len() > 1 {
+    let budget = cfg.surrogate_budget;
+    if (cfg.surrogate_rank || budget > 0) && jobs.len() > 1 {
         let model = MachineModel::generic();
         let mut keyed: Vec<(usize, f64)> = jobs
             .iter()
@@ -888,34 +1074,24 @@ fn evaluate_population<F: Fn(&[Gene]) -> f64 + Sync>(
         keyed.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         jobs = keyed.into_iter().map(|(slot, _)| slot).collect();
     }
-
-    let mut results: Vec<(usize, f64)> = if workers <= 1 || jobs.len() <= 1 {
-        jobs.iter()
-            .map(|&slot| (slot, fitness(&population[slot])))
-            .collect()
+    let deferred: Vec<usize> = if budget > 0 && jobs.len() > budget {
+        jobs.split_off(budget)
     } else {
-        let queue = AtomicUsize::new(0);
-        let jobs_ref = &jobs;
-        std::thread::scope(|s| {
-            let handles: Vec<_> = (0..workers.min(jobs.len()))
-                .map(|_| {
-                    s.spawn(|| {
-                        let mut out: Vec<(usize, f64)> = Vec::new();
-                        loop {
-                            let k = queue.fetch_add(1, Ordering::Relaxed);
-                            let Some(&slot) = jobs_ref.get(k) else { break };
-                            out.push((slot, fitness(&population[slot])));
-                        }
-                        out
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("fitness worker panicked"))
-                .collect()
-        })
+        Vec::new()
     };
+
+    let mut results = dispatcher.evaluate(population, &jobs)?;
+    if results.len() != jobs.len() {
+        return Err(AuditError::invalid(
+            "ga",
+            "dispatcher",
+            format!(
+                "dispatcher returned {} results for {} jobs",
+                results.len(),
+                jobs.len()
+            ),
+        ));
+    }
     // Cache inserts must not depend on worker completion order: the
     // flush-at-capacity policy makes insert *order* observable, and the
     // determinism contract (and journal replay) require slot order.
@@ -926,6 +1102,12 @@ fn evaluate_population<F: Fn(&[Gene]) -> f64 + Sync>(
         cache.insert(&population[slot], f);
         scores[slot] = Some(f);
     }
+    // Deferred-by-budget slots lose every tournament; they are not
+    // cached, so the surrogate's verdict is never mistaken for a
+    // measurement by a later generation.
+    for slot in deferred {
+        scores[slot] = Some(f64::NEG_INFINITY);
+    }
     for i in 0..n {
         if let Some(primary) = dup_of[i] {
             scores[i] = scores[primary];
@@ -933,10 +1115,10 @@ fn evaluate_population<F: Fn(&[Gene]) -> f64 + Sync>(
     }
 
     telemetry.record(t0.elapsed().as_secs_f64(), executed, cache_hits);
-    scores
+    Ok(scores
         .into_iter()
         .map(|s| s.expect("every population slot is scored"))
-        .collect()
+        .collect())
 }
 
 fn argmax(scores: &[f64]) -> usize {
@@ -1113,6 +1295,102 @@ mod tests {
             fma_count,
         );
         assert_eq!(off.evaluations, on.evaluations);
+    }
+
+    #[test]
+    fn surrogate_budget_wider_than_population_changes_nothing() {
+        // A budget that never truncates the ranked job list must be
+        // bit-identical to running with the budget off.
+        let base = GaConfig {
+            population: 10,
+            generations: 8,
+            stall_generations: 8,
+            ..GaConfig::default()
+        };
+        let off = evolve(&base, &menu(), 8, &[], fma_count);
+        let on = evolve(
+            &GaConfig {
+                surrogate_budget: base.population,
+                ..base
+            },
+            &menu(),
+            8,
+            &[],
+            fma_count,
+        );
+        assert_eq!(off, on);
+        assert_eq!(off.evaluations, on.evaluations);
+    }
+
+    #[test]
+    fn surrogate_budget_caps_measurements_per_generation() {
+        let mut mem = crate::journal::MemJournal::default();
+        let cfg = GaConfig {
+            population: 12,
+            generations: 6,
+            stall_generations: 6,
+            surrogate_budget: 3,
+            ..GaConfig::default()
+        };
+        let run = evolve_journaled(&cfg, &menu(), 8, &[], fma_count, &mut mem).unwrap();
+
+        let mut saw_marker = false;
+        let mut saw_deferred = false;
+        let mut executed_total = 0;
+        for rec in &mem.records {
+            match rec {
+                JournalRecord::SurrogateBudget { budget } => {
+                    saw_marker = true;
+                    assert_eq!(*budget, 3);
+                }
+                JournalRecord::Generation(g) => {
+                    assert!(g.executed <= 3, "generation measured past the budget");
+                    executed_total += g.executed;
+                    saw_deferred |= g.scores.contains(&f64::NEG_INFINITY);
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(run.evaluations, executed_total);
+        assert!(saw_marker, "journal must carry the surrogate_budget marker");
+        assert!(
+            saw_deferred,
+            "a 3-of-12 budget must defer slots as -inf sentinels"
+        );
+    }
+
+    #[test]
+    fn surrogate_budget_resume_replays_bit_identically() {
+        // Deferred slots are journaled as -inf and were never cached, so
+        // resume must skip them during cache replay or kill/resume would
+        // diverge from an uninterrupted run.
+        let mut mem = crate::journal::MemJournal::default();
+        let cfg = GaConfig {
+            population: 12,
+            generations: 6,
+            stall_generations: 6,
+            surrogate_budget: 4,
+            ..GaConfig::default()
+        };
+        let full = evolve_journaled(&cfg, &menu(), 8, &[], fma_count, &mut mem).unwrap();
+
+        // Cut the journal right after the second generation record, as a
+        // crash would.
+        let mut prefix = Vec::new();
+        let mut gens = 0;
+        for rec in &mem.records {
+            prefix.push(rec.clone());
+            if matches!(rec, JournalRecord::Generation(_)) {
+                gens += 1;
+                if gens == 2 {
+                    break;
+                }
+            }
+        }
+        let journal = crate::journal::Journal { records: prefix };
+        let resumed = GaRun::resume_from(&journal, fma_count).unwrap();
+        assert_eq!(full, resumed);
+        assert_eq!(full.history, resumed.history);
     }
 
     #[test]

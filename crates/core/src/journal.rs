@@ -149,6 +149,16 @@ pub enum JournalRecord {
         /// Seed genomes injected into the initial population.
         seeds: Vec<Vec<Gene>>,
     },
+    /// Marker: the search runs with budgeted surrogate early stopping
+    /// ([`crate::ga::GaConfig::surrogate_budget`]), so generation
+    /// `scores` contain `-inf` sentinels for slots the budget deferred.
+    /// Written once, right after `ga_start` (whose `cfg` is the
+    /// authoritative copy of the budget) — the marker makes the
+    /// non-default scoring mode greppable.
+    SurrogateBudget {
+        /// Per-generation measurement budget (top-k cache misses).
+        budget: u64,
+    },
     /// One evaluated generation.
     Generation(GenerationRecord),
     /// The GA search completed (converged or hit its caps).
@@ -247,6 +257,7 @@ impl JournalRecord {
             JournalRecord::PhaseStart { .. } => "phase_start",
             JournalRecord::PhaseEnd { .. } => "phase_end",
             JournalRecord::GaStart { .. } => "ga_start",
+            JournalRecord::SurrogateBudget { .. } => "surrogate_budget",
             JournalRecord::Generation(_) => "generation",
             JournalRecord::GaEnd => "ga_end",
             JournalRecord::VminStep { .. } => "vmin_step",
@@ -295,6 +306,10 @@ impl JournalRecord {
                     "seeds",
                     JsonValue::Array(seeds.iter().map(|g| encode_genome(g)).collect()),
                 ),
+            ]),
+            JournalRecord::SurrogateBudget { budget } => JsonValue::object(vec![
+                ("kind", JsonValue::String("surrogate_budget".into())),
+                ("budget", JsonValue::from_u64(*budget)),
             ]),
             JournalRecord::Generation(r) => {
                 let mut fields = vec![
@@ -438,6 +453,9 @@ impl JournalRecord {
                     seeds,
                 })
             }
+            "surrogate_budget" => Ok(JournalRecord::SurrogateBudget {
+                budget: field_u64(v, "surrogate_budget", "budget")?,
+            }),
             "generation" => {
                 let population = v
                     .get("population")
@@ -533,9 +551,10 @@ impl JournalRecord {
 }
 
 /// Encodes a `u64` exactly: as a JSON number when it fits in the f64
-/// integer range, as a decimal string otherwise (seeds are arbitrary
-/// 64-bit values).
-fn encode_u64(v: u64) -> JsonValue {
+/// integer range, as a decimal string otherwise (seeds and content keys
+/// are arbitrary 64-bit values). Shared with the `audit-net` protocol
+/// so journal and wire agree on the encoding.
+pub fn encode_u64(v: u64) -> JsonValue {
     if v <= (1 << 53) {
         JsonValue::from_u64(v)
     } else {
@@ -543,7 +562,14 @@ fn encode_u64(v: u64) -> JsonValue {
     }
 }
 
-fn decode_u64(v: &JsonValue) -> Result<u64, AuditError> {
+/// Decodes a `u64` written by [`encode_u64`] (number or decimal
+/// string).
+///
+/// # Errors
+///
+/// Returns [`AuditError::Journal`] if the value is neither a
+/// non-negative integer number nor a decimal string.
+pub fn decode_u64(v: &JsonValue) -> Result<u64, AuditError> {
     if let Some(n) = v.as_u64() {
         return Ok(n);
     }
@@ -569,7 +595,7 @@ fn field_str<'a>(v: &'a JsonValue, record: &str, field: &str) -> Result<&'a str,
 }
 
 fn encode_cfg(cfg: &GaConfig) -> JsonValue {
-    JsonValue::object(vec![
+    let mut fields = vec![
         ("population", JsonValue::from_u64(cfg.population as u64)),
         ("generations", JsonValue::from_u64(cfg.generations as u64)),
         ("tournament", JsonValue::from_u64(cfg.tournament as u64)),
@@ -587,7 +613,16 @@ fn encode_cfg(cfg: &GaConfig) -> JsonValue {
             JsonValue::from_u64(cfg.cache_capacity as u64),
         ),
         ("surrogate_rank", JsonValue::Bool(cfg.surrogate_rank)),
-    ])
+    ];
+    // Only written when enabled: default-config journals keep their
+    // pre-budget byte encoding (the golden fixture pins this).
+    if cfg.surrogate_budget > 0 {
+        fields.push((
+            "surrogate_budget",
+            JsonValue::from_u64(cfg.surrogate_budget as u64),
+        ));
+    }
+    JsonValue::object(fields)
 }
 
 fn decode_cfg(v: &JsonValue) -> Result<GaConfig, AuditError> {
@@ -617,12 +652,20 @@ fn decode_cfg(v: &JsonValue) -> Result<GaConfig, AuditError> {
             .get("surrogate_rank")
             .and_then(JsonValue::as_bool)
             .unwrap_or(false),
+        // Absent (meaning disabled) in journals written before budgeted
+        // early stopping, and in every journal that runs without it.
+        surrogate_budget: v
+            .get("surrogate_budget")
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(0) as usize,
     })
 }
 
 /// Encodes one genome as an array of gene arrays
-/// (`["SimdFma",3,12,13,false]`).
-fn encode_genome(genome: &[Gene]) -> JsonValue {
+/// (`["SimdFma",3,12,13,false]`) — the journal's genome wire format,
+/// shared by the `audit-net` broker/worker protocol so both paths
+/// serialize candidates byte-identically.
+pub fn encode_genome(genome: &[Gene]) -> JsonValue {
     JsonValue::Array(
         genome
             .iter()
@@ -639,7 +682,14 @@ fn encode_genome(genome: &[Gene]) -> JsonValue {
     )
 }
 
-fn decode_genome(v: &JsonValue) -> Result<Vec<Gene>, AuditError> {
+/// Decodes a genome from [`encode_genome`]'s wire form.
+///
+/// # Errors
+///
+/// Returns [`AuditError::Journal`] if the value is not an array of
+/// 5-element gene arrays with a known opcode name, register-range
+/// operands, and a boolean miss flag.
+pub fn decode_genome(v: &JsonValue) -> Result<Vec<Gene>, AuditError> {
     v.as_array()
         .ok_or_else(|| AuditError::journal(0, "genome is not an array"))?
         .iter()
@@ -808,14 +858,58 @@ impl JournalWriter {
             f.sync_all().map_err(|e| io_err(&e))?;
         }
         fs::rename(&tmp, &self.path).map_err(|e| io_err(&e))?;
-        // Make the rename itself durable.
+        // Make the rename itself durable: without fsyncing the parent
+        // directory, a power cut can roll the directory entry back to
+        // the pre-rename file even though the data blocks were synced.
         if let Some(dir) = self.path.parent() {
-            if let Ok(d) = fs::File::open(dir) {
-                let _ = d.sync_all();
-            }
+            // `parent()` of a bare file name is the empty path; the
+            // entry actually lives in the current directory.
+            let dir = if dir.as_os_str().is_empty() {
+                std::path::Path::new(".")
+            } else {
+                dir
+            };
+            sync_dir(dir).map_err(|e| io_err(&e))?;
         }
         Ok(())
     }
+}
+
+/// Fsyncs a directory so a just-renamed entry inside it survives power
+/// loss.
+///
+/// Not every platform or filesystem can sync a directory handle (some
+/// return `ENOTSUP`/`EINVAL`, and some cannot even open a directory for
+/// reading) — those environments simply lack the stronger guarantee, so
+/// such errors are tolerated and reported as success. Real I/O failures
+/// (the disk said no) still propagate.
+fn sync_dir(dir: &std::path::Path) -> std::io::Result<()> {
+    let d = match fs::File::open(dir) {
+        Ok(d) => d,
+        // Directories can't be opened for reading on this platform;
+        // there is nothing to sync through.
+        Err(e) if dir_sync_unsupported(&e) => return Ok(()),
+        Err(e) => return Err(e),
+    };
+    match d.sync_all() {
+        Ok(()) => Ok(()),
+        Err(e) if dir_sync_unsupported(&e) => Ok(()),
+        Err(e) => Err(e),
+    }
+}
+
+/// Classifies errors that mean "directory fsync is not a thing here"
+/// rather than "the write was lost": `ENOTSUP`/`EOPNOTSUPP`
+/// (`Unsupported`), `EINVAL` (`InvalidInput`, what some kernels return
+/// for fsync on a directory fd), `EACCES`/`EPERM` (`PermissionDenied`,
+/// platforms that refuse to open directories), and `EBADF` on targets
+/// whose runtime rejects directory handles outright.
+fn dir_sync_unsupported(e: &std::io::Error) -> bool {
+    use std::io::ErrorKind;
+    matches!(
+        e.kind(),
+        ErrorKind::Unsupported | ErrorKind::InvalidInput | ErrorKind::PermissionDenied
+    ) || e.raw_os_error() == Some(9) // EBADF
 }
 
 impl JournalSink for JournalWriter {
@@ -925,6 +1019,9 @@ impl Journal {
         for r in &self.records[start_idx + 1..] {
             match r {
                 JournalRecord::Generation(g) => generations.push(g),
+                // Informational marker inside the section (the budget
+                // itself lives in `cfg`); skip it.
+                JournalRecord::SurrogateBudget { .. } => continue,
                 JournalRecord::GaEnd => {
                     complete = true;
                     break;
@@ -1134,6 +1231,45 @@ mod tests {
         // No stray tmp file survives.
         assert!(!dir.join("run.ndjson.tmp").exists());
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn writer_accepts_a_bare_relative_path() {
+        // A bare file name has an empty `parent()`; the directory fsync
+        // after rename must map that to the current directory instead of
+        // trying to open "".
+        let name = format!(
+            "audit-journal-bare-{}-{:?}.ndjson",
+            std::process::id(),
+            std::thread::current().id()
+        );
+        let mut w = JournalWriter::create(std::path::Path::new(&name), "ga", JsonValue::Null)
+            .expect("bare relative journal path must flush");
+        w.append(&JournalRecord::Generation(sample_generation()))
+            .unwrap();
+        w.finish().unwrap();
+        assert!(Journal::load(std::path::Path::new(&name)).unwrap().is_complete());
+        fs::remove_file(&name).unwrap();
+    }
+
+    #[test]
+    fn dir_sync_tolerates_unsupported_platforms() {
+        use std::io::{Error, ErrorKind};
+        for kind in [
+            ErrorKind::Unsupported,
+            ErrorKind::InvalidInput,
+            ErrorKind::PermissionDenied,
+        ] {
+            assert!(dir_sync_unsupported(&Error::from(kind)), "{kind:?}");
+        }
+        assert!(dir_sync_unsupported(&Error::from_raw_os_error(9))); // EBADF
+        // Anything else still means the rename may not be durable.
+        assert!(!dir_sync_unsupported(&Error::from(ErrorKind::NotFound)));
+        assert!(!dir_sync_unsupported(&Error::from(ErrorKind::Other)));
+
+        // And on a real directory the sync itself succeeds (or is
+        // classified away) — either way it must not error here.
+        sync_dir(&std::env::temp_dir()).unwrap();
     }
 
     #[test]

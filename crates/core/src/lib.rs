@@ -56,7 +56,7 @@ pub mod resilient;
 pub mod resonance;
 pub mod suite;
 
-pub use audit::{Audit, AuditOptions, AuditOptionsBuilder};
+pub use audit::{Audit, AuditOptions, AuditOptionsBuilder, FitnessSpec};
 pub use audit_analyze as analyze;
 pub use audit_error::{AuditError, AuditResult};
 pub use harness::{MeasureSpec, MeasureSpecBuilder, Measurement, Rig};

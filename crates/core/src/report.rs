@@ -234,6 +234,12 @@ pub fn journal_summary(journal: &Journal) -> Table {
                     ),
                 ]);
             }
+            JournalRecord::SurrogateBudget { budget } => {
+                t.row(vec![
+                    "surrogate_budget".into(),
+                    format!("top-{budget} measured per generation"),
+                ]);
+            }
             JournalRecord::Generation(g) => {
                 gens += 1;
                 best = g.scores.iter().copied().fold(best, f64::max);

@@ -281,6 +281,31 @@ pub struct ResilienceReport {
     pub backoff_cycles: u64,
 }
 
+impl ResilienceReport {
+    /// Adds another report's counters into this one. All fields are
+    /// order-insensitive sums, so distributed workers can report deltas
+    /// in any arrival order and the merged totals still match the
+    /// single-process run exactly.
+    pub fn merge(&mut self, other: &ResilienceReport) {
+        self.evaluations += other.evaluations;
+        self.retries += other.retries;
+        self.quarantined += other.quarantined;
+        self.backoff_cycles = self.backoff_cycles.saturating_add(other.backoff_cycles);
+    }
+
+    /// The per-evaluation delta a single [`ResilientOutcome`] adds —
+    /// what [`ResilienceLog::record`] folds in locally and what a
+    /// remote worker ships back alongside its fitness result.
+    pub fn from_outcome(outcome: &ResilientOutcome) -> ResilienceReport {
+        ResilienceReport {
+            evaluations: 1,
+            retries: u64::from(outcome.retries),
+            quarantined: u64::from(outcome.quarantined),
+            backoff_cycles: outcome.backoff_cycles,
+        }
+    }
+}
+
 /// Thread-safe accumulator for [`ResilienceReport`], shared by the GA's
 /// evaluation workers through the fitness closure.
 #[derive(Debug, Default)]
@@ -291,11 +316,16 @@ pub struct ResilienceLog {
 impl ResilienceLog {
     /// Folds one evaluation's outcome into the counters.
     pub fn record(&self, outcome: &ResilientOutcome) {
-        let mut r = self.inner.lock().expect("resilience log poisoned");
-        r.evaluations += 1;
-        r.retries += u64::from(outcome.retries);
-        r.quarantined += u64::from(outcome.quarantined);
-        r.backoff_cycles = r.backoff_cycles.saturating_add(outcome.backoff_cycles);
+        self.fold(&ResilienceReport::from_outcome(outcome));
+    }
+
+    /// Folds a pre-computed delta (e.g. one reported by a remote
+    /// worker) into the counters.
+    pub fn fold(&self, delta: &ResilienceReport) {
+        self.inner
+            .lock()
+            .expect("resilience log poisoned")
+            .merge(delta);
     }
 
     /// The counters so far.

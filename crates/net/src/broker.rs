@@ -1,0 +1,743 @@
+//! The broker: accepts workers, dispatches evaluations, merges results
+//! bit-identically.
+//!
+//! The broker is an [`EvalDispatcher`], so the GA engine drives it
+//! exactly as it drives the in-process thread pool: hand over the slots
+//! to score, get back `(slot, fitness)` pairs. Everything
+//! scheduling-related stays inside this module and provably cannot
+//! reach the results:
+//!
+//! * **Content-addressed work.** Each job is keyed by
+//!   [`audit_core::resilient::genome_key`]; a worker computes
+//!   [`audit_core::FitnessSpec::evaluate`], which is deterministic per
+//!   genome, so *which* worker runs a job (or how many times it is
+//!   re-run after a worker dies) cannot change the fitness.
+//! * **Deterministic assignment.** A job's worker is chosen by FNV
+//!   hashing `(seed, key, attempt)` — the same
+//!   [`KeyHasher`] discipline the fault injector uses — over the sorted
+//!   live-worker list, with a linear probe for window slack. Scheduling
+//!   is reproducible, not load-dependent.
+//! * **Bounded in-flight window.** At most
+//!   [`BrokerConfig::window`] evaluations are outstanding per worker;
+//!   the rest queue in the broker, so a slow worker applies backpressure
+//!   instead of hoarding a generation.
+//! * **Worker loss → deterministic retry.** A dead worker's in-flight
+//!   jobs are re-dispatched with `attempt + 1` (landing on another
+//!   worker); after [`BrokerConfig::retries`] losses the job is
+//!   quarantined at [`BrokerConfig::quarantine_fitness`], mirroring the
+//!   single-process [`audit_core::MeasurePolicy`] quarantine discipline.
+//! * **Write-ahead log.** With [`Broker::attach_wal`], every dispatch is
+//!   logged before the frame is sent and every result after it arrives,
+//!   as NDJSON next to the run journal. A killed broker resumed with
+//!   `--resume` replays finished generations from the journal and
+//!   prefills the partial generation from the WAL instead of
+//!   re-measuring.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use audit_core::ga::{EvalDispatcher, Gene};
+use audit_core::journal::{decode_u64, encode_u64};
+use audit_core::resilient::genome_key;
+use audit_core::ResilienceReport;
+use audit_error::AuditError;
+use audit_measure::fault::KeyHasher;
+use audit_measure::json::JsonValue;
+
+use crate::frame::{read_frame, write_frame, FrameOutcome};
+use crate::proto::{decode_resilience, encode_resilience, EvalContext, Msg, PROTOCOL_VERSION};
+use crate::transport::{Conn, Listener};
+
+/// Broker tuning knobs. Results are invariant to every one of them;
+/// they shape scheduling, liveness detection, and failure handling.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BrokerConfig {
+    /// Seed folded into the worker-assignment hash (use the GA seed so
+    /// a rerun schedules identically).
+    pub seed: u64,
+    /// Maximum in-flight evaluations per worker.
+    pub window: usize,
+    /// Idle interval between liveness pings.
+    pub heartbeat: Duration,
+    /// A worker silent for this long is declared lost and its in-flight
+    /// jobs are re-dispatched.
+    pub dead_after: Duration,
+    /// Worker-loss re-dispatches allowed per job before quarantine.
+    pub retries: u32,
+    /// Fitness assigned to a job that exhausted its re-dispatch budget.
+    pub quarantine_fitness: f64,
+}
+
+impl Default for BrokerConfig {
+    fn default() -> Self {
+        BrokerConfig {
+            seed: 0,
+            window: 2,
+            heartbeat: Duration::from_millis(1000),
+            dead_after: Duration::from_millis(10_000),
+            retries: 4,
+            quarantine_fitness: 0.0,
+        }
+    }
+}
+
+/// Events flowing from the accept/reader threads to the broker.
+enum Event {
+    Joined { worker: u64, writer: Conn },
+    Result {
+        worker: u64,
+        id: u64,
+        fitness: f64,
+        resilience: ResilienceReport,
+    },
+    Pong { worker: u64 },
+    Lost { worker: u64 },
+}
+
+struct WorkerState {
+    writer: Conn,
+    last_seen: Instant,
+    in_flight: usize,
+}
+
+struct InFlight {
+    slot: usize,
+    key: u64,
+    attempt: u32,
+    worker: u64,
+}
+
+/// The broker side of distributed evaluation. See the module docs.
+pub struct Broker {
+    cfg: BrokerConfig,
+    addr: String,
+    rx: Receiver<Event>,
+    workers: HashMap<u64, WorkerState>,
+    next_req: u64,
+    report: ResilienceReport,
+    wal: Option<Wal>,
+    prefill: Prefill,
+    stop: Arc<AtomicBool>,
+    /// Every accepted socket, including ones still mid-handshake whose
+    /// `Joined` event has not been drained — shutdown must release them
+    /// all or a late joiner blocks on a read forever.
+    conns: Arc<Mutex<Vec<Conn>>>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Broker {
+    /// Binds `addr` (`host:port` or `unix:/path`) and starts accepting
+    /// workers; each accepted worker is handshaken (`Hello` →
+    /// `Setup { ctx }`) on its own thread and then streams results.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuditError::Io`] if the address cannot be bound.
+    pub fn bind(addr: &str, ctx: &EvalContext, cfg: BrokerConfig) -> Result<Broker, AuditError> {
+        let listener = Listener::bind(addr).map_err(|e| AuditError::io(addr, &e))?;
+        let bound = listener.local_addr_string();
+        set_nonblocking(&listener).map_err(|e| AuditError::io(addr, &e))?;
+        let (tx, rx) = std::sync::mpsc::channel();
+        let stop = Arc::new(AtomicBool::new(false));
+        let conns = Arc::new(Mutex::new(Vec::new()));
+        let accept_stop = Arc::clone(&stop);
+        let accept_conns = Arc::clone(&conns);
+        let accept_ctx = ctx.clone();
+        let accept_thread = std::thread::spawn(move || {
+            accept_loop(&listener, &accept_ctx, &tx, &accept_stop, &accept_conns);
+        });
+        Ok(Broker {
+            cfg,
+            addr: bound,
+            rx,
+            workers: HashMap::new(),
+            next_req: 0,
+            report: ResilienceReport::default(),
+            wal: None,
+            prefill: HashMap::new(),
+            stop,
+            conns,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address in connectable form (`:0` resolved).
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Attaches (and replays) the dispatch write-ahead log at `path`.
+    /// Results already logged there — by a previous broker killed
+    /// mid-generation — are served from the log instead of being
+    /// re-dispatched. The file is created if absent and appended
+    /// otherwise; a torn final line (broker killed mid-write) is
+    /// tolerated, mirroring the journal's torn-tail rule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuditError::Io`] if the file cannot be read or opened
+    /// for append, and [`AuditError::Journal`] if a non-final line is
+    /// corrupt.
+    pub fn attach_wal(&mut self, path: &Path) -> Result<(), AuditError> {
+        let (wal, prefill) = Wal::open(path)?;
+        self.wal = Some(wal);
+        self.prefill = prefill;
+        Ok(())
+    }
+
+    /// Blocks until at least `n` workers have completed the handshake.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuditError::Io`] if the accept thread has died.
+    pub fn wait_for_workers(&mut self, n: usize) -> Result<(), AuditError> {
+        while self.live_workers().len() < n {
+            match self.rx.recv() {
+                Ok(event) => self.handle_event(event, &mut HashMap::new(), &mut VecDeque::new()),
+                Err(_) => {
+                    return Err(AuditError::io(
+                        "broker",
+                        &std::io::Error::new(
+                            std::io::ErrorKind::BrokenPipe,
+                            "accept thread terminated",
+                        ),
+                    ))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Sends `Shutdown` to every connected worker and stops accepting.
+    /// Called automatically on drop; call it explicitly to release
+    /// workers before the broker goes out of scope.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let shutdown_frame = Msg::Shutdown.to_json();
+        if let Ok(mut conns) = self.conns.lock() {
+            for conn in conns.iter_mut() {
+                write_frame(conn, &shutdown_frame).ok();
+                conn.shutdown();
+            }
+            conns.clear();
+        }
+        self.workers.clear();
+        if let Some(handle) = self.accept_thread.take() {
+            handle.join().ok();
+        }
+    }
+
+    /// Deletes the attached WAL file (call after the run completes —
+    /// its contents are now redundant with the journal).
+    pub fn discard_wal(&mut self) {
+        if let Some(wal) = self.wal.take() {
+            std::fs::remove_file(&wal.path).ok();
+        }
+    }
+
+    fn live_workers(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.workers.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Deterministic worker choice: FNV over `(seed, key, attempt)`
+    /// indexes the sorted live-worker list, probing linearly for a
+    /// worker with window slack.
+    fn pick_worker(&self, key: u64, attempt: u32) -> Option<u64> {
+        let ids = self.live_workers();
+        if ids.is_empty() {
+            return None;
+        }
+        let mut h = KeyHasher::new();
+        h.write_u64(self.cfg.seed)
+            .write_u64(key)
+            .write_u64(u64::from(attempt));
+        let start = (h.finish() % ids.len() as u64) as usize;
+        for probe in 0..ids.len() {
+            let id = ids[(start + probe) % ids.len()];
+            if self.workers[&id].in_flight < self.cfg.window.max(1) {
+                return Some(id);
+            }
+        }
+        None
+    }
+
+    /// Folds one event into broker state. `in_flight` and `pending` are
+    /// the current evaluation round's bookkeeping (empty maps outside a
+    /// round, e.g. in [`Broker::wait_for_workers`]).
+    fn handle_event(
+        &mut self,
+        event: Event,
+        in_flight: &mut HashMap<u64, InFlight>,
+        pending: &mut VecDeque<(usize, u64, u32)>,
+    ) {
+        match event {
+            Event::Joined { worker, writer } => {
+                self.workers.insert(
+                    worker,
+                    WorkerState {
+                        writer,
+                        last_seen: Instant::now(),
+                        in_flight: 0,
+                    },
+                );
+            }
+            Event::Pong { worker } => {
+                if let Some(w) = self.workers.get_mut(&worker) {
+                    w.last_seen = Instant::now();
+                }
+            }
+            Event::Lost { worker } => self.lose_worker(worker, in_flight, pending),
+            Event::Result { worker, .. } => {
+                // Results carry per-round state; the caller intercepts
+                // them inside a round. Outside one (stale retransmits)
+                // only liveness matters.
+                if let Some(w) = self.workers.get_mut(&worker) {
+                    w.last_seen = Instant::now();
+                }
+            }
+        }
+    }
+
+    /// Removes a worker and requeues its in-flight jobs at the next
+    /// attempt.
+    fn lose_worker(
+        &mut self,
+        worker: u64,
+        in_flight: &mut HashMap<u64, InFlight>,
+        pending: &mut VecDeque<(usize, u64, u32)>,
+    ) {
+        if let Some(w) = self.workers.remove(&worker) {
+            w.writer.shutdown();
+        }
+        let orphaned: Vec<u64> = in_flight
+            .iter()
+            .filter(|(_, j)| j.worker == worker)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in orphaned {
+            let job = in_flight.remove(&id).expect("orphan id present");
+            // Requeue at the front so a recovering generation retires
+            // its oldest work first.
+            pending.push_front((job.slot, job.key, job.attempt + 1));
+        }
+    }
+}
+
+impl Drop for Broker {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl EvalDispatcher for Broker {
+    fn evaluate(
+        &mut self,
+        population: &[Vec<Gene>],
+        jobs: &[usize],
+    ) -> Result<Vec<(usize, f64)>, AuditError> {
+        let mut scores: Vec<(usize, f64)> = Vec::with_capacity(jobs.len());
+        let mut pending: VecDeque<(usize, u64, u32)> = VecDeque::new();
+        for &slot in jobs {
+            let key = genome_key(&population[slot]);
+            // A result logged by a previous (killed) broker is final:
+            // serve it from the WAL instead of re-measuring.
+            if let Some((fitness, delta)) = self.prefill.remove(&key) {
+                self.report.merge(&delta);
+                scores.push((slot, fitness));
+                continue;
+            }
+            pending.push_back((slot, key, 0));
+        }
+        let needed = jobs.len();
+        let mut in_flight: HashMap<u64, InFlight> = HashMap::new();
+
+        while scores.len() < needed {
+            // Dispatch while there is work and a worker with window
+            // slack to take it.
+            while let Some(&(slot, key, attempt)) = pending.front() {
+                if attempt > self.cfg.retries {
+                    pending.pop_front();
+                    self.quarantine(slot, key, &mut scores)?;
+                    continue;
+                }
+                let Some(worker) = self.pick_worker(key, attempt) else {
+                    break;
+                };
+                pending.pop_front();
+                let id = self.next_req;
+                self.next_req += 1;
+                if let Some(wal) = &mut self.wal {
+                    wal.log_dispatch(key, slot, attempt)?;
+                }
+                let genome = population[slot].clone();
+                let frame = Msg::Eval { id, genome }.to_json();
+                let write = {
+                    let w = self.workers.get_mut(&worker).expect("picked worker live");
+                    write_frame(&mut w.writer, &frame)
+                };
+                match write {
+                    Ok(()) => {
+                        self.workers.get_mut(&worker).expect("live").in_flight += 1;
+                        in_flight.insert(
+                            id,
+                            InFlight {
+                                slot,
+                                key,
+                                attempt,
+                                worker,
+                            },
+                        );
+                    }
+                    Err(_) => {
+                        // The write failing IS the loss signal; requeue
+                        // this job too (it was never sent).
+                        pending.push_front((slot, key, attempt));
+                        self.lose_worker(worker, &mut in_flight, &mut pending);
+                    }
+                }
+            }
+            if scores.len() >= needed {
+                break;
+            }
+
+            match self.rx.recv_timeout(self.cfg.heartbeat) {
+                Ok(Event::Result {
+                    worker,
+                    id,
+                    fitness,
+                    resilience,
+                }) => {
+                    if let Some(w) = self.workers.get_mut(&worker) {
+                        w.last_seen = Instant::now();
+                        w.in_flight = w.in_flight.saturating_sub(1);
+                    }
+                    // Unknown ids are stale duplicates from a worker we
+                    // already declared lost — the re-dispatched copy is
+                    // authoritative (and identical anyway).
+                    if let Some(job) = in_flight.remove(&id) {
+                        if let Some(wal) = &mut self.wal {
+                            wal.log_result(job.key, fitness, &resilience)?;
+                        }
+                        self.report.merge(&resilience);
+                        scores.push((job.slot, fitness));
+                    }
+                }
+                Ok(event) => self.handle_event(event, &mut in_flight, &mut pending),
+                Err(RecvTimeoutError::Timeout) => {
+                    self.heartbeat_tick(&mut in_flight, &mut pending);
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(AuditError::io(
+                        "broker",
+                        &std::io::Error::new(
+                            std::io::ErrorKind::BrokenPipe,
+                            "accept thread terminated",
+                        ),
+                    ))
+                }
+            }
+        }
+        Ok(scores)
+    }
+
+    fn workers(&self) -> usize {
+        self.workers.len().max(1)
+    }
+
+    fn resilience(&self) -> ResilienceReport {
+        self.report
+    }
+}
+
+impl Broker {
+    /// Gives up on a job whose workers keep dying: score it like a
+    /// quarantined candidate and log the verdict so a resume does not
+    /// retry it either.
+    fn quarantine(
+        &mut self,
+        slot: usize,
+        key: u64,
+        scores: &mut Vec<(usize, f64)>,
+    ) -> Result<(), AuditError> {
+        let delta = ResilienceReport {
+            evaluations: 1,
+            retries: 0,
+            quarantined: 1,
+            backoff_cycles: 0,
+        };
+        if let Some(wal) = &mut self.wal {
+            wal.log_result(key, self.cfg.quarantine_fitness, &delta)?;
+        }
+        self.report.merge(&delta);
+        scores.push((slot, self.cfg.quarantine_fitness));
+        Ok(())
+    }
+
+    /// Idle-timeout housekeeping: ping everyone, declare silent workers
+    /// lost.
+    fn heartbeat_tick(
+        &mut self,
+        in_flight: &mut HashMap<u64, InFlight>,
+        pending: &mut VecDeque<(usize, u64, u32)>,
+    ) {
+        let ping = Msg::Ping.to_json();
+        let mut lost: Vec<u64> = Vec::new();
+        for (&id, w) in self.workers.iter_mut() {
+            if w.last_seen.elapsed() >= self.cfg.dead_after
+                || write_frame(&mut w.writer, &ping).is_err()
+            {
+                lost.push(id);
+            }
+        }
+        for id in lost {
+            self.lose_worker(id, in_flight, pending);
+        }
+    }
+}
+
+fn set_nonblocking(listener: &Listener) -> std::io::Result<()> {
+    match listener {
+        Listener::Tcp(l) => l.set_nonblocking(true),
+        #[cfg(unix)]
+        Listener::Unix(l) => l.set_nonblocking(true),
+    }
+}
+
+/// Polls for connections until told to stop; each accepted socket gets
+/// a handshake/reader thread.
+fn accept_loop(
+    listener: &Listener,
+    ctx: &EvalContext,
+    tx: &Sender<Event>,
+    stop: &AtomicBool,
+    conns: &Mutex<Vec<Conn>>,
+) {
+    let ids = AtomicUsize::new(0);
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok(conn) => {
+                if let Ok(clone) = conn.try_clone() {
+                    if let Ok(mut registry) = conns.lock() {
+                        registry.push(clone);
+                    }
+                }
+                let worker = ids.fetch_add(1, Ordering::SeqCst) as u64;
+                let tx = tx.clone();
+                let ctx = ctx.clone();
+                std::thread::spawn(move || worker_session(conn, worker, &ctx, &tx));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(100)),
+        }
+    }
+}
+
+/// Handshakes one worker, hands its writer half to the broker, then
+/// pumps its frames into events until the stream ends.
+fn worker_session(mut conn: Conn, worker: u64, ctx: &EvalContext, tx: &Sender<Event>) {
+    let hello_ok = matches!(
+        read_frame(&mut conn),
+        Ok(FrameOutcome::Frame(v))
+            if matches!(Msg::from_json(&v), Ok(Msg::Hello { protocol }) if protocol == PROTOCOL_VERSION)
+    );
+    if !hello_ok {
+        conn.shutdown();
+        return;
+    }
+    let Ok(mut writer) = conn.try_clone() else {
+        conn.shutdown();
+        return;
+    };
+    if write_frame(&mut writer, &Msg::Setup { ctx: ctx.clone() }.to_json()).is_err() {
+        conn.shutdown();
+        return;
+    }
+    if tx.send(Event::Joined { worker, writer }).is_err() {
+        return;
+    }
+    // Anything but a complete frame — clean EOF, torn tail, or a read
+    // error — ends the session and reports the worker lost.
+    while let Ok(FrameOutcome::Frame(v)) = read_frame(&mut conn) {
+        match Msg::from_json(&v) {
+            Ok(Msg::Result {
+                id,
+                fitness,
+                resilience,
+            }) => {
+                if tx
+                    .send(Event::Result {
+                        worker,
+                        id,
+                        fitness,
+                        resilience,
+                    })
+                    .is_err()
+                {
+                    return;
+                }
+            }
+            Ok(Msg::Pong) | Ok(Msg::Ping) => {
+                if tx.send(Event::Pong { worker }).is_err() {
+                    return;
+                }
+            }
+            // A worker has no business sending anything else; treat
+            // a confused peer as lost.
+            _ => break,
+        }
+    }
+    tx.send(Event::Lost { worker }).ok();
+}
+
+/// WAL-recovered results keyed by genome content hash: fitness plus the
+/// resilience delta the original evaluation accrued.
+type Prefill = HashMap<u64, (f64, ResilienceReport)>;
+
+/// The dispatch write-ahead log: NDJSON, appended and flushed per
+/// record. `dispatch` records are written before the `Eval` frame goes
+/// out; `result` records after the answer arrives (or a quarantine
+/// verdict is reached). Only `result` records feed the resume prefill —
+/// `dispatch` records are evidence of what was outstanding.
+struct Wal {
+    path: PathBuf,
+    file: std::fs::File,
+}
+
+impl Wal {
+    fn open(path: &Path) -> Result<(Wal, Prefill), AuditError> {
+        let io_err = |e: &std::io::Error| AuditError::io(path.display(), e);
+        let mut prefill = HashMap::new();
+        match std::fs::read_to_string(path) {
+            Ok(text) => {
+                let lines: Vec<&str> = text.lines().collect();
+                for (i, line) in lines.iter().enumerate() {
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    let value = match JsonValue::parse(line) {
+                        Ok(v) => v,
+                        // A torn final line is the normal kill
+                        // signature; corruption earlier is not.
+                        Err(_) if i + 1 == lines.len() => break,
+                        Err(e) => {
+                            return Err(AuditError::journal(i + 1, format!("WAL: {e}")))
+                        }
+                    };
+                    if value.get("kind").and_then(JsonValue::as_str) == Some("result") {
+                        let key = decode_u64(
+                            value
+                                .get("key")
+                                .ok_or_else(|| AuditError::journal(i + 1, "WAL result has no key"))?,
+                        )?;
+                        let fitness = value
+                            .get("fitness")
+                            .and_then(JsonValue::as_f64)
+                            .ok_or_else(|| {
+                                AuditError::journal(i + 1, "WAL result has no fitness")
+                            })?;
+                        let resilience = decode_resilience(value.get("resilience").ok_or_else(
+                            || AuditError::journal(i + 1, "WAL result has no resilience"),
+                        )?)?;
+                        prefill.insert(key, (fitness, resilience));
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(io_err(&e)),
+        }
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| io_err(&e))?;
+        Ok((
+            Wal {
+                path: path.to_path_buf(),
+                file,
+            },
+            prefill,
+        ))
+    }
+
+    fn append(&mut self, value: &JsonValue) -> Result<(), AuditError> {
+        let io_err = |e: &std::io::Error| AuditError::io(self.path.display(), e);
+        let mut line = value.encode();
+        line.push('\n');
+        self.file.write_all(line.as_bytes()).map_err(|e| io_err(&e))?;
+        self.file.flush().map_err(|e| io_err(&e))?;
+        Ok(())
+    }
+
+    fn log_dispatch(&mut self, key: u64, slot: usize, attempt: u32) -> Result<(), AuditError> {
+        self.append(&JsonValue::object(vec![
+            ("kind", JsonValue::String("dispatch".into())),
+            ("key", encode_u64(key)),
+            ("slot", encode_u64(slot as u64)),
+            ("attempt", encode_u64(u64::from(attempt))),
+        ]))
+    }
+
+    fn log_result(
+        &mut self,
+        key: u64,
+        fitness: f64,
+        resilience: &ResilienceReport,
+    ) -> Result<(), AuditError> {
+        self.append(&JsonValue::object(vec![
+            ("kind", JsonValue::String("result".into())),
+            ("key", encode_u64(key)),
+            ("fitness", JsonValue::from_f64(fitness)),
+            ("resilience", encode_resilience(resilience)),
+        ]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wal_round_trips_results_and_tolerates_a_torn_tail() {
+        let dir = std::env::temp_dir().join(format!("audit-wal-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.wal");
+        let delta = ResilienceReport {
+            evaluations: 1,
+            retries: 1,
+            quarantined: 0,
+            backoff_cycles: 512,
+        };
+        {
+            let (mut wal, prefill) = Wal::open(&path).unwrap();
+            assert!(prefill.is_empty());
+            wal.log_dispatch(0xABCD, 3, 0).unwrap();
+            wal.log_result(0xABCD, -0.125, &delta).unwrap();
+        }
+        // Simulate a broker killed mid-write: a torn trailing line.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(b"{\"kind\":\"disp");
+        std::fs::write(&path, &bytes).unwrap();
+        let (_wal, prefill) = Wal::open(&path).unwrap();
+        assert_eq!(prefill.get(&0xABCD), Some(&(-0.125, delta)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_interior_wal_line_is_an_error() {
+        let dir = std::env::temp_dir().join(format!("audit-wal-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.wal");
+        std::fs::write(&path, "garbage\n{\"kind\":\"result\"}\n").unwrap();
+        assert!(Wal::open(&path).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,185 @@
+//! Length-prefixed JSON frames.
+//!
+//! One frame is a 4-byte big-endian payload length followed by that
+//! many bytes of UTF-8 JSON (the hand-rolled
+//! [`audit_measure::json`] codec — byte-deterministic, no external
+//! dependencies). Reads distinguish three endings, mirroring the run
+//! journal's torn-tail discipline
+//! ([`audit_measure::traceio::TailOutcome`]): a complete frame, a clean
+//! EOF at a frame boundary (the peer closed deliberately), and a
+//! truncated tail (the peer died mid-frame — the partial frame is
+//! evidence, not data).
+
+use std::io::{Read, Write};
+
+use audit_error::AuditError;
+use audit_measure::json::JsonValue;
+
+/// Upper bound on a frame payload, in bytes. Generously above any real
+/// message (a generation of genomes is a few hundred KiB) while keeping
+/// a corrupt or hostile length prefix from looking like a 4 GiB
+/// allocation request.
+pub const MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// How a frame read ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FrameOutcome {
+    /// A complete frame: the decoded payload.
+    Frame(JsonValue),
+    /// The stream ended cleanly on a frame boundary.
+    Eof,
+    /// The stream ended mid-frame (inside the length prefix or the
+    /// payload) — the peer was killed or the connection was cut.
+    TruncatedTail,
+}
+
+/// Writes one frame (length prefix + encoded payload) and flushes.
+///
+/// # Errors
+///
+/// Returns [`AuditError::Io`] on any socket write failure.
+pub fn write_frame(w: &mut impl Write, payload: &JsonValue) -> Result<(), AuditError> {
+    let body = payload.encode();
+    let io_err = |e: &std::io::Error| AuditError::io("socket", e);
+    let len =
+        u32::try_from(body.len()).map_err(|_| AuditError::invalid("frame", "len", "oversized"))?;
+    w.write_all(&len.to_be_bytes()).map_err(|e| io_err(&e))?;
+    w.write_all(body.as_bytes()).map_err(|e| io_err(&e))?;
+    w.flush().map_err(|e| io_err(&e))?;
+    Ok(())
+}
+
+/// Reads one frame.
+///
+/// # Errors
+///
+/// Returns [`AuditError::Io`] on a socket read failure, and
+/// [`AuditError::Journal`] for an oversized length prefix, a non-UTF-8
+/// payload, or payload bytes that do not parse as JSON (a framing bug
+/// or corruption — unlike truncation, never a normal ending).
+pub fn read_frame(r: &mut impl Read) -> Result<FrameOutcome, AuditError> {
+    let mut header = [0u8; 4];
+    match read_exact_or_tail(r, &mut header)? {
+        Tail::Complete => {}
+        Tail::CleanEof => return Ok(FrameOutcome::Eof),
+        Tail::Torn => return Ok(FrameOutcome::TruncatedTail),
+    }
+    let len = u32::from_be_bytes(header) as usize;
+    if len > MAX_FRAME {
+        return Err(AuditError::journal(
+            0,
+            format!("frame length {len} exceeds the {MAX_FRAME}-byte cap"),
+        ));
+    }
+    let mut body = vec![0u8; len];
+    match read_exact_or_tail(r, &mut body)? {
+        Tail::Complete => {}
+        // Any shortfall inside the payload is a torn frame, including
+        // an EOF right after the prefix.
+        Tail::CleanEof | Tail::Torn => return Ok(FrameOutcome::TruncatedTail),
+    }
+    let text = String::from_utf8(body)
+        .map_err(|_| AuditError::journal(0, "frame payload is not UTF-8"))?;
+    let value = JsonValue::parse(&text)
+        .map_err(|e| AuditError::journal(0, format!("frame payload: {e}")))?;
+    Ok(FrameOutcome::Frame(value))
+}
+
+enum Tail {
+    Complete,
+    CleanEof,
+    Torn,
+}
+
+/// `read_exact`, except an EOF before the first byte is reported as
+/// [`Tail::CleanEof`] and an EOF after a partial read as [`Tail::Torn`]
+/// instead of an error.
+fn read_exact_or_tail(r: &mut impl Read, buf: &mut [u8]) -> Result<Tail, AuditError> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Ok(if filled == 0 { Tail::CleanEof } else { Tail::Torn });
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            // A reset/aborted connection mid-frame is the network form
+            // of a torn tail.
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::ConnectionReset
+                        | std::io::ErrorKind::ConnectionAborted
+                        | std::io::ErrorKind::BrokenPipe
+                ) =>
+            {
+                return Ok(if filled == 0 { Tail::CleanEof } else { Tail::Torn });
+            }
+            Err(e) => return Err(AuditError::io("socket", &e)),
+        }
+    }
+    Ok(Tail::Complete)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn sample() -> JsonValue {
+        JsonValue::object(vec![
+            ("kind", JsonValue::String("eval".into())),
+            ("id", JsonValue::from_u64(7)),
+            ("x", JsonValue::from_f64(-0.031)),
+        ])
+    }
+
+    fn encode_to_bytes(v: &JsonValue) -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, v).unwrap();
+        buf
+    }
+
+    #[test]
+    fn frame_round_trips() {
+        let bytes = encode_to_bytes(&sample());
+        let mut cur = Cursor::new(bytes);
+        assert_eq!(read_frame(&mut cur).unwrap(), FrameOutcome::Frame(sample()));
+        assert_eq!(read_frame(&mut cur).unwrap(), FrameOutcome::Eof);
+    }
+
+    #[test]
+    fn every_truncation_point_is_a_torn_tail_not_an_error() {
+        let bytes = encode_to_bytes(&sample());
+        // Cut the stream after every prefix of a valid frame: byte 0 is
+        // a clean EOF, every other cut is a torn tail.
+        for cut in 1..bytes.len() {
+            let mut cur = Cursor::new(bytes[..cut].to_vec());
+            assert_eq!(
+                read_frame(&mut cur).unwrap(),
+                FrameOutcome::TruncatedTail,
+                "cut at {cut}"
+            );
+        }
+        let mut empty = Cursor::new(Vec::new());
+        assert_eq!(read_frame(&mut empty).unwrap(), FrameOutcome::Eof);
+    }
+
+    #[test]
+    fn garbage_payload_is_an_error_not_a_tail() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&5u32.to_be_bytes());
+        bytes.extend_from_slice(b"nope!");
+        let mut cur = Cursor::new(bytes);
+        assert!(read_frame(&mut cur).is_err());
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&u32::MAX.to_be_bytes());
+        bytes.extend_from_slice(&[0u8; 16]);
+        let mut cur = Cursor::new(bytes);
+        assert!(read_frame(&mut cur).is_err());
+    }
+}

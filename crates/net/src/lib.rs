@@ -1,0 +1,52 @@
+//! Distributed fitness evaluation for AUDIT (`audit serve` /
+//! `audit work`).
+//!
+//! The GA's closed loop (run candidate → measure droop → evolve) is
+//! embarrassingly parallel across the population, so this crate scales
+//! the expensive part — fitness evaluation — across worker *processes*
+//! while leaving every bit of the search result unchanged:
+//!
+//! * [`frame`] — length-prefixed JSON frames over any byte stream, with
+//!   torn-tail detection mirroring
+//!   `audit_measure::traceio::TailOutcome`,
+//! * [`transport`] — std-only TCP and Unix-domain listeners/streams
+//!   behind one address syntax (`host:port` or `unix:/path`),
+//! * [`proto`] — the protocol messages and the [`proto::EvalContext`]
+//!   setup payload that lets a worker rebuild the exact fitness
+//!   function ([`audit_core::FitnessSpec::evaluate`]) the broker's GA
+//!   is searching with,
+//! * [`broker`] — the broker side: accepts workers, dispatches
+//!   content-addressed evaluation keys under a bounded in-flight
+//!   window, write-ahead-logs dispatch so a killed broker resumes, and
+//!   merges results **bit-identically** to the in-process path (it is
+//!   an [`audit_core::ga::EvalDispatcher`]),
+//! * [`worker`] — the worker loop: connect, handshake, evaluate, report
+//!   fitness plus resilience-counter deltas.
+//!
+//! # Determinism contract
+//!
+//! The broker never lets scheduling reach the results: the engine hands
+//! it the slots to measure, workers compute
+//! [`audit_core::FitnessSpec::evaluate`] (deterministic per genome,
+//! fault schedule content-addressed by `(seed, key, attempt)`), and the
+//! engine sorts returned `(slot, fitness)` pairs into slot order before
+//! any cache insert. `GaRun` results, `evaluations` counts, cache
+//! state, and journal bytes are identical for any worker count,
+//! including workers joining or dying mid-generation (a lost worker's
+//! assignment is re-dispatched deterministically and recomputes the
+//! identical result). See `docs/DISTRIBUTED.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod broker;
+pub mod frame;
+pub mod proto;
+pub mod transport;
+pub mod worker;
+
+pub use broker::{Broker, BrokerConfig};
+pub use frame::{read_frame, write_frame, FrameOutcome};
+pub use proto::{EvalContext, Msg, PROTOCOL_VERSION};
+pub use transport::{connect, Conn, Listener};
+pub use worker::{run_worker, WorkerOptions, WorkerStats};

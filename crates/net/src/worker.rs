@@ -1,0 +1,178 @@
+//! The worker loop behind `audit work`.
+//!
+//! A worker is stateless between evaluations: it connects, greets the
+//! broker, rebuilds the rig and [`audit_core::FitnessSpec`] from the
+//! [`Setup`](crate::proto::Msg::Setup) frame, then answers `Eval`
+//! frames with `Result` frames until the broker says
+//! [`Shutdown`](crate::proto::Msg::Shutdown) or hangs up. Each result
+//! carries the evaluation's resilience-counter delta so the broker can
+//! merge accounting exactly once, in any arrival order.
+
+use std::time::{Duration, Instant};
+
+use audit_error::AuditError;
+
+use crate::frame::{read_frame, write_frame, FrameOutcome};
+use crate::proto::{Msg, PROTOCOL_VERSION};
+use crate::transport::connect;
+
+/// Worker knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkerOptions {
+    /// How long to keep retrying the initial connect (the broker may
+    /// not be up yet when workers start).
+    pub connect_for: Duration,
+    /// Interval between connect attempts.
+    pub connect_retry: Duration,
+    /// Fault-injection hook for tests: after completing this many
+    /// evaluations the worker returns abruptly — no reply, no clean
+    /// shutdown — as if the process had been killed mid-generation.
+    pub max_evals: Option<usize>,
+}
+
+impl Default for WorkerOptions {
+    fn default() -> Self {
+        WorkerOptions {
+            connect_for: Duration::from_secs(30),
+            connect_retry: Duration::from_millis(100),
+            max_evals: None,
+        }
+    }
+}
+
+/// What a worker session amounted to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WorkerStats {
+    /// Evaluations completed and reported.
+    pub evaluations: usize,
+    /// True when the session ended by broker `Shutdown` or clean EOF
+    /// (false means the [`WorkerOptions::max_evals`] kill hook fired).
+    pub clean_exit: bool,
+}
+
+/// Connects to `addr` and serves evaluations until the broker releases
+/// the worker. See the module docs.
+///
+/// # Errors
+///
+/// Returns [`AuditError::Io`] when the broker cannot be reached within
+/// [`WorkerOptions::connect_for`], and [`AuditError::Journal`] on a
+/// malformed or out-of-order protocol frame (including a torn frame —
+/// the broker died mid-send).
+pub fn run_worker(addr: &str, opts: &WorkerOptions) -> Result<WorkerStats, AuditError> {
+    let deadline = Instant::now() + opts.connect_for;
+    let mut conn = loop {
+        match connect(addr) {
+            Ok(conn) => break conn,
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    return Err(AuditError::io(addr, &e));
+                }
+                std::thread::sleep(opts.connect_retry);
+            }
+        }
+    };
+
+    write_frame(
+        &mut conn,
+        &Msg::Hello {
+            protocol: PROTOCOL_VERSION,
+        }
+        .to_json(),
+    )?;
+    let ctx = match read_msg(&mut conn)? {
+        Some(Msg::Setup { ctx }) => ctx,
+        Some(other) => {
+            return Err(AuditError::journal(
+                0,
+                format!("expected setup, got `{}`", msg_kind(&other)),
+            ))
+        }
+        None => return Err(AuditError::journal(0, "broker hung up before setup")),
+    };
+    let rig = ctx.rig()?;
+    let fspec = ctx.spec;
+
+    let mut stats = WorkerStats::default();
+    loop {
+        match read_msg(&mut conn)? {
+            Some(Msg::Eval { id, genome }) => {
+                if opts.max_evals.is_some_and(|cap| stats.evaluations >= cap) {
+                    // Kill hook: vanish without replying, like a
+                    // SIGKILLed process. The OS closes the socket and
+                    // the broker re-dispatches the job.
+                    return Ok(stats);
+                }
+                let (fitness, resilience) = fspec.evaluate(&rig, &genome);
+                write_frame(
+                    &mut conn,
+                    &Msg::Result {
+                        id,
+                        fitness,
+                        resilience,
+                    }
+                    .to_json(),
+                )?;
+                stats.evaluations += 1;
+            }
+            Some(Msg::Ping) => write_frame(&mut conn, &Msg::Pong.to_json())?,
+            Some(Msg::Shutdown) | None => {
+                stats.clean_exit = true;
+                return Ok(stats);
+            }
+            Some(other) => {
+                return Err(AuditError::journal(
+                    0,
+                    format!("unexpected `{}` frame", msg_kind(&other)),
+                ))
+            }
+        }
+    }
+}
+
+/// Reads one message; `None` is a clean EOF. A torn frame is an error
+/// here — unlike the broker, a worker has nothing to salvage from a
+/// half-dead broker and should exit loudly.
+fn read_msg(conn: &mut crate::transport::Conn) -> Result<Option<Msg>, AuditError> {
+    match read_frame(conn)? {
+        FrameOutcome::Frame(v) => Ok(Some(Msg::from_json(&v)?)),
+        FrameOutcome::Eof => Ok(None),
+        FrameOutcome::TruncatedTail => {
+            Err(AuditError::journal(0, "broker connection died mid-frame"))
+        }
+    }
+}
+
+fn msg_kind(msg: &Msg) -> &'static str {
+    match msg {
+        Msg::Hello { .. } => "hello",
+        Msg::Setup { .. } => "setup",
+        Msg::Eval { .. } => "eval",
+        Msg::Result { .. } => "result",
+        Msg::Ping => "ping",
+        Msg::Pong => "pong",
+        Msg::Shutdown => "shutdown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connect_timeout_is_reported() {
+        let opts = WorkerOptions {
+            connect_for: Duration::from_millis(50),
+            connect_retry: Duration::from_millis(10),
+            max_evals: None,
+        };
+        // Nothing listens on a fresh unix path.
+        let addr = format!(
+            "unix:{}",
+            std::env::temp_dir()
+                .join(format!("audit-no-broker-{}.sock", std::process::id()))
+                .display()
+        );
+        assert!(run_worker(&addr, &opts).is_err());
+    }
+}

@@ -81,4 +81,25 @@ cmp <(strip_wall "$smoke_dir/gen.ndjson") <(strip_wall "$smoke_dir/gen-killed.nd
 grep -F "$(grep 'best droop' "$smoke_dir/gen.out")" "$smoke_dir/gen-resumed.out" > /dev/null \
     || { echo "resumed faulty GA result drifted from the uninterrupted run" >&2; exit 1; }
 
+echo "==> distributed smoke (broker + 2 workers, byte-identical journal)"
+# The same tiny generate, once in-process and once through the
+# audit-net broker with two worker processes over a Unix socket. The
+# determinism contract (docs/DISTRIBUTED.md): identical journal bytes
+# modulo wall-clock telemetry.
+sock="$smoke_dir/broker.sock"
+( sleep 0.3; "${audit[@]}" work --connect "unix:$sock" > "$smoke_dir/w1.out" 2>&1 ) &
+w1=$!
+( sleep 0.3; "${audit[@]}" work --connect "unix:$sock" > "$smoke_dir/w2.out" 2>&1 ) &
+w2=$!
+"${audit[@]}" serve --fast --threads 2 --seed 3 --listen "unix:$sock" \
+    --min-workers 2 --checkpoint "$smoke_dir/dist.ndjson" > "$smoke_dir/dist.out"
+wait "$w1" "$w2" \
+    || { echo "a distributed worker exited non-zero" >&2; exit 1; }
+"${audit[@]}" generate --fast --threads 2 --seed 3 \
+    --checkpoint "$smoke_dir/dist-local.ndjson" > "$smoke_dir/dist-local.out"
+cmp <(strip_wall "$smoke_dir/dist.ndjson") <(strip_wall "$smoke_dir/dist-local.ndjson") \
+    || { echo "distributed journal drifted from the in-process run (beyond wall_s)" >&2; exit 1; }
+[[ -e "$smoke_dir/dist.ndjson.wal" ]] \
+    && { echo "broker left its write-ahead log behind after a clean finish" >&2; exit 1; }
+
 echo "OK"
