@@ -176,6 +176,28 @@ fn group_currents(body: &[Inst], fetch_width: usize) -> Vec<f64> {
 /// Static current-swing score over an instruction list; see
 /// [`PressureReport::swing_score`]. Exposed separately so the GA can
 /// rank lowered genomes without building a [`Program`].
+///
+/// This is tier 0 of the evaluation cascade (`docs/SIMULATION.md`): a
+/// burst of heavy ops followed by a quiet gap scores higher than the
+/// same ops spread evenly, because only the former puts an edge
+/// between consecutive fetch groups:
+///
+/// ```
+/// use audit_analyze::{swing_score, MachineModel};
+/// use audit_cpu::{Inst, Opcode};
+///
+/// let fmul = |i: u8| Inst::new(Opcode::FMul).fp_dst(i).fp_srcs(12, 13);
+/// let nop = Inst::new(Opcode::Nop);
+///
+/// // 8 FMULs then 8 NOPs: hot groups then quiet groups.
+/// let phased: Vec<_> = (0..8).map(fmul).chain([nop; 8]).collect();
+/// // The same ops interleaved: every fetch group looks identical.
+/// let flat: Vec<_> = (0..8).flat_map(|i| [fmul(i), nop]).collect();
+///
+/// let model = MachineModel::generic();
+/// assert!(swing_score(&phased, &model) > swing_score(&flat, &model));
+/// assert_eq!(swing_score(&flat, &model), 0.0);
+/// ```
 pub fn swing_score(body: &[Inst], model: &MachineModel) -> f64 {
     let currents = group_currents(body, model.fetch_width);
     if currents.len() < 2 {
@@ -190,6 +212,22 @@ pub fn swing_score(body: &[Inst], model: &MachineModel) -> f64 {
 }
 
 /// Run the full static pressure model over a program.
+///
+/// ```
+/// use audit_analyze::{pressure, MachineModel};
+/// use audit_cpu::{Inst, Opcode, Program};
+///
+/// let body: Vec<_> = (0..12)
+///     .map(|i| Inst::new(Opcode::FAdd).fp_dst(i).fp_srcs(12, 13))
+///     .collect();
+/// let report = pressure(&Program::new("fp-burst", body), &MachineModel::generic());
+///
+/// assert_eq!(report.occupancy.fp_pipe, 12);
+/// // Twelve independent FP adds through two pipes: throughput-bound
+/// // (12 / 2 = 6 cycles beats the 5-cycle single-op critical path).
+/// assert_eq!(report.min_cycles, 6);
+/// assert_eq!(report.ipc_bound, 2.0);
+/// ```
 pub fn pressure(program: &Program, model: &MachineModel) -> PressureReport {
     let body = program.body();
     let mut occ = Occupancy::default();

@@ -79,6 +79,7 @@ fn distributed_run(spec: &FitnessSpec, cfg: &GaConfig, workers: usize) -> (GaRun
         volts: None,
         throttle: None,
         spec: *spec,
+        fast_tier_budget: 0,
     };
     let mut broker = Broker::bind(
         "127.0.0.1:0",

@@ -58,6 +58,8 @@ const VALUE_FLAGS: &[&str] = &[
     "--connect",
     "--min-workers",
     "--window",
+    "--fast-tier-budget",
+    "--eval-batch",
 ];
 
 impl Args {

@@ -36,11 +36,19 @@ USAGE:
                    [--workers N] [--out file.asm] [--save file.prog]
                    [--iterations N] [--fast] [--checkpoint run.ndjson]
                    [--faults SEED:RATES] [--repeat K] [--retries N]
-                   [--cycle-budget N]
+                   [--cycle-budget N] [--fast-tier-budget N]
+                   [--eval-batch N]
       Evolve a stressmark; --out writes NASM, --save archives the
       lossless .prog form for later `audit measure --file`.
-      --workers sets GA evaluation threads (0 = all cores); results
-      are bit-identical for any worker count.
+      --workers sets GA evaluation threads (0 = all cores) and
+      --eval-batch co-simulates N genomes per batched sweep; results
+      are bit-identical for any worker count or batch width.
+      --fast-tier-budget N engages the evaluation cascade: each
+      generation, an analytic fast tier ranks the candidates and only
+      the top N reach the full simulator (0 = off, the default). The
+      budget shapes the search, so it is journaled and restored by
+      --resume; for a fixed budget, results stay bit-identical across
+      worker counts, batching, and kill/--resume.
       --checkpoint journals every generation to an NDJSON file,
       atomically, so a killed run can be continued.
       --faults injects deterministic measurement faults (e.g.
@@ -330,11 +338,18 @@ fn eval_context(plat: &Args, fspec: audit_core::FitnessSpec) -> Result<EvalConte
         ),
         None => None,
     };
+    let fast_tier_budget = match plat.opt_flag("--fast-tier-budget") {
+        Some(b) => b
+            .parse::<usize>()
+            .map_err(|_| ArgError(format!("--fast-tier-budget: cannot parse `{b}`")))?,
+        None => 0,
+    };
     Ok(EvalContext {
         chip: plat.str_flag("--chip", "bulldozer"),
         volts,
         throttle,
         spec: fspec,
+        fast_tier_budget,
     })
 }
 

@@ -27,6 +27,8 @@ const GENERATE_RESULT_FLAGS: &[&str] = &[
     "--repeat",
     "--retries",
     "--cycle-budget",
+    "--fast-tier-budget",
+    "--eval-batch",
 ];
 
 /// The `failure` flags that determine the *result* of a Vmin search,
@@ -127,15 +129,21 @@ pub fn rig_from(args: &Args) -> Result<Rig, ArgError> {
     Ok(rig)
 }
 
-/// Generation options from `--fast`, `--seed`, `--cost`, `--workers`.
+/// Generation options from `--fast`, `--seed`, `--cost`, `--workers`,
+/// `--fast-tier-budget`, and `--eval-batch`.
 ///
 /// `--workers` sets the GA fitness-evaluation worker count (`0`, the
-/// default, means all available cores); it affects wall time only,
-/// never results.
+/// default, means all available cores) and `--eval-batch` the number of
+/// genomes co-simulated per batched sweep; both affect wall time only,
+/// never results. `--fast-tier-budget <n>` engages the evaluation
+/// cascade — at most `n` candidates per generation reach the full
+/// simulator — and *does* shape the search, so it is recorded as a
+/// result flag for `--resume` (see docs/SIMULATION.md).
 ///
 /// # Errors
 ///
-/// Returns [`ArgError`] for an unknown cost function.
+/// Returns [`ArgError`] for an unknown cost function or a malformed
+/// count.
 pub fn options_from(args: &Args) -> Result<AuditOptions, ArgError> {
     let mut opts = if args.bool_flag("--fast") {
         AuditOptions::fast_demo()
@@ -154,6 +162,18 @@ pub fn options_from(args: &Args) -> Result<AuditOptions, ArgError> {
             .map_err(|_| ArgError(format!("--workers: cannot parse `{workers}`")))?;
         opts = opts.with_eval_threads(workers);
     }
+    if let Some(budget) = args.opt_flag("--fast-tier-budget") {
+        let budget: usize = budget
+            .parse()
+            .map_err(|_| ArgError(format!("--fast-tier-budget: cannot parse `{budget}`")))?;
+        opts = opts.with_fast_tier_budget(budget);
+    }
+    if let Some(batch) = args.opt_flag("--eval-batch") {
+        let batch: usize = batch
+            .parse()
+            .map_err(|_| ArgError(format!("--eval-batch: cannot parse `{batch}`")))?;
+        opts = opts.with_eval_batch(batch);
+    }
     if let Some(cost) = args.opt_flag("--cost") {
         use audit_core::ga::CostFunction;
         opts = opts.with_cost(match cost.as_str() {
@@ -168,6 +188,7 @@ pub fn options_from(args: &Args) -> Result<AuditOptions, ArgError> {
         });
     }
     opts = opts.with_policy(policy_from(args)?);
+    opts.validate().map_err(|e| ArgError(e.to_string()))?;
     Ok(opts)
 }
 
@@ -352,6 +373,29 @@ mod tests {
         assert!(policy_from(&parse(&["--faults", "nonsense"])).is_err());
         assert!(policy_from(&parse(&["--repeat", "0"])).is_err());
         assert!(policy_from(&parse(&["--cycle-budget", "soon"])).is_err());
+    }
+
+    #[test]
+    fn cascade_flags_parse_and_round_trip_through_meta() {
+        let args = parse(&["--fast-tier-budget", "6", "--eval-batch", "4"]);
+        let opts = options_from(&args).unwrap();
+        assert_eq!(opts.ga.fast_tier_budget, 6);
+        assert_eq!(opts.eval_batch, 4);
+        // Both flags are journaled, so --resume reconstructs the exact
+        // cascade configuration (the budget shapes the search) and
+        // keeps batching engaged.
+        let meta = generate_meta(&args);
+        let restored = args_from_meta(&meta).unwrap();
+        let ropts = options_from(&restored).unwrap();
+        assert_eq!(ropts.ga.fast_tier_budget, 6);
+        assert_eq!(ropts.eval_batch, 4);
+        // Defaults: cascade off, unbatched.
+        let plain = options_from(&parse(&[])).unwrap();
+        assert_eq!(plain.ga.fast_tier_budget, 0);
+        assert_eq!(plain.eval_batch, 1);
+        // Malformed or unrunnable values are rejected with the flag named.
+        assert!(options_from(&parse(&["--fast-tier-budget", "lots"])).is_err());
+        assert!(options_from(&parse(&["--eval-batch", "0"])).is_err());
     }
 
     #[test]

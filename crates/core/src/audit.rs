@@ -49,6 +49,28 @@ pub struct AuditOptions {
     /// repeat-median, retry, watchdog). The default no-op policy keeps
     /// the plain measurement path and bit-identical results.
     pub policy: MeasurePolicy,
+    /// Genomes co-simulated per batched sweep of the full simulator
+    /// (`1` = the classic one-genome-at-a-time path). When the
+    /// resilience policy is the no-op default and this is above 1,
+    /// fitness evaluation routes through
+    /// [`Rig::measure_batch`](crate::harness::Rig::measure_batch) via a
+    /// [`ga::BatchLocalDispatcher`]: each worker pops a chunk of this
+    /// many genomes and steps their simulators in lockstep, amortizing
+    /// loop bookkeeping across the chunk. Purely a wall-clock knob —
+    /// lanes are fully independent, so results, journal bytes, and
+    /// cache state are bit-identical to the unbatched path (see
+    /// docs/SIMULATION.md).
+    #[serde(default = "default_eval_batch")]
+    pub eval_batch: usize,
+}
+
+/// Serde default for [`AuditOptions::eval_batch`]: options serialized
+/// before the batched path existed deserialize to the classic
+/// one-genome-at-a-time behavior. (Unreferenced under the offline
+/// no-op serde derive stub, hence the allow.)
+#[allow(dead_code)]
+fn default_eval_batch() -> usize {
+    1
 }
 
 impl AuditOptions {
@@ -100,6 +122,13 @@ impl AuditOptions {
                 "excitation quiet region must be at least one cycle",
             ));
         }
+        if self.eval_batch == 0 {
+            return Err(AuditError::invalid(
+                "AuditOptions",
+                "eval_batch",
+                "evaluation batch width must be at least 1 (1 = unbatched)",
+            ));
+        }
         Ok(())
     }
 
@@ -117,6 +146,7 @@ impl AuditOptions {
             eval_spec: MeasureSpec::ga_eval(),
             excitation_quiet_cycles: 200,
             policy: MeasurePolicy::disabled(),
+            eval_batch: 1,
         }
     }
 
@@ -136,6 +166,7 @@ impl AuditOptions {
             eval_spec: MeasureSpec::ga_eval(),
             excitation_quiet_cycles: 150,
             policy: MeasurePolicy::disabled(),
+            eval_batch: 1,
         }
     }
 
@@ -164,6 +195,22 @@ impl AuditOptions {
     /// fault schedules are content-addressed per candidate.
     pub fn with_policy(mut self, policy: MeasurePolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Sets the batched-evaluation chunk width (`1` = unbatched). Never
+    /// changes results — see [`AuditOptions::eval_batch`].
+    pub fn with_eval_batch(mut self, batch: usize) -> Self {
+        self.eval_batch = batch;
+        self
+    }
+
+    /// Sets the evaluation cascade's fast-tier budget (`0` = cascade
+    /// off): at most this many candidates per generation reach the full
+    /// simulator; the rest are pruned by the analytic fast tier. See
+    /// [`GaConfig::fast_tier_budget`].
+    pub fn with_fast_tier_budget(mut self, budget: usize) -> Self {
+        self.ga.fast_tier_budget = budget;
         self
     }
 }
@@ -248,6 +295,20 @@ impl AuditOptionsBuilder {
     /// [`MeasurePolicy::validate`] at build.
     pub fn policy(mut self, policy: MeasurePolicy) -> Self {
         self.opts.policy = policy;
+        self
+    }
+
+    /// Sets the batched-evaluation chunk width. Must be at least 1 at
+    /// build (convenience mirror of [`AuditOptions::with_eval_batch`]).
+    pub fn eval_batch(mut self, batch: usize) -> Self {
+        self.opts.eval_batch = batch;
+        self
+    }
+
+    /// Sets the cascade's fast-tier budget (convenience mirror of
+    /// [`AuditOptions::with_fast_tier_budget`]).
+    pub fn fast_tier_budget(mut self, budget: usize) -> Self {
+        self.opts.ga.fast_tier_budget = budget;
         self
     }
 
@@ -653,10 +714,43 @@ impl Audit {
         };
 
         let seeds = self.ga_seeds(genome_len, seed_miss_load, extra_seeds);
-        let ga_run = match resume {
-            Some(journal) => GaRun::resume_with_sink(journal, fitness, sink)?,
-            None => {
-                ga::evolve_journaled(&self.opts.ga, &menu, genome_len, &seeds, fitness, sink)?
+        let ga_run = if self.opts.eval_batch > 1 && self.opts.policy.is_noop() {
+            // Batched hot loop: chunks of genomes share one lockstep
+            // simulator sweep. Bit-identical to the closure path —
+            // `Rig::measure_batch` lanes are fully independent and the
+            // engine merges results in slot order either way.
+            let batch_fitness = |genomes: &[&[Gene]]| {
+                fspec
+                    .evaluate_batch(rig, genomes)
+                    .into_iter()
+                    .map(|(f, delta)| {
+                        log.fold(&delta);
+                        f
+                    })
+                    .collect()
+            };
+            let mut dispatcher = ga::BatchLocalDispatcher::new(
+                batch_fitness,
+                self.opts.eval_batch,
+                ga::resolve_workers(self.opts.ga.threads),
+            );
+            match resume {
+                Some(journal) => GaRun::resume_dispatched(journal, &mut dispatcher, sink)?,
+                None => ga::evolve_journaled_dispatched(
+                    &self.opts.ga,
+                    &menu,
+                    genome_len,
+                    &seeds,
+                    &mut dispatcher,
+                    sink,
+                )?,
+            }
+        } else {
+            match resume {
+                Some(journal) => GaRun::resume_with_sink(journal, fitness, sink)?,
+                None => {
+                    ga::evolve_journaled(&self.opts.ga, &menu, genome_len, &seeds, fitness, sink)?
+                }
             }
         };
         self.finish_run(name, &fspec, resonance, ga_run, log.snapshot())
@@ -885,6 +979,39 @@ impl FitnessSpec {
             (self.policy.score(self.cost, &outcome), delta)
         }
     }
+
+    /// Scores a chunk of genomes in one lockstep
+    /// [`Rig::measure_batch`] sweep, returning one score per genome in
+    /// order. Each score is bit-identical to
+    /// [`FitnessSpec::evaluate`] on that genome alone — batching
+    /// amortizes the hot loop's bookkeeping, never changes results.
+    ///
+    /// Falls back to per-genome [`FitnessSpec::evaluate`] when the
+    /// resilience policy is not the no-op default (fault schedules are
+    /// keyed per evaluation, so the batched path would have to
+    /// replicate the retry loop per lane for no gain) or when the chunk
+    /// has a single genome.
+    pub fn evaluate_batch(&self, rig: &Rig, genomes: &[&[Gene]]) -> Vec<(f64, ResilienceReport)> {
+        if !self.policy.is_noop() || genomes.len() <= 1 {
+            return genomes.iter().map(|g| self.evaluate(rig, g)).collect();
+        }
+        let lanes: Vec<Vec<Program>> = genomes
+            .iter()
+            .map(|genome| {
+                let kernel = Kernel::from_sub_blocks(
+                    "candidate",
+                    &ga::genome::to_sub_block(genome),
+                    self.sub_blocks,
+                    self.lp_slots,
+                );
+                vec![kernel.to_program(); self.threads]
+            })
+            .collect();
+        rig.measure_batch(&lanes, self.spec)
+            .iter()
+            .map(|m| (self.cost.score(m), ResilienceReport::default()))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -910,6 +1037,47 @@ mod tests {
         );
         assert!(run.name.contains("A-Res"));
         assert!(!run.ga.history.is_empty());
+    }
+
+    #[test]
+    fn batched_evaluation_is_bit_identical_to_unbatched() {
+        let rig = Rig::bulldozer();
+        let mut plain_sink = crate::journal::MemJournal::default();
+        let mut batch_sink = crate::journal::MemJournal::default();
+        let plain = Audit::new(rig.clone(), AuditOptions::fast_demo())
+            .generate_resonant_journaled(2, &mut plain_sink)
+            .unwrap();
+        let batched = Audit::new(rig, AuditOptions::fast_demo().with_eval_batch(3))
+            .generate_resonant_journaled(2, &mut batch_sink)
+            .unwrap();
+        assert_eq!(plain.best_fitness.to_bits(), batched.best_fitness.to_bits());
+        assert_eq!(plain.ga, batched.ga);
+        // Byte-level: the batched run journals the exact same lines,
+        // modulo the wall-clock field (the one legitimately
+        // nondeterministic value in a generation record).
+        let strip_wall = |line: String| -> String {
+            match line.find("\"wall_s\":") {
+                Some(start) => {
+                    let rest = &line[start..];
+                    let end = rest.find(',').map(|e| start + e + 1).unwrap_or(line.len());
+                    format!("{}{}", &line[..start], &line[end..])
+                }
+                None => line,
+            }
+        };
+        let encode = |sink: &crate::journal::MemJournal| -> Vec<String> {
+            sink.records
+                .iter()
+                .map(|r| strip_wall(r.to_json().encode()))
+                .collect()
+        };
+        assert_eq!(encode(&plain_sink), encode(&batch_sink));
+    }
+
+    #[test]
+    fn eval_batch_zero_is_rejected() {
+        let err = AuditOptions::builder().eval_batch(0).build().unwrap_err();
+        assert!(err.to_string().contains("eval_batch"), "{err}");
     }
 
     #[test]

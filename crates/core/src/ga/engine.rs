@@ -102,6 +102,21 @@ pub struct GaConfig {
     /// marker so resumed runs replay the same truncated evaluations.
     #[serde(default)]
     pub surrogate_budget: usize,
+    /// Tier-1 pruning budget of the evaluation cascade: when non-zero,
+    /// the cache misses that survive [`GaConfig::surrogate_budget`] are
+    /// re-ranked by the fast in-order scoreboard model
+    /// (`audit_cpu::tier::estimate_swing`, O(insts) per genome instead
+    /// of the full simulator's O(cycles)) and only the top
+    /// `fast_tier_budget` reach the full simulation; the rest score
+    /// `f64::NEG_INFINITY` like budget-deferred slots and are never
+    /// cached. All ranking happens on the calling thread, so pruning is
+    /// bit-identical across thread counts, dispatchers, and resume.
+    /// Like `surrogate_budget` this **changes results** — it is off by
+    /// default (`0`) and excluded from the bit-identity invariants;
+    /// journals record the budget in a `cascade` marker. See
+    /// docs/SIMULATION.md for the full cascade contract.
+    #[serde(default)]
+    pub fast_tier_budget: usize,
 }
 
 fn default_threads() -> usize {
@@ -127,6 +142,7 @@ impl Default for GaConfig {
             cache_capacity: default_cache_capacity(),
             surrogate_rank: false,
             surrogate_budget: 0,
+            fast_tier_budget: 0,
         }
     }
 }
@@ -561,6 +577,91 @@ impl<F: Fn(&[Gene]) -> f64 + Sync> EvalDispatcher for LocalDispatcher<F> {
     }
 }
 
+/// The batched in-process [`EvalDispatcher`]: pops fixed-width chunks of
+/// jobs off the same atomic work queue [`LocalDispatcher`] uses, and
+/// hands each chunk to a *batch* fitness closure (`&[&[Gene]] ->
+/// Vec<f64>`, one score per genome, in order). The closure is expected
+/// to amortize per-evaluation overhead across the chunk — the audit
+/// fitness function routes it through the structure-of-arrays
+/// `Rig::measure_batch` sweep (docs/SIMULATION.md).
+///
+/// Chunking is a scheduling detail, never a results knob: each score is
+/// required to be the same deterministic function of its genome alone,
+/// so any chunk width and any worker count produce bit-identical runs —
+/// the same contract every other dispatcher honors.
+pub struct BatchLocalDispatcher<F> {
+    fitness: F,
+    batch: usize,
+    workers: usize,
+}
+
+impl<F: Fn(&[&[Gene]]) -> Vec<f64> + Sync> BatchLocalDispatcher<F> {
+    /// Wraps a batch fitness closure with a chunk width (`batch`,
+    /// clamped to at least 1) and a concrete worker count (see
+    /// [`resolve_workers`]).
+    pub fn new(fitness: F, batch: usize, workers: usize) -> Self {
+        BatchLocalDispatcher {
+            fitness,
+            batch: batch.max(1),
+            workers,
+        }
+    }
+}
+
+impl<F: Fn(&[&[Gene]]) -> Vec<f64> + Sync> EvalDispatcher for BatchLocalDispatcher<F> {
+    fn evaluate(
+        &mut self,
+        population: &[Vec<Gene>],
+        jobs: &[usize],
+    ) -> Result<Vec<(usize, f64)>, AuditError> {
+        let fitness = &self.fitness;
+        let run_chunk = |chunk: &[usize]| -> Vec<(usize, f64)> {
+            let genomes: Vec<&[Gene]> = chunk
+                .iter()
+                .map(|&slot| population[slot].as_slice())
+                .collect();
+            let scores = fitness(&genomes);
+            assert_eq!(
+                scores.len(),
+                chunk.len(),
+                "batch fitness returned {} scores for {} genomes",
+                scores.len(),
+                chunk.len()
+            );
+            chunk.iter().copied().zip(scores).collect()
+        };
+        let chunks: Vec<&[usize]> = jobs.chunks(self.batch).collect();
+        Ok(if self.workers <= 1 || chunks.len() <= 1 {
+            chunks.into_iter().flat_map(run_chunk).collect()
+        } else {
+            let queue = AtomicUsize::new(0);
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..self.workers.min(chunks.len()))
+                    .map(|_| {
+                        s.spawn(|| {
+                            let mut out: Vec<(usize, f64)> = Vec::new();
+                            loop {
+                                let k = queue.fetch_add(1, Ordering::Relaxed);
+                                let Some(&chunk) = chunks.get(k) else { break };
+                                out.extend(run_chunk(chunk));
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("batch fitness worker panicked"))
+                    .collect()
+            })
+        })
+    }
+
+    fn workers(&self) -> usize {
+        self.workers
+    }
+}
+
 /// Evolves genomes of `genome_len` slots over the opcode `menu`,
 /// maximizing `fitness`. Optionally accepts `seeds`: existing genomes
 /// injected into the initial population (the paper's "seeded with
@@ -656,6 +757,13 @@ pub fn evolve_journaled_dispatched(
         // the non-default mode obvious to `grep`).
         sink.append(&JournalRecord::SurrogateBudget {
             budget: cfg.surrogate_budget as u64,
+        })?;
+    }
+    if cfg.fast_tier_budget > 0 {
+        // Same discipline for the tiered cascade: one greppable marker,
+        // authoritative copy in `ga_start`.
+        sink.append(&JournalRecord::Cascade {
+            budget: cfg.fast_tier_budget as u64,
         })?;
     }
     run_ga(cfg, menu, genome_len, seeds, dispatcher, sink, &[])
@@ -1032,6 +1140,13 @@ pub fn resolve_workers(threads: usize) -> usize {
 /// scores `f64::NEG_INFINITY` (never cached, so a later generation that
 /// re-breeds the genome measures it for real). This changes results and
 /// is excluded from the bit-identity invariants.
+///
+/// `cfg.fast_tier_budget` adds the cascade's middle tier: the jobs that
+/// survive the static stages are re-ranked by the tier-1 scoreboard
+/// estimate (`audit_cpu::tier`) and truncated again, under the same
+/// deferred-slot rules. Static rank → fast tier → full simulation, each
+/// stage cheaper than the next and all of them decided on the calling
+/// thread (docs/SIMULATION.md).
 fn evaluate_population(
     population: &[Vec<Gene>],
     dispatcher: &mut dyn EvalDispatcher,
@@ -1074,11 +1189,35 @@ fn evaluate_population(
         keyed.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         jobs = keyed.into_iter().map(|(slot, _)| slot).collect();
     }
-    let deferred: Vec<usize> = if budget > 0 && jobs.len() > budget {
+    let mut deferred: Vec<usize> = if budget > 0 && jobs.len() > budget {
         jobs.split_off(budget)
     } else {
         Vec::new()
     };
+
+    // Cascade tier 1: re-rank the survivors with the fast in-order
+    // scoreboard model and keep only the top `fast_tier_budget` for the
+    // full simulation. Runs on the calling thread like the static
+    // surrogate above, so the pruning decision is a pure function of
+    // (population, config) — identical for any dispatcher, thread
+    // count, or resumed run. When the budget is 0 this block is dead
+    // and the job list (and every downstream byte) is untouched.
+    let tier_budget = cfg.fast_tier_budget;
+    if tier_budget > 0 && jobs.len() > tier_budget {
+        let model = audit_cpu::tier::TierModel::generic();
+        let mut keyed: Vec<(usize, f64)> = jobs
+            .iter()
+            .map(|&slot| {
+                (
+                    slot,
+                    audit_cpu::tier::estimate_swing(&to_sub_block(&population[slot]), &model),
+                )
+            })
+            .collect();
+        keyed.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        jobs = keyed.into_iter().map(|(slot, _)| slot).collect();
+        deferred.extend(jobs.split_off(tier_budget));
+    }
 
     let mut results = dispatcher.evaluate(population, &jobs)?;
     if results.len() != jobs.len() {
@@ -1160,6 +1299,19 @@ mod tests {
     /// saturate it.
     fn fma_count(g: &[Gene]) -> f64 {
         g.iter().filter(|x| x.opcode == Opcode::SimdFma).count() as f64
+    }
+
+    /// Drops the `wall_s` field from an encoded journal line — the one
+    /// legitimately nondeterministic value in a generation record.
+    fn strip_wall(line: &str) -> String {
+        match line.find("\"wall_s\":") {
+            Some(start) => {
+                let rest = &line[start..];
+                let end = rest.find(',').map(|e| start + e + 1).unwrap_or(line.len());
+                format!("{}{}", &line[..start], &line[end..])
+            }
+            None => line.to_string(),
+        }
     }
 
     #[test]
@@ -1391,6 +1543,247 @@ mod tests {
         let resumed = GaRun::resume_from(&journal, fma_count).unwrap();
         assert_eq!(full, resumed);
         assert_eq!(full.history, resumed.history);
+    }
+
+    #[test]
+    fn cascade_off_leaves_journal_bytes_untouched() {
+        // `fast_tier_budget: 0` must leave both results and the exact
+        // journal byte stream identical to a config that predates the
+        // cascade — the regression gate for the disabled path.
+        let cfg = GaConfig {
+            population: 10,
+            generations: 6,
+            stall_generations: 6,
+            ..GaConfig::default()
+        };
+        let mut a = MemJournal::default();
+        let mut b = MemJournal::default();
+        let off = evolve_journaled(&cfg, &menu(), 8, &[], fma_count, &mut a).unwrap();
+        let zero = evolve_journaled(
+            &GaConfig {
+                fast_tier_budget: 0,
+                ..cfg
+            },
+            &menu(),
+            8,
+            &[],
+            fma_count,
+            &mut b,
+        )
+        .unwrap();
+        assert_eq!(off, zero);
+        // Byte-compare modulo the wall-clock field, the one legitimately
+        // nondeterministic value in a generation record.
+        let lines = |m: &MemJournal| -> Vec<String> {
+            m.records
+                .iter()
+                .map(|r| strip_wall(&r.to_json().encode()))
+                .collect()
+        };
+        assert_eq!(lines(&a), lines(&b));
+        assert!(
+            !lines(&a).iter().any(|l| l.contains("fast_tier_budget")),
+            "disabled cascade must not appear in ga_start config bytes"
+        );
+        assert!(!a
+            .records
+            .iter()
+            .any(|r| matches!(r, JournalRecord::Cascade { .. })));
+    }
+
+    #[test]
+    fn cascade_wider_than_population_changes_results_nothing() {
+        // A budget the job list never exceeds prunes nothing: same
+        // GaRun, and the journal differs only by the cascade marker and
+        // the config field announcing it.
+        let base = GaConfig {
+            population: 10,
+            generations: 8,
+            stall_generations: 8,
+            ..GaConfig::default()
+        };
+        let off = evolve(&base, &menu(), 8, &[], fma_count);
+        let on = evolve(
+            &GaConfig {
+                fast_tier_budget: base.population,
+                ..base
+            },
+            &menu(),
+            8,
+            &[],
+            fma_count,
+        );
+        assert_eq!(off, on);
+        assert_eq!(off.evaluations, on.evaluations);
+    }
+
+    #[test]
+    fn cascade_caps_full_simulations_per_generation() {
+        let mut mem = MemJournal::default();
+        let cfg = GaConfig {
+            population: 12,
+            generations: 6,
+            stall_generations: 6,
+            fast_tier_budget: 3,
+            ..GaConfig::default()
+        };
+        let run = evolve_journaled(&cfg, &menu(), 8, &[], fma_count, &mut mem).unwrap();
+
+        let mut saw_marker = false;
+        let mut saw_deferred = false;
+        let mut executed_total = 0;
+        for rec in &mem.records {
+            match rec {
+                JournalRecord::Cascade { budget } => {
+                    saw_marker = true;
+                    assert_eq!(*budget, 3);
+                }
+                JournalRecord::Generation(g) => {
+                    assert!(g.executed <= 3, "generation simulated past the budget");
+                    executed_total += g.executed;
+                    saw_deferred |= g.scores.contains(&f64::NEG_INFINITY);
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(run.evaluations, executed_total);
+        assert!(saw_marker, "journal must carry the cascade marker");
+        assert!(
+            saw_deferred,
+            "a 3-of-12 cascade budget must defer slots as -inf sentinels"
+        );
+    }
+
+    #[test]
+    fn cascade_is_bit_identical_across_worker_counts() {
+        // Pruning happens on the calling thread before dispatch, so the
+        // surviving job set — and therefore the whole run — is the same
+        // for any worker count.
+        let base = GaConfig {
+            population: 12,
+            generations: 10,
+            stall_generations: 10,
+            fast_tier_budget: 4,
+            threads: 1,
+            ..GaConfig::default()
+        };
+        let sequential = evolve(&base, &menu(), 10, &[], fma_count);
+        for threads in [2, 4] {
+            let cfg = GaConfig {
+                threads,
+                ..base.clone()
+            };
+            let parallel = evolve(&cfg, &menu(), 10, &[], fma_count);
+            assert_eq!(sequential, parallel, "diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn cascade_stacks_on_surrogate_budget() {
+        // Both stages active: the static budget truncates first, then
+        // the fast tier narrows the survivors further. The per-
+        // generation simulation count honors the tighter (cascade)
+        // budget.
+        let mut mem = MemJournal::default();
+        let cfg = GaConfig {
+            population: 12,
+            generations: 6,
+            stall_generations: 6,
+            surrogate_budget: 8,
+            fast_tier_budget: 3,
+            ..GaConfig::default()
+        };
+        let run = evolve_journaled(&cfg, &menu(), 8, &[], fma_count, &mut mem).unwrap();
+        let mut executed_total = 0;
+        for rec in &mem.records {
+            if let JournalRecord::Generation(g) = rec {
+                assert!(g.executed <= 3, "cascade budget exceeded");
+                executed_total += g.executed;
+            }
+        }
+        assert_eq!(run.evaluations, executed_total);
+        assert!(mem
+            .records
+            .iter()
+            .any(|r| matches!(r, JournalRecord::SurrogateBudget { budget: 8 })));
+        assert!(mem
+            .records
+            .iter()
+            .any(|r| matches!(r, JournalRecord::Cascade { budget: 3 })));
+    }
+
+    #[test]
+    fn cascade_resume_replays_bit_identically() {
+        // Cascade-deferred slots are journaled as -inf and never cached,
+        // so a mid-run kill/resume must reconverge on the identical run.
+        let mut mem = MemJournal::default();
+        let cfg = GaConfig {
+            population: 12,
+            generations: 6,
+            stall_generations: 6,
+            fast_tier_budget: 4,
+            ..GaConfig::default()
+        };
+        let full = evolve_journaled(&cfg, &menu(), 8, &[], fma_count, &mut mem).unwrap();
+
+        let mut prefix = Vec::new();
+        let mut gens = 0;
+        for rec in &mem.records {
+            prefix.push(rec.clone());
+            if matches!(rec, JournalRecord::Generation(_)) {
+                gens += 1;
+                if gens == 2 {
+                    break;
+                }
+            }
+        }
+        let journal = crate::journal::Journal { records: prefix };
+        let resumed = GaRun::resume_from(&journal, fma_count).unwrap();
+        assert_eq!(full, resumed);
+        assert_eq!(full.history, resumed.history);
+    }
+
+    #[test]
+    fn cascade_never_caches_tier_estimates() {
+        // The fast tier orders and defers; it must never stand in for a
+        // measurement. Every fitness the run accounts for has to come
+        // from an actual fitness call, and the winner's score must be
+        // the true objective, not an analytic swing estimate.
+        let calls = AtomicU64::new(0);
+        let counted = |g: &[Gene]| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            fma_count(g)
+        };
+        let cfg = GaConfig {
+            population: 12,
+            generations: 8,
+            stall_generations: 8,
+            fast_tier_budget: 3,
+            ..GaConfig::default()
+        };
+        let run = evolve(&cfg, &menu(), 8, &[], counted);
+        assert_eq!(run.evaluations, calls.load(Ordering::Relaxed));
+        assert_eq!(run.best_fitness, fma_count(&run.best));
+    }
+
+    #[test]
+    fn batch_dispatcher_is_bit_identical_to_local() {
+        // Chunk width is a scheduling knob: any batch size and worker
+        // count must reproduce the LocalDispatcher run exactly.
+        let cfg = GaConfig {
+            population: 12,
+            generations: 10,
+            stall_generations: 10,
+            ..GaConfig::default()
+        };
+        let baseline = evolve(&cfg, &menu(), 10, &[], fma_count);
+        for (batch, workers) in [(2, 1), (3, 2), (5, 4), (64, 2)] {
+            let batch_fitness =
+                |genomes: &[&[Gene]]| genomes.iter().map(|g| fma_count(g)).collect::<Vec<f64>>();
+            let mut dispatcher = BatchLocalDispatcher::new(batch_fitness, batch, workers);
+            let run = try_evolve_dispatched(&cfg, &menu(), 10, &[], &mut dispatcher).unwrap();
+            assert_eq!(baseline, run, "diverged at batch {batch} workers {workers}");
+        }
     }
 
     #[test]

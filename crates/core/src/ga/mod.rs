@@ -21,8 +21,8 @@ pub mod study;
 pub use cost::CostFunction;
 pub use engine::{
     evolve, evolve_journaled, evolve_journaled_dispatched, resolve_workers, stream_seed,
-    try_evolve, try_evolve_dispatched, EvalCache, EvalDispatcher, GaConfig, GaRun, GaTelemetry,
-    LocalDispatcher,
+    try_evolve, try_evolve_dispatched, BatchLocalDispatcher, EvalCache, EvalDispatcher, GaConfig,
+    GaRun, GaTelemetry, LocalDispatcher,
 };
 pub use genome::{from_program, to_sub_block, Gene};
 pub use study::{resume_study, run_study, run_study_journaled, try_run_study, StudySummary};

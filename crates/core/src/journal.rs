@@ -27,6 +27,8 @@
 //! | `phase_start` | drivers           | phase `name`                       |
 //! | `phase_end`   | drivers           | phase `name`, free-form `payload`  |
 //! | `ga_start`    | GA engine         | full [`GaConfig`], menu, seeds     |
+//! | `surrogate_budget` | GA engine    | marker: budgeted early stopping    |
+//! | `cascade`     | GA engine         | marker: tiered cascade `budget`    |
 //! | `generation`  | GA engine         | population, scores, stream seed    |
 //! | `ga_end`      | GA engine         | —                                  |
 //! | `vmin_step`   | Vmin search       | `step`, `voltage`, `attempt`, `outcome` |
@@ -159,6 +161,20 @@ pub enum JournalRecord {
         /// Per-generation measurement budget (top-k cache misses).
         budget: u64,
     },
+    /// Marker: the search runs the tiered evaluation cascade
+    /// ([`crate::ga::GaConfig::fast_tier_budget`]) — after the static
+    /// surrogate stage, the fast tier-1 scoreboard model
+    /// (`audit_cpu::tier`) re-ranks the surviving cache misses and only
+    /// the top `budget` reach the full simulator; the rest score `-inf`.
+    /// Written once, right after `ga_start` (and after any
+    /// `surrogate_budget` marker); like that marker, the config inside
+    /// `ga_start` is authoritative and this record exists to make the
+    /// non-default scoring mode greppable.
+    Cascade {
+        /// Per-generation full-simulation budget (top-k by fast-tier
+        /// swing estimate).
+        budget: u64,
+    },
     /// One evaluated generation.
     Generation(GenerationRecord),
     /// The GA search completed (converged or hit its caps).
@@ -258,6 +274,7 @@ impl JournalRecord {
             JournalRecord::PhaseEnd { .. } => "phase_end",
             JournalRecord::GaStart { .. } => "ga_start",
             JournalRecord::SurrogateBudget { .. } => "surrogate_budget",
+            JournalRecord::Cascade { .. } => "cascade",
             JournalRecord::Generation(_) => "generation",
             JournalRecord::GaEnd => "ga_end",
             JournalRecord::VminStep { .. } => "vmin_step",
@@ -309,6 +326,10 @@ impl JournalRecord {
             ]),
             JournalRecord::SurrogateBudget { budget } => JsonValue::object(vec![
                 ("kind", JsonValue::String("surrogate_budget".into())),
+                ("budget", JsonValue::from_u64(*budget)),
+            ]),
+            JournalRecord::Cascade { budget } => JsonValue::object(vec![
+                ("kind", JsonValue::String("cascade".into())),
                 ("budget", JsonValue::from_u64(*budget)),
             ]),
             JournalRecord::Generation(r) => {
@@ -455,6 +476,9 @@ impl JournalRecord {
             }
             "surrogate_budget" => Ok(JournalRecord::SurrogateBudget {
                 budget: field_u64(v, "surrogate_budget", "budget")?,
+            }),
+            "cascade" => Ok(JournalRecord::Cascade {
+                budget: field_u64(v, "cascade", "budget")?,
             }),
             "generation" => {
                 let population = v
@@ -622,6 +646,14 @@ fn encode_cfg(cfg: &GaConfig) -> JsonValue {
             JsonValue::from_u64(cfg.surrogate_budget as u64),
         ));
     }
+    // Same rule for the cascade: only written when enabled, so journals
+    // of cascade-free runs keep their pre-cascade byte encoding.
+    if cfg.fast_tier_budget > 0 {
+        fields.push((
+            "fast_tier_budget",
+            JsonValue::from_u64(cfg.fast_tier_budget as u64),
+        ));
+    }
     JsonValue::object(fields)
 }
 
@@ -656,6 +688,12 @@ fn decode_cfg(v: &JsonValue) -> Result<GaConfig, AuditError> {
         // early stopping, and in every journal that runs without it.
         surrogate_budget: v
             .get("surrogate_budget")
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(0) as usize,
+        // Absent (meaning disabled) in journals written before the
+        // tiered cascade, and in every journal that runs without it.
+        fast_tier_budget: v
+            .get("fast_tier_budget")
             .and_then(JsonValue::as_u64)
             .unwrap_or(0) as usize,
     })
@@ -1019,9 +1057,9 @@ impl Journal {
         for r in &self.records[start_idx + 1..] {
             match r {
                 JournalRecord::Generation(g) => generations.push(g),
-                // Informational marker inside the section (the budget
-                // itself lives in `cfg`); skip it.
-                JournalRecord::SurrogateBudget { .. } => continue,
+                // Informational markers inside the section (the budgets
+                // themselves live in `cfg`); skip them.
+                JournalRecord::SurrogateBudget { .. } | JournalRecord::Cascade { .. } => continue,
                 JournalRecord::GaEnd => {
                     complete = true;
                     break;
@@ -1126,6 +1164,8 @@ mod tests {
                 menu: Opcode::stress_menu(),
                 seeds: vec![sample_generation().population[0].clone()],
             },
+            JournalRecord::SurrogateBudget { budget: 6 },
+            JournalRecord::Cascade { budget: 3 },
             JournalRecord::Generation(sample_generation()),
             JournalRecord::GaEnd,
             JournalRecord::VminStep {

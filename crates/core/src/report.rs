@@ -240,6 +240,12 @@ pub fn journal_summary(journal: &Journal) -> Table {
                     format!("top-{budget} measured per generation"),
                 ]);
             }
+            JournalRecord::Cascade { budget } => {
+                t.row(vec![
+                    "cascade".into(),
+                    format!("top-{budget} fully simulated per generation"),
+                ]);
+            }
             JournalRecord::Generation(g) => {
                 gens += 1;
                 best = g.scores.iter().copied().fold(best, f64::max);

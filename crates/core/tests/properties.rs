@@ -200,6 +200,131 @@ proptest! {
             "median droop {noisy} vs clean {clean} beyond 6σ = {}", 6.0 * sigma);
     }
 
+    /// The tier-1 swing estimate is monotone-consistent with the full
+    /// simulator: over a seeded ladder of candidates built from the
+    /// builtin opcode menu — every rung the same burst-then-gap loop
+    /// shape, with the burst's per-op switching current rising rung by
+    /// rung — ranking by [`audit_cpu::tier::estimate_swing`] must agree
+    /// with ranking by full-sim `MaxDroop` above a Spearman
+    /// rank-correlation floor. Burst amplitude at fixed shape is the
+    /// di/dt knob both tiers measure the same way (the scoreboard's
+    /// cycle-granular edge metric and the PDN's droop response diverge
+    /// on *shape* knobs like burst density, which is exactly why tier 1
+    /// only prunes and tier 2 still arbitrates). This is the accuracy
+    /// contract the cascade's pruning stage leans on (see
+    /// `docs/SIMULATION.md`); the floor is deliberately loose — the
+    /// tier only has to sort candidates, not predict droop.
+    #[test]
+    fn tier_estimate_is_rank_consistent_with_full_sim(seed in any::<u64>()) {
+        use audit_core::harness::{MeasureSpec, Rig};
+        use audit_core::resilient::MeasurePolicy;
+        use audit_core::FitnessSpec;
+        use audit_cpu::tier::{estimate_swing, TierModel};
+
+        // Seeded xorshift64*, independent of the proptest stub's RNG.
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state.wrapping_mul(0x2545F4914F6CDD1D)
+        };
+
+        // A ladder of genomes with the same loop shape — an 8-slot
+        // burst followed by a 24-slot NOP gap (long enough that the
+        // gap costs fetch cycles even at full front-end bandwidth,
+        // so it shows up as quiet cycles in both tiers) — where each
+        // rung swaps
+        // the burst opcode for one with higher switching current
+        // (`issue_amps` 0.35 A through 4.40 A). The amplitude spacing
+        // guarantees genuine spread in both rankings; the seed varies
+        // the register selectors. Destinations stay distinct per slot
+        // and sources read only never-written registers so no rung
+        // picks up a seed-dependent dependence chain — the in-order
+        // scoreboard smears a chained burst flat while the
+        // out-of-order simulator hides much of it, which would make
+        // the comparison about schedule modeling rather than the
+        // amplitude axis under test.
+        let ladder = [
+            Opcode::MovImm,
+            Opcode::IAdd,
+            Opcode::Load,
+            Opcode::FMul,
+            Opcode::SimdFMul,
+            Opcode::SimdFma,
+        ];
+        const RUNGS: usize = 6;
+        const GENOME_LEN: usize = 32;
+        const BURST: usize = 8;
+        let nop = Gene {
+            opcode: Opcode::Nop,
+            dst: 0,
+            src1: 0,
+            src2: 0,
+            miss: false,
+        };
+        let genomes: Vec<Vec<Gene>> = (0..RUNGS)
+            .map(|rung| {
+                let rotate = next() as usize;
+                (0..GENOME_LEN)
+                    .map(|slot| {
+                        if slot >= BURST {
+                            return nop;
+                        }
+                        Gene {
+                            opcode: ladder[rung],
+                            dst: ((slot + rotate) % 8) as u8,
+                            src1: 8 + (next() % 8) as u8,
+                            src2: 8 + (next() % 8) as u8,
+                            miss: false,
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let fspec = FitnessSpec {
+            threads: 2,
+            sub_blocks: 2,
+            lp_slots: 2,
+            cost: CostFunction::MaxDroop,
+            spec: MeasureSpec {
+                warmup_cycles: 500,
+                record_cycles: 2_000,
+                settle_cycles: 30_000,
+                ..MeasureSpec::ga_eval()
+            },
+            policy: MeasurePolicy::disabled(),
+        };
+        let rig = Rig::bulldozer();
+        let model = TierModel::generic();
+        let tier: Vec<f64> = genomes
+            .iter()
+            .map(|g| estimate_swing(&to_sub_block(g), &model))
+            .collect();
+        let full: Vec<f64> = genomes.iter().map(|g| fspec.evaluate(&rig, g).0).collect();
+
+        // Spearman rank correlation (ordinal ranks; slot index breaks
+        // the vanishingly-rare f64 ties deterministically).
+        let ranks = |xs: &[f64]| -> Vec<f64> {
+            let mut order: Vec<usize> = (0..xs.len()).collect();
+            order.sort_by(|&a, &b| xs[a].total_cmp(&xs[b]).then(a.cmp(&b)));
+            let mut r = vec![0.0; xs.len()];
+            for (rank, &i) in order.iter().enumerate() {
+                r[i] = rank as f64;
+            }
+            r
+        };
+        let (rt, rf) = (ranks(&tier), ranks(&full));
+        let n = RUNGS as f64;
+        let d2: f64 = rt.iter().zip(&rf).map(|(a, b)| (a - b) * (a - b)).sum();
+        let rho = 1.0 - 6.0 * d2 / (n * (n * n - 1.0));
+        prop_assert!(
+            rho >= 0.5,
+            "seed {seed}: Spearman ρ = {rho:.3} below floor (tier {tier:?} vs full {full:?})"
+        );
+    }
+
     /// A candidate whose every attempt hangs is quarantined after
     /// exactly `retries + 1` attempts — no earlier, no later — for any
     /// retry budget and repeat count.

@@ -53,6 +53,7 @@ pub mod inst;
 pub mod isa;
 pub mod module_sim;
 pub mod placement;
+pub mod tier;
 
 pub use analysis::ProgramProfile;
 pub use audit_error::AuditError;
@@ -64,3 +65,4 @@ pub use energy::EnergyModel;
 pub use inst::{BranchBehavior, Inst, MemBehavior, Program, Reg};
 pub use isa::{ExecUnit, OpProps, Opcode};
 pub use placement::Placement;
+pub use tier::{TierEstimate, TierModel};

@@ -154,6 +154,15 @@ pub struct EvalContext {
     pub throttle: Option<u32>,
     /// The fitness function to evaluate candidates with.
     pub spec: FitnessSpec,
+    /// The run's evaluation-cascade fast-tier budget (`0` = cascade
+    /// off; omitted from the wire encoding when 0, like the other
+    /// optional knobs, so cascade-free setups keep their pre-cascade
+    /// bytes). Pruning happens broker-side *before* dispatch — workers
+    /// only ever see candidates that survived the cascade, so they need
+    /// no cascade logic and checkpoints stay interchangeable between
+    /// local and distributed runs. Shipped so the worker can log the
+    /// run configuration it is serving (docs/DISTRIBUTED.md).
+    pub fast_tier_budget: usize,
 }
 
 impl EvalContext {
@@ -165,6 +174,9 @@ impl EvalContext {
         }
         if let Some(throttle) = self.throttle {
             fields.push(("throttle", encode_u64(u64::from(throttle))));
+        }
+        if self.fast_tier_budget > 0 {
+            fields.push(("fast_tier_budget", encode_u64(self.fast_tier_budget as u64)));
         }
         let s = &self.spec;
         fields.push(("threads", encode_u64(s.threads as u64)));
@@ -218,11 +230,16 @@ impl EvalContext {
                     .ok_or_else(|| AuditError::journal(0, "ctx has no `policy`"))?,
             )?,
         };
+        let fast_tier_budget = match v.get("fast_tier_budget") {
+            Some(b) => decode_u64(b)? as usize,
+            None => 0,
+        };
         Ok(EvalContext {
             chip,
             volts,
             throttle,
             spec,
+            fast_tier_budget,
         })
     }
 
@@ -408,6 +425,7 @@ mod tests {
                     quarantine_fitness: 0.0,
                 },
             },
+            fast_tier_budget: 6,
         }
     }
 
@@ -454,10 +472,15 @@ mod tests {
                 spec: MeasureSpec::reporting(),
                 policy: MeasurePolicy::disabled(),
             },
+            fast_tier_budget: 0,
         };
-        let decoded = EvalContext::from_json(&ctx.to_json()).unwrap();
+        let encoded = ctx.to_json();
+        let decoded = EvalContext::from_json(&encoded).unwrap();
         assert_eq!(decoded, ctx);
         assert!(decoded.spec.policy.is_noop());
+        // A disabled cascade is omitted from the wire bytes entirely,
+        // so cascade-free setups keep their pre-cascade encoding.
+        assert!(encoded.get("fast_tier_budget").is_none());
     }
 
     #[test]

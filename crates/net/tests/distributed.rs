@@ -47,6 +47,7 @@ fn ctx(spec: FitnessSpec) -> EvalContext {
         volts: None,
         throttle: None,
         spec,
+        fast_tier_budget: 0,
     }
 }
 
@@ -139,6 +140,37 @@ fn worker_count_never_changes_the_result() {
     let (wide, j4, _) = distributed_run(spec, &cfg, &four, 4);
     assert_eq!(one, wide);
     assert_eq!(j1.records, j4.records);
+}
+
+#[test]
+fn cascade_pruning_is_bit_identical_across_worker_counts() {
+    // Evaluation cascade on: the broker-side engine prunes each
+    // generation to the fast-tier budget before dispatch, so workers
+    // only ever see survivors — the run must match the in-process
+    // cascade run bit-for-bit at any worker count.
+    let spec = fspec(MeasurePolicy::disabled());
+    let cfg = GaConfig {
+        fast_tier_budget: 3,
+        ..ga_cfg()
+    };
+    let (local, local_journal, _) = local_run(spec, &cfg);
+    for workers in [1usize, 2, 4] {
+        let opts = vec![WorkerOptions::default(); workers];
+        let (dist, dist_journal, _) = distributed_run(spec, &cfg, &opts, workers);
+        assert_eq!(dist, local, "diverged at {workers} workers");
+        assert_eq!(
+            dist_journal.records, local_journal.records,
+            "journal diverged at {workers} workers"
+        );
+    }
+    // The cascade actually engaged: fewer simulations than slots.
+    assert!(
+        local_journal
+            .records
+            .iter()
+            .any(|r| r.kind() == "cascade"),
+        "cascade marker missing from journal"
+    );
 }
 
 #[test]

@@ -44,6 +44,16 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> self-lint (every built-in program must be clean)"
 cargo run --release -q -p audit-cli --bin audit -- lint --all-builtins --deny-warnings
 
+echo "==> cascade perf gate (≥2x candidate throughput at a fixed sim budget)"
+# The ext_cascade_scaling bin asserts the thresholds itself — ≥2x
+# candidates/sec over full-sim-only, equal-or-better final droop on the
+# pinned study, bit-identical across GA thread counts — and writes the
+# BENCH_cascade.json artifact (docs/SIMULATION.md). A non-zero exit
+# here means the cascade's performance model regressed.
+AUDIT_FAST=1 cargo run --release -q -p audit-bench --bin ext_cascade_scaling
+[[ -s BENCH_cascade.json ]] \
+    || { echo "ext_cascade_scaling did not write BENCH_cascade.json" >&2; exit 1; }
+
 echo "==> fault-injection smoke (Vmin checkpoint survives a kill)"
 # A crash-prone checkpointed Vmin search, killed after its first settled
 # probe, must resume to the same answer and a byte-identical journal
