@@ -29,7 +29,7 @@
 use std::time::Instant;
 
 use audit_bench::{banner, emit, fast_mode};
-use audit_core::ga::{self, CostFunction, GaConfig, GaRun};
+use audit_core::ga::{self, CostFunction, GaConfig, GaRun, ObjectiveSet};
 use audit_core::harness::Rig;
 use audit_core::report::Table;
 use audit_core::{FitnessSpec, MeasurePolicy, MeasureSpec};
@@ -47,6 +47,7 @@ fn main() {
         cost: CostFunction::MaxDroop,
         spec: MeasureSpec::ga_eval(),
         policy: MeasurePolicy::disabled(),
+        objectives: ObjectiveSet::default(),
     };
     let base = GaConfig {
         population: if fast_mode() { 8 } else { 16 },
@@ -164,7 +165,7 @@ fn study(cfg: &GaConfig, spec: &FitnessSpec, rig: &Rig) -> (GaRun, f64) {
     )];
     let t0 = Instant::now();
     let run = ga::evolve(cfg, &Opcode::stress_menu(), GENOME_LEN, &seeds, |g| {
-        spec.evaluate(rig, g).0
+        spec.evaluate_objectives(rig, g).0
     });
     (run, t0.elapsed().as_secs_f64())
 }

@@ -14,7 +14,7 @@
 use std::time::Instant;
 
 use audit_bench::{banner, emit, fast_mode};
-use audit_core::ga::{self, CostFunction, GaConfig, GaRun};
+use audit_core::ga::{self, CostFunction, GaConfig, GaRun, ObjectiveSet};
 use audit_core::report::Table;
 use audit_core::{FitnessSpec, MeasurePolicy, MeasureSpec, MemJournal};
 use audit_cpu::Opcode;
@@ -32,6 +32,7 @@ fn main() {
         cost: CostFunction::MaxDroop,
         spec: MeasureSpec::ga_eval(),
         policy: MeasurePolicy::disabled(),
+        objectives: ObjectiveSet::default(),
     };
     let cfg = GaConfig {
         population: if fast_mode() { 8 } else { 16 },

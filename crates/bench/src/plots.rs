@@ -111,6 +111,55 @@ pub fn write_bars(
     Ok(path)
 }
 
+/// Writes a surface/heatmap plot over a rectangular grid: a `.dat`
+/// with `x y z` rows (gnuplot grid format — blank line between x
+/// scanlines) and a `.gp` script rendering it with `pm3d map`. Used by
+/// `ext_shmoo` for the safe-margin surface over the V/F plane.
+///
+/// `zs` is row-major: `zs[i * ys.len() + j]` is the value at
+/// `(xs[i], ys[j])`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+///
+/// # Panics
+///
+/// Panics when `zs.len() != xs.len() * ys.len()`.
+#[allow(clippy::too_many_arguments)]
+pub fn write_heatmap(
+    name: &str,
+    title: &str,
+    xlabel: &str,
+    ylabel: &str,
+    zlabel: &str,
+    xs: &[f64],
+    ys: &[f64],
+    zs: &[f64],
+) -> io::Result<PathBuf> {
+    assert_eq!(zs.len(), xs.len() * ys.len(), "grid shape mismatch");
+    let dir = plot_dir();
+    fs::create_dir_all(&dir)?;
+    let mut dat = String::new();
+    for (i, x) in xs.iter().enumerate() {
+        for (j, y) in ys.iter().enumerate() {
+            dat.push_str(&format!("{x} {y} {}\n", zs[i * ys.len() + j]));
+        }
+        dat.push('\n'); // gnuplot scanline separator
+    }
+    fs::write(dir.join(format!("{name}.dat")), dat)?;
+
+    let gp = format!(
+        "set title \"{title}\"\nset xlabel \"{xlabel}\"\nset ylabel \"{ylabel}\"\n\
+         set cblabel \"{zlabel}\"\nset view map\nset pm3d interpolate 4,4\n\
+         set terminal pngcairo size 900,640\nset output \"{name}.png\"\n\
+         splot \"{name}.dat\" using 1:2:3 with pm3d notitle\n"
+    );
+    let path = dir.join(format!("{name}.gp"));
+    fs::write(&path, gp)?;
+    Ok(path)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -132,6 +181,27 @@ mod tests {
         let dat = fs::read_to_string(plot_dir().join("test_series.dat")).unwrap();
         assert!(dat.contains("# a"));
         assert!(dat.contains("1 2"));
+    }
+
+    #[test]
+    fn heatmap_artifacts_are_written() {
+        let path = write_heatmap(
+            "test_heatmap",
+            "t",
+            "V",
+            "MHz",
+            "margin",
+            &[0.95, 1.0],
+            &[2800.0, 3200.0],
+            &[0.01, 0.02, 0.03, 0.04],
+        )
+        .unwrap();
+        let gp = fs::read_to_string(&path).unwrap();
+        assert!(gp.contains("pm3d"));
+        assert!(gp.contains("set view map"));
+        let dat = fs::read_to_string(plot_dir().join("test_heatmap.dat")).unwrap();
+        assert!(dat.contains("0.95 2800 0.01"));
+        assert!(dat.contains("1 3200 0.04"));
     }
 
     #[test]

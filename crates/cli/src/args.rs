@@ -60,7 +60,15 @@ const VALUE_FLAGS: &[&str] = &[
     "--window",
     "--fast-tier-budget",
     "--eval-batch",
+    "--objective",
+    "--grid-volts",
+    "--grid-clocks",
 ];
+
+/// Value flags that may be given more than once; repeats accumulate
+/// into one comma-joined value (`--objective droop --objective power`
+/// ≡ `--objective droop,power`).
+const REPEATABLE_FLAGS: &[&str] = &["--objective"];
 
 impl Args {
     /// Parses raw arguments (without the program name).
@@ -78,7 +86,15 @@ impl Args {
                     let value = it
                         .next()
                         .ok_or_else(|| ArgError(format!("flag {key} needs a value")))?;
-                    args.flags.insert(key, value);
+                    match args.flags.get_mut(&key) {
+                        Some(prev) if REPEATABLE_FLAGS.contains(&key.as_str()) => {
+                            prev.push(',');
+                            prev.push_str(&value);
+                        }
+                        _ => {
+                            args.flags.insert(key, value);
+                        }
+                    }
                 } else {
                     args.flags.insert(key, String::from("true"));
                 }
@@ -162,6 +178,15 @@ mod tests {
         assert_eq!(a.num_flag("--threads", 1u32).unwrap(), 4);
         assert!(a.bool_flag("--fast"));
         assert!(!a.bool_flag("--quiet"));
+    }
+
+    #[test]
+    fn repeated_objective_flags_accumulate() {
+        let a = parse(&["--objective", "droop", "--objective", "power"]);
+        assert_eq!(a.opt_flag("--objective").as_deref(), Some("droop,power"));
+        // Non-repeatable value flags keep last-wins semantics.
+        let b = parse(&["--chip", "phenom", "--chip", "bulldozer"]);
+        assert_eq!(b.opt_flag("--chip").as_deref(), Some("bulldozer"));
     }
 
     #[test]

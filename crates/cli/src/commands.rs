@@ -9,6 +9,7 @@ use audit_core::journal::{Journal, JournalSink, JournalWriter, NullSink};
 use audit_core::report::{journal_summary, mv, Table};
 use audit_core::resilient::{self, VminResult, VminSearch};
 use audit_core::resonance::{self, ResonanceResult};
+use audit_core::shmoo::{ShmooResult, ShmooSweep};
 use audit_core::AuditError;
 use audit_cpu::{ChipConfig, Program};
 use audit_measure::json::JsonValue;
@@ -32,12 +33,12 @@ USAGE:
       Sweep trivial loops for the platform's resonant period.
 
   audit generate   [--chip C] [--threads N] [--kind res|ex] [--seed S]
-                   [--cost droop|droop-per-amp|sensitive] [--throttle N]
-                   [--workers N] [--out file.asm] [--save file.prog]
-                   [--iterations N] [--fast] [--checkpoint run.ndjson]
-                   [--faults SEED:RATES] [--repeat K] [--retries N]
-                   [--cycle-budget N] [--fast-tier-budget N]
-                   [--eval-batch N]
+                   [--objective droop|droop-per-amp|sensitive|power|margin]...
+                   [--throttle N] [--workers N] [--out file.asm]
+                   [--save file.prog] [--iterations N] [--fast]
+                   [--checkpoint run.ndjson] [--faults SEED:RATES]
+                   [--repeat K] [--retries N] [--cycle-budget N]
+                   [--fast-tier-budget N] [--eval-batch N]
       Evolve a stressmark; --out writes NASM, --save archives the
       lossless .prog form for later `audit measure --file`.
       --workers sets GA evaluation threads (0 = all cores) and
@@ -49,6 +50,14 @@ USAGE:
       budget shapes the search, so it is journaled and restored by
       --resume; for a fixed budget, results stay bit-identical across
       worker counts, batching, and kill/--resume.
+      --objective selects the fitness axes and may repeat (or take a
+      comma list). One axis is the classic scalar search; two or more
+      switch the GA to Pareto mode (NSGA-II non-dominated sort), with
+      the per-generation fronts journaled. The droop axis may be
+      spelled as a cost variant (droop-per-amp, sensitive). Axes are
+      order-normalized before journaling, so --resume is insensitive
+      to flag order. (--cost is a deprecated alias for the droop
+      variants.)
       --checkpoint journals every generation to an NDJSON file,
       atomically, so a killed run can be continued.
       --faults injects deterministic measurement faults (e.g.
@@ -103,6 +112,24 @@ USAGE:
       Continue a killed --checkpoint Vmin search. Configuration is
       restored from the journal; settled probes are replayed and the
       answer is bit-identical to an uninterrupted search.
+
+  audit shmoo      (--workload NAME | --stressmark NAME | --file X.prog)
+                   [--threads N] [--chip C] [--throttle N] [--fast]
+                   [--grid-volts V1,V2,..] [--grid-clocks HZ1,HZ2,..]
+                   [--faults SEED:RATES] [--retries N] [--cycle-budget N]
+                   [--checkpoint run.ndjson]
+      Sweep the voltage × frequency plane: at every operating point,
+      bisect Vdd to the failure point and report the safe margin. The
+      grids default to ±5% of nominal voltage and ±12.5% of nominal
+      clock. With --checkpoint every point and probe is journaled
+      write-ahead, so a sweep killed mid-plane resumes without
+      repeating settled points.
+
+  audit shmoo      --resume run.ndjson
+      Continue a killed --checkpoint shmoo sweep. The grid and
+      workload are restored from the journal; done points replay, the
+      interrupted point resumes its own bisection trail, and the
+      surface is bit-identical to an uninterrupted sweep.
 
   audit lint       (<file.prog> | --builtin NAME | --all-builtins)
                    [--chip bulldozer|phenom] [--json] [--deny-warnings]
@@ -444,6 +471,17 @@ fn print_run(
         run.kernel.hp().len(),
         run.kernel.lp_nops()
     );
+    if let Some(front) = &run.ga.pareto_front {
+        println!("  pareto front : {} non-dominated genome(s)", front.len());
+        for member in front.iter().take(5) {
+            let axes: Vec<String> =
+                member.objectives.0.iter().map(|x| format!("{x:.4}")).collect();
+            println!("                 [{}]", axes.join(", "));
+        }
+        if front.len() > 5 {
+            println!("                 … {} more", front.len() - 5);
+        }
+    }
     if run.resilience.evaluations > 0 {
         println!(
             "  resilience   : {} eval(s), {} retry(ies), {} quarantined, backoff {} cycles",
@@ -607,6 +645,133 @@ fn print_vmin(name: &str, threads: usize, result: &VminResult) {
             result.crashes, result.retries, result.quarantined
         );
     }
+}
+
+/// `audit shmoo`: sweep the V/F plane, running a Vmin search at every
+/// operating point, and report the safe-margin surface.
+pub fn shmoo(args: &Args) -> Result<(), ArgError> {
+    if let Some(journal_path) = args.opt_flag("--resume") {
+        return resume_shmoo(args, &journal_path);
+    }
+    let rig = platform::rig_from(args)?;
+    let threads = args.num_flag("--threads", 4usize)?;
+    let spec = platform::spec_from(args)?;
+    let policy = platform::policy_from(args)?;
+    let program = platform::program_from(args)?;
+    let sweep = shmoo_sweep(args, &rig, spec, policy)?;
+    let checkpoint = args.opt_flag("--checkpoint");
+    let meta = platform::shmoo_meta(args);
+    args.reject_unknown()?;
+
+    let programs = vec![program.clone(); threads];
+    let offsets = vec![0; threads];
+    println!(
+        "sweeping {} × {} operating points…",
+        sweep.volts.len(),
+        sweep.clocks_hz.len()
+    );
+    let result = match &checkpoint {
+        Some(path) => {
+            let mut writer = JournalWriter::create(path, "shmoo", meta).map_err(core_err)?;
+            let result = sweep
+                .run(&rig, &programs, &offsets, &mut writer)
+                .map_err(core_err)?;
+            writer.finish().map_err(core_err)?;
+            println!("checkpoint: {path} ({} records)", writer.len());
+            result
+        }
+        None => sweep
+            .run(&rig, &programs, &offsets, &mut NullSink)
+            .map_err(core_err)?,
+    };
+    print_shmoo(program.name(), threads, &sweep, &result);
+    Ok(())
+}
+
+/// `audit shmoo --resume <journal>`: restores the sweep from its
+/// `run_start` metadata, replays done points, and finishes the plane.
+fn resume_shmoo(args: &Args, journal_path: &str) -> Result<(), ArgError> {
+    args.reject_unknown()?;
+
+    let journal = Journal::load(journal_path).map_err(core_err)?;
+    if journal.mode() != Some("shmoo") {
+        return Err(ArgError(format!(
+            "{journal_path}: not a `shmoo` checkpoint (mode {:?})",
+            journal.mode().unwrap_or("<none>")
+        )));
+    }
+    let meta = journal
+        .meta()
+        .ok_or_else(|| ArgError(format!("{journal_path}: journal has no run_start record")))?;
+    let saved = platform::args_from_meta(meta)?;
+    let rig = platform::rig_from(&saved)?;
+    let threads = saved.num_flag("--threads", 4usize)?;
+    let spec = platform::spec_from(&saved)?;
+    let policy = platform::policy_from(&saved)?;
+    let program = platform::program_from(&saved)?;
+    let sweep = shmoo_sweep(&saved, &rig, spec, policy)?;
+
+    println!("resuming {journal_path}:");
+    print!("{}", journal_summary(&journal));
+    let complete = journal.is_complete();
+
+    let programs = vec![program.clone(); threads];
+    let offsets = vec![0; threads];
+    let mut writer = JournalWriter::resume(journal_path).map_err(core_err)?;
+    let result = sweep
+        .resume_from(&journal, &rig, &programs, &offsets, &mut writer)
+        .map_err(core_err)?;
+    if !complete {
+        writer.finish().map_err(core_err)?;
+    }
+    println!("checkpoint: {journal_path} ({} records)", writer.len());
+    print_shmoo(program.name(), threads, &sweep, &result);
+    Ok(())
+}
+
+/// Builds the sweep from `--grid-volts`/`--grid-clocks`, defaulting to
+/// ±5% of the rig's nominal voltage and ±12.5% of its nominal clock.
+fn shmoo_sweep(
+    args: &Args,
+    rig: &audit_core::harness::Rig,
+    spec: audit_core::MeasureSpec,
+    policy: audit_core::MeasurePolicy,
+) -> Result<ShmooSweep, ArgError> {
+    let v = rig.pdn.nominal_voltage();
+    let f = rig.chip.clock_hz;
+    let volts = platform::grid_axis(args, "--grid-volts", &[0.95 * v, v, 1.05 * v])?;
+    let clocks = platform::grid_axis(args, "--grid-clocks", &[0.875 * f, f, 1.125 * f])?;
+    let sweep = ShmooSweep::grid(volts, clocks, spec, policy);
+    sweep.validate().map_err(core_err)?;
+    Ok(sweep)
+}
+
+/// Prints the margin surface as a volts × clocks table.
+fn print_shmoo(name: &str, threads: usize, sweep: &ShmooSweep, result: &ShmooResult) {
+    let mut header = vec!["Vdd \\ clock".to_string()];
+    header.extend(
+        sweep
+            .clocks_hz
+            .iter()
+            .map(|hz| format!("{:.0} MHz", hz / 1e6)),
+    );
+    let mut t = Table::new(header.iter().map(String::as_str).collect());
+    let cols = sweep.clocks_hz.len();
+    for (r, &volts) in sweep.volts.iter().enumerate() {
+        let mut row = vec![format!("{volts:.4} V")];
+        for c in 0..cols {
+            let cell = &result.cells[r * cols + c];
+            row.push(format!("{:.4} V", cell.margin));
+        }
+        t.row(row);
+    }
+    println!("{t}");
+    println!(
+        "{name} × {threads}T: {} point(s) ({} live, {} replayed)",
+        result.cells.len(),
+        result.live_points,
+        result.replayed_points
+    );
 }
 
 /// One analyzed program: its diagnostics plus an optional body-index →

@@ -48,6 +48,7 @@ fn run(raw: Vec<String>) -> Result<(), String> {
         "generate" => commands::generate(&parsed),
         "measure" => commands::measure(&parsed),
         "failure" => commands::failure(&parsed),
+        "shmoo" => commands::shmoo(&parsed),
         "serve" => commands::serve(&parsed),
         "work" => commands::work(&parsed),
         "lint" => commands::lint(&parsed),

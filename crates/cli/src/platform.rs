@@ -1,6 +1,7 @@
 //! Shared command plumbing: rig construction and workload lookup.
 
 use audit_core::audit::AuditOptions;
+use audit_core::ga::{CostFunction, Objective, ObjectiveSet};
 use audit_core::harness::{MeasureSpec, Rig};
 use audit_core::resilient::MeasurePolicy;
 use audit_cpu::Program;
@@ -29,6 +30,26 @@ const GENERATE_RESULT_FLAGS: &[&str] = &[
     "--cycle-budget",
     "--fast-tier-budget",
     "--eval-batch",
+    "--objective",
+];
+
+/// The `shmoo` flags that determine the *result* of a DVFS sweep,
+/// recorded in its checkpoint journal so `--resume` can reconstruct
+/// the exact grid, workload, and fault policy.
+const SHMOO_RESULT_FLAGS: &[&str] = &[
+    "--chip",
+    "--threads",
+    "--throttle",
+    "--cycles",
+    "--workload",
+    "--stressmark",
+    "--file",
+    "--faults",
+    "--repeat",
+    "--retries",
+    "--cycle-budget",
+    "--grid-volts",
+    "--grid-clocks",
 ];
 
 /// The `failure` flags that determine the *result* of a Vmin search,
@@ -62,10 +83,25 @@ pub fn failure_meta(args: &Args) -> JsonValue {
     meta_from_flags(args, FAILURE_RESULT_FLAGS)
 }
 
+/// Captures the result-determining `shmoo` flags as a `run_start`
+/// metadata object.
+pub fn shmoo_meta(args: &Args) -> JsonValue {
+    meta_from_flags(args, SHMOO_RESULT_FLAGS)
+}
+
 fn meta_from_flags(args: &Args, flags: &[&str]) -> JsonValue {
     let mut argv = Vec::new();
     for flag in flags {
-        if let Some(v) = args.opt_flag(flag) {
+        if let Some(mut v) = args.opt_flag(flag) {
+            // `--objective` is order-normalized before journaling, so
+            // argv-replay resume is insensitive to the flag order the
+            // user typed. A malformed spec is recorded raw — the
+            // command errors out before the journal is written.
+            if *flag == "--objective" {
+                if let Ok((set, variant)) = parse_objective_spec(&v) {
+                    v = objective_spec_string(set, variant);
+                }
+            }
             argv.push(JsonValue::String((*flag).to_string()));
             argv.push(JsonValue::String(v));
         }
@@ -174,8 +210,21 @@ pub fn options_from(args: &Args) -> Result<AuditOptions, ArgError> {
             .map_err(|_| ArgError(format!("--eval-batch: cannot parse `{batch}`")))?;
         opts = opts.with_eval_batch(batch);
     }
+    if let Some(spec) = args.opt_flag("--objective") {
+        let (set, variant) = parse_objective_spec(&spec)?;
+        opts = opts.with_objectives(set);
+        if let Some(cost) = variant {
+            opts = opts.with_cost(cost);
+        }
+    }
+    // `--cost` is the pre-`--objective` spelling of the droop axis's
+    // cost function; it is kept as a hidden alias (old journals replay
+    // it, old scripts keep working) and still wins when both are given,
+    // matching its historical behavior.
     if let Some(cost) = args.opt_flag("--cost") {
-        use audit_core::ga::CostFunction;
+        eprintln!(
+            "warning: --cost is deprecated; use --objective droop|droop-per-amp|sensitive"
+        );
         opts = opts.with_cost(match cost.as_str() {
             "droop" => CostFunction::MaxDroop,
             "droop-per-amp" => CostFunction::DroopPerAmp,
@@ -190,6 +239,87 @@ pub fn options_from(args: &Args) -> Result<AuditOptions, ArgError> {
     opts = opts.with_policy(policy_from(args)?);
     opts.validate().map_err(|e| ArgError(e.to_string()))?;
     Ok(opts)
+}
+
+/// Parses a `--objective` spec: comma-separated axes, where the droop
+/// axis may be spelled as one of its cost-function variants
+/// (`droop-per-amp`, `sensitive`). Axes deduplicate and normalize to
+/// canonical order (droop, power, margin).
+///
+/// # Errors
+///
+/// Returns [`ArgError`] for an unknown axis, an empty spec, or
+/// conflicting droop variants.
+pub fn parse_objective_spec(
+    spec: &str,
+) -> Result<(ObjectiveSet, Option<CostFunction>), ArgError> {
+    let mut axes = Vec::new();
+    let mut variant: Option<CostFunction> = None;
+    for token in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        let (axis, cost) = match token {
+            "droop" => (Objective::Droop, None),
+            "droop-per-amp" => (Objective::Droop, Some(CostFunction::DroopPerAmp)),
+            "sensitive" => (Objective::Droop, Some(CostFunction::SensitivePathDroop)),
+            "power" => (Objective::Power, None),
+            "margin" => (Objective::Margin, None),
+            other => {
+                return Err(ArgError(format!(
+                    "unknown objective `{other}` \
+                     (droop | droop-per-amp | sensitive | power | margin)"
+                )))
+            }
+        };
+        if let Some(cost) = cost {
+            if variant.is_some_and(|prev| prev != cost) {
+                return Err(ArgError(
+                    "--objective names conflicting droop variants".into(),
+                ));
+            }
+            variant = Some(cost);
+        }
+        axes.push(axis);
+    }
+    let set = ObjectiveSet::from_axes(&axes)
+        .map_err(|e| ArgError(format!("--objective: {e}")))?;
+    Ok((set, variant))
+}
+
+/// The canonical spelling of a parsed `--objective` spec: axes in
+/// canonical order, the droop axis carrying its variant name.
+fn objective_spec_string(set: ObjectiveSet, variant: Option<CostFunction>) -> String {
+    let droop = match variant {
+        Some(CostFunction::DroopPerAmp) => "droop-per-amp",
+        Some(CostFunction::SensitivePathDroop) => "sensitive",
+        _ => "droop",
+    };
+    set.iter()
+        .map(|axis| match axis {
+            Objective::Droop => droop,
+            Objective::Power => "power",
+            Objective::Margin => "margin",
+        })
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Parses a comma-separated voltage/clock grid axis for `audit shmoo`.
+///
+/// # Errors
+///
+/// Returns [`ArgError`] for a value that does not parse as a number.
+pub fn grid_axis(args: &Args, flag: &str, default: &[f64]) -> Result<Vec<f64>, ArgError> {
+    match args.opt_flag(flag) {
+        None => Ok(default.to_vec()),
+        Some(list) => list
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(|s| {
+                s.parse::<f64>()
+                    .map_err(|_| ArgError(format!("{flag}: cannot parse `{s}`")))
+            })
+            .collect(),
+    }
 }
 
 /// Resilience policy from `--faults <seed:rates>`, `--repeat`,
@@ -396,6 +526,55 @@ mod tests {
         // Malformed or unrunnable values are rejected with the flag named.
         assert!(options_from(&parse(&["--fast-tier-budget", "lots"])).is_err());
         assert!(options_from(&parse(&["--eval-batch", "0"])).is_err());
+    }
+
+    #[test]
+    fn objective_flags_parse_normalize_and_round_trip() {
+        // Repeated flags accumulate, axes normalize to canonical order,
+        // and the journaled value is order-insensitive.
+        let a = parse(&["--objective", "margin", "--objective", "droop"]);
+        let opts = options_from(&a).unwrap();
+        assert_eq!(opts.objectives, ObjectiveSet::parse("droop,margin").unwrap());
+        assert!(opts.ga.pareto, "multi-axis sets engage pareto mode");
+        let b = parse(&["--objective", "droop", "--objective", "margin"]);
+        assert_eq!(
+            generate_meta(&a).encode(),
+            generate_meta(&b).encode(),
+            "journaled argv must not depend on flag order"
+        );
+        // The restored argv reconstructs the same options.
+        let restored = args_from_meta(&generate_meta(&a)).unwrap();
+        assert_eq!(options_from(&restored).unwrap().objectives, opts.objectives);
+        // Droop variants select the axis and its cost function.
+        let v = options_from(&parse(&["--objective", "droop-per-amp,power"])).unwrap();
+        assert_eq!(v.cost, CostFunction::DroopPerAmp);
+        assert!(v.objectives.contains(Objective::Power));
+        // Scalar default: no flag means droop-only, pareto off.
+        let plain = options_from(&parse(&[])).unwrap();
+        assert_eq!(plain.objectives, ObjectiveSet::scalar_droop());
+        assert!(!plain.ga.pareto);
+        // Unknown axes and conflicting variants are rejected.
+        assert!(options_from(&parse(&["--objective", "ipc"])).is_err());
+        assert!(options_from(&parse(&["--objective", "droop-per-amp,sensitive"])).is_err());
+    }
+
+    #[test]
+    fn deprecated_cost_alias_still_wins() {
+        let opts = options_from(&parse(&["--cost", "sensitive"])).unwrap();
+        assert_eq!(opts.cost, CostFunction::SensitivePathDroop);
+        assert_eq!(opts.objectives, ObjectiveSet::scalar_droop());
+    }
+
+    #[test]
+    fn shmoo_grid_axes_parse() {
+        let args = parse(&["--grid-volts", "0.95, 1.0,1.05"]);
+        assert_eq!(
+            grid_axis(&args, "--grid-volts", &[1.0]).unwrap(),
+            vec![0.95, 1.0, 1.05]
+        );
+        assert_eq!(grid_axis(&args, "--grid-clocks", &[3.2e9]).unwrap(), vec![3.2e9]);
+        let bad = parse(&["--grid-clocks", "fast"]);
+        assert!(grid_axis(&bad, "--grid-clocks", &[]).is_err());
     }
 
     #[test]

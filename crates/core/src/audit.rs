@@ -17,8 +17,8 @@ use audit_error::AuditError;
 use audit_stressmark::Kernel;
 use serde::{Deserialize, Serialize};
 
-use crate::ga::{self, CostFunction, GaConfig, GaRun, Gene};
-use crate::harness::{MeasureSpec, Rig};
+use crate::ga::{self, CostFunction, GaConfig, GaRun, Gene, Objective, ObjectiveSet, Objectives};
+use crate::harness::{MeasureSpec, Measurement, Rig};
 use crate::journal::{Journal, JournalRecord, JournalSink, NullSink};
 use crate::resilient::{self, MeasurePolicy, ResilienceLog, ResilienceReport};
 use crate::resonance::{self, ResonanceResult};
@@ -62,6 +62,14 @@ pub struct AuditOptions {
     /// docs/SIMULATION.md).
     #[serde(default = "default_eval_batch")]
     pub eval_batch: usize,
+    /// Objective axes the GA optimizes, always evaluated in canonical
+    /// droop → power → margin order (see [`ObjectiveSet`]). The default
+    /// is the paper's scalar droop objective; selecting more than one
+    /// axis is only meaningful together with [`GaConfig::pareto`] —
+    /// use [`AuditOptions::with_objectives`], which keeps the two in
+    /// sync.
+    #[serde(default)]
+    pub objectives: ObjectiveSet,
 }
 
 /// Serde default for [`AuditOptions::eval_batch`]: options serialized
@@ -129,6 +137,20 @@ impl AuditOptions {
                 "evaluation batch width must be at least 1 (1 = unbatched)",
             ));
         }
+        if self.objectives.is_empty() {
+            return Err(AuditError::invalid(
+                "AuditOptions",
+                "objectives",
+                "need at least one objective axis",
+            ));
+        }
+        if self.ga.pareto && self.objectives.is_scalar() {
+            return Err(AuditError::invalid(
+                "AuditOptions",
+                "objectives",
+                "pareto mode needs at least two objective axes",
+            ));
+        }
         Ok(())
     }
 
@@ -147,6 +169,7 @@ impl AuditOptions {
             excitation_quiet_cycles: 200,
             policy: MeasurePolicy::disabled(),
             eval_batch: 1,
+            objectives: ObjectiveSet::scalar_droop(),
         }
     }
 
@@ -167,6 +190,7 @@ impl AuditOptions {
             excitation_quiet_cycles: 150,
             policy: MeasurePolicy::disabled(),
             eval_batch: 1,
+            objectives: ObjectiveSet::scalar_droop(),
         }
     }
 
@@ -211,6 +235,17 @@ impl AuditOptions {
     /// [`GaConfig::fast_tier_budget`].
     pub fn with_fast_tier_budget(mut self, budget: usize) -> Self {
         self.ga.fast_tier_budget = budget;
+        self
+    }
+
+    /// Replaces the objective axes and keeps [`GaConfig::pareto`] in
+    /// sync: more than one axis switches the GA into Pareto-front mode,
+    /// a single axis switches it back to the scalar engine. Scalar
+    /// results are unchanged by this call when the set stays
+    /// droop-only.
+    pub fn with_objectives(mut self, objectives: ObjectiveSet) -> Self {
+        self.objectives = objectives;
+        self.ga.pareto = !objectives.is_scalar();
         self
     }
 }
@@ -309,6 +344,13 @@ impl AuditOptionsBuilder {
     /// [`AuditOptions::with_fast_tier_budget`]).
     pub fn fast_tier_budget(mut self, budget: usize) -> Self {
         self.opts.ga.fast_tier_budget = budget;
+        self
+    }
+
+    /// Sets the objective axes, keeping [`GaConfig::pareto`] in sync
+    /// (convenience mirror of [`AuditOptions::with_objectives`]).
+    pub fn objectives(mut self, objectives: ObjectiveSet) -> Self {
+        self.opts = self.opts.with_objectives(objectives);
         self
     }
 
@@ -698,6 +740,7 @@ impl Audit {
             cost: self.opts.cost,
             spec: self.opts.eval_spec,
             policy: self.opts.policy,
+            objectives: self.opts.objectives,
         };
         let rig = &self.rig;
 
@@ -708,9 +751,9 @@ impl Audit {
         // order-insensitive counter behind a mutex.
         let log = ResilienceLog::default();
         let fitness = |genome: &[Gene]| {
-            let (f, delta) = fspec.evaluate(rig, genome);
+            let (objs, delta) = fspec.evaluate_objectives(rig, genome);
             log.fold(&delta);
-            f
+            objs
         };
 
         let seeds = self.ga_seeds(genome_len, seed_miss_load, extra_seeds);
@@ -721,11 +764,11 @@ impl Audit {
             // engine merges results in slot order either way.
             let batch_fitness = |genomes: &[&[Gene]]| {
                 fspec
-                    .evaluate_batch(rig, genomes)
+                    .evaluate_objectives_batch(rig, genomes)
                     .into_iter()
-                    .map(|(f, delta)| {
+                    .map(|(objs, delta)| {
                         log.fold(&delta);
-                        f
+                        objs
                     })
                     .collect()
             };
@@ -747,7 +790,18 @@ impl Audit {
             }
         } else {
             match resume {
-                Some(journal) => GaRun::resume_with_sink(journal, fitness, sink)?,
+                // Resume goes through a dispatcher: the closure here
+                // computes the full objective vector, so pareto
+                // journals resume too (`resume_with_sink` must reject
+                // scalar closures, and cannot see past the generic
+                // return type to know this one is vector-valued).
+                Some(journal) => {
+                    let mut dispatcher = ga::LocalDispatcher::new(
+                        &fitness,
+                        ga::resolve_workers(self.opts.ga.threads),
+                    );
+                    GaRun::resume_dispatched(journal, &mut dispatcher, sink)?
+                }
                 None => {
                     ga::evolve_journaled(&self.opts.ga, &menu, genome_len, &seeds, fitness, sink)?
                 }
@@ -759,8 +813,9 @@ impl Audit {
     /// The GA phase evaluated through an explicit
     /// [`ga::EvalDispatcher`] — the distributed counterpart of the
     /// closure-based path above, driven by the `audit-net` broker. The
-    /// dispatcher's workers must compute [`FitnessSpec::evaluate`] for
-    /// this exact `fspec` (that is what the broker's setup handshake
+    /// dispatcher's workers must compute
+    /// [`FitnessSpec::evaluate_objectives`] for this exact `fspec`
+    /// (that is what the broker's setup handshake
     /// ships them); the engine's slot-ordered merge then makes the
     /// resulting [`StressmarkRun`], journal bytes, and cache state
     /// bit-identical to the in-process run for any worker count.
@@ -921,6 +976,7 @@ impl Audit {
             cost: self.opts.cost,
             spec: self.opts.eval_spec,
             policy: self.opts.policy,
+            objectives: self.opts.objectives,
         }
     }
 }
@@ -928,13 +984,16 @@ impl Audit {
 /// Everything a fitness evaluator — in-process worker thread or remote
 /// `audit work` process — needs to score one genome exactly as the GA
 /// driver does: the loop shape the genome is lowered into, the thread
-/// count, the measurement window, the cost function, and the resilience
-/// policy (whose fault schedule is a pure function of the genome's
-/// content key, so any evaluator draws identical faults).
+/// count, the measurement window, the objective axes, the cost
+/// function, and the resilience policy (whose fault schedule is a pure
+/// function of the genome's content key, so any evaluator draws
+/// identical faults).
 ///
-/// [`FitnessSpec::evaluate`] is *the* fitness function: the in-process
-/// GA closure and the distributed worker both call it, which is what
-/// makes the two paths bit-identical by construction.
+/// [`FitnessSpec::evaluate_objectives`] is *the* fitness function: the
+/// in-process GA closure and the distributed worker both call it, which
+/// is what makes the two paths bit-identical by construction. The
+/// scalar [`FitnessSpec::evaluate`] wrapper survives as a deprecated
+/// 1-objective special case (the vector's primary axis).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FitnessSpec {
     /// Homogeneous thread count the candidate runs with.
@@ -943,24 +1002,69 @@ pub struct FitnessSpec {
     pub sub_blocks: usize,
     /// LP-region slot count absorbing the period rounding.
     pub lp_slots: usize,
-    /// Cost function scoring each measurement.
+    /// Cost function scoring each measurement's droop axis.
     pub cost: CostFunction,
     /// Measurement window of each evaluation.
     pub spec: MeasureSpec,
     /// Resilience policy (fault plan, repeats, retries, quarantine).
     pub policy: MeasurePolicy,
+    /// Objective axes computed per measurement, in canonical
+    /// droop → power → margin order. The droop-only default reproduces
+    /// the scalar fitness exactly.
+    pub objectives: ObjectiveSet,
 }
 
 impl FitnessSpec {
-    /// Scores one genome on `rig`, returning the fitness and the
-    /// [`ResilienceReport`] delta this evaluation contributes (all
+    /// Computes the configured objective vector from one measurement.
+    /// Axes, always in canonical droop → power → margin order:
+    ///
+    /// - **droop** — the configured cost function's score (the paper's
+    ///   scalar fitness, so a droop-only set reproduces the scalar API
+    ///   bit-for-bit);
+    /// - **power** — mean supply power in watts: `mean_amps` × the
+    ///   rail's nominal voltage;
+    /// - **margin** — proximity to timing failure (paper §5.A.4):
+    ///   `v_crit(max_path_seen) − (nominal − max_droop)`, the critical
+    ///   voltage of the most sensitive path the workload exercised
+    ///   minus the minimum die voltage it reached. Larger means closer
+    ///   to (or past) failure — the SM2 insight that sensitive-path
+    ///   pressure matters independently of raw droop.
+    ///
+    /// Every axis is a pure function of the measurement and rig, so the
+    /// vector is as deterministic as the scalar score it generalizes.
+    pub fn objectives_of(&self, rig: &Rig, m: &Measurement) -> Objectives {
+        Objectives(
+            self.objectives
+                .iter()
+                .map(|axis| match axis {
+                    Objective::Droop => self.cost.score(m),
+                    Objective::Power => m.mean_amps * rig.pdn.nominal_voltage(),
+                    Objective::Margin => {
+                        let v_min = rig.pdn.nominal_voltage() - m.max_droop();
+                        rig.failure.v_crit(m.max_path_seen) - v_min
+                    }
+                })
+                .collect(),
+        )
+    }
+
+    /// The objective vector of a quarantined candidate: the fallback
+    /// fitness splatted across every configured axis, so a quarantined
+    /// genome is dominated on (or ties) every axis exactly as it loses
+    /// every scalar comparison today.
+    fn quarantined_objectives(&self) -> Objectives {
+        Objectives(vec![self.policy.quarantine_fitness; self.objectives.len()])
+    }
+
+    /// Scores one genome on `rig`, returning the objective vector and
+    /// the [`ResilienceReport`] delta this evaluation contributes (all
     /// zeros on the plain path, where the policy is a no-op).
     ///
     /// Deterministic per genome: simulator state is built fresh inside
     /// the call and the fault schedule is content-addressed, so the
     /// same genome scores bit-identically on any thread, process, or
     /// host.
-    pub fn evaluate(&self, rig: &Rig, genome: &[Gene]) -> (f64, ResilienceReport) {
+    pub fn evaluate_objectives(&self, rig: &Rig, genome: &[Gene]) -> (Objectives, ResilienceReport) {
         let kernel = Kernel::from_sub_blocks(
             "candidate",
             &ga::genome::to_sub_block(genome),
@@ -969,31 +1073,43 @@ impl FitnessSpec {
         );
         let programs = vec![kernel.to_program(); self.threads];
         if self.policy.is_noop() {
-            let f = self.cost.score(&rig.measure_aligned(&programs, self.spec));
-            (f, ResilienceReport::default())
+            let objs = self.objectives_of(rig, &rig.measure_aligned(&programs, self.spec));
+            (objs, ResilienceReport::default())
         } else {
             let offsets = vec![0; self.threads];
             let key = resilient::genome_key(genome);
             let outcome = self.policy.measure(rig, &programs, &offsets, self.spec, key);
             let delta = ResilienceReport::from_outcome(&outcome);
-            (self.policy.score(self.cost, &outcome), delta)
+            let objs = match &outcome.measurement {
+                Some(m) => self.objectives_of(rig, m),
+                None => self.quarantined_objectives(),
+            };
+            (objs, delta)
         }
     }
 
     /// Scores a chunk of genomes in one lockstep
-    /// [`Rig::measure_batch`] sweep, returning one score per genome in
-    /// order. Each score is bit-identical to
-    /// [`FitnessSpec::evaluate`] on that genome alone — batching
-    /// amortizes the hot loop's bookkeeping, never changes results.
+    /// [`Rig::measure_batch`] sweep, returning one objective vector per
+    /// genome in order. Each vector is bit-identical to
+    /// [`FitnessSpec::evaluate_objectives`] on that genome alone —
+    /// batching amortizes the hot loop's bookkeeping, never changes
+    /// results.
     ///
-    /// Falls back to per-genome [`FitnessSpec::evaluate`] when the
-    /// resilience policy is not the no-op default (fault schedules are
-    /// keyed per evaluation, so the batched path would have to
-    /// replicate the retry loop per lane for no gain) or when the chunk
-    /// has a single genome.
-    pub fn evaluate_batch(&self, rig: &Rig, genomes: &[&[Gene]]) -> Vec<(f64, ResilienceReport)> {
+    /// Falls back to per-genome evaluation when the resilience policy
+    /// is not the no-op default (fault schedules are keyed per
+    /// evaluation, so the batched path would have to replicate the
+    /// retry loop per lane for no gain) or when the chunk has a single
+    /// genome.
+    pub fn evaluate_objectives_batch(
+        &self,
+        rig: &Rig,
+        genomes: &[&[Gene]],
+    ) -> Vec<(Objectives, ResilienceReport)> {
         if !self.policy.is_noop() || genomes.len() <= 1 {
-            return genomes.iter().map(|g| self.evaluate(rig, g)).collect();
+            return genomes
+                .iter()
+                .map(|g| self.evaluate_objectives(rig, g))
+                .collect();
         }
         let lanes: Vec<Vec<Program>> = genomes
             .iter()
@@ -1009,7 +1125,33 @@ impl FitnessSpec {
             .collect();
         rig.measure_batch(&lanes, self.spec)
             .iter()
-            .map(|m| (self.cost.score(m), ResilienceReport::default()))
+            .map(|m| (self.objectives_of(rig, m), ResilienceReport::default()))
+            .collect()
+    }
+
+    /// Scores one genome on `rig` as a single scalar — the primary
+    /// (first) axis of [`FitnessSpec::evaluate_objectives`]. With the
+    /// default droop-only objective set this is exactly the historical
+    /// scalar fitness.
+    #[deprecated(
+        since = "0.7.0",
+        note = "use `evaluate_objectives`; the scalar fitness is its primary axis"
+    )]
+    pub fn evaluate(&self, rig: &Rig, genome: &[Gene]) -> (f64, ResilienceReport) {
+        let (objs, delta) = self.evaluate_objectives(rig, genome);
+        (objs.primary(), delta)
+    }
+
+    /// Scores a chunk of genomes as scalars — the primary axis of
+    /// [`FitnessSpec::evaluate_objectives_batch`] per genome.
+    #[deprecated(
+        since = "0.7.0",
+        note = "use `evaluate_objectives_batch`; the scalar fitness is its primary axis"
+    )]
+    pub fn evaluate_batch(&self, rig: &Rig, genomes: &[&[Gene]]) -> Vec<(f64, ResilienceReport)> {
+        self.evaluate_objectives_batch(rig, genomes)
+            .into_iter()
+            .map(|(objs, delta)| (objs.primary(), delta))
             .collect()
     }
 }

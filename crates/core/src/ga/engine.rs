@@ -42,7 +42,11 @@ use serde::{Deserialize, Serialize};
 use audit_analyze::{swing_score, MachineModel};
 
 use super::genome::{to_sub_block, Gene};
-use crate::journal::{GenerationAnalysis, GenerationRecord, Journal, JournalRecord, JournalSink, NullSink};
+use super::pareto::{extract_front, rank_population, FrontMember, Objectives, PopulationRanking};
+use crate::journal::{
+    GenerationAnalysis, GenerationRecord, Journal, JournalRecord, JournalSink, NullSink,
+    ParetoFrontRecord,
+};
 use crate::resilient::ResilienceReport;
 
 /// GA hyper-parameters.
@@ -117,6 +121,18 @@ pub struct GaConfig {
     /// docs/SIMULATION.md for the full cascade contract.
     #[serde(default)]
     pub fast_tier_budget: usize,
+    /// Multi-objective (Pareto) selection. Off by default: the scalar
+    /// search compares raw primary fitness and `GaRun` + journal bytes
+    /// are untouched. On, selection orders candidates by NSGA-II
+    /// non-dominated rank → crowding distance → slot index (see
+    /// [`super::pareto`]), each generation journals a `pareto_front`
+    /// record ahead of its `generation` record, and [`GaRun::pareto_front`]
+    /// reports the final non-dominated front. The ranking runs on the
+    /// calling thread from slot-ordered objective vectors, so Pareto
+    /// runs keep the full bit-identity contract: identical across
+    /// thread counts, dispatchers, and kill/resume.
+    #[serde(default)]
+    pub pareto: bool,
 }
 
 fn default_threads() -> usize {
@@ -143,6 +159,7 @@ impl Default for GaConfig {
             surrogate_rank: false,
             surrogate_budget: 0,
             fast_tier_budget: 0,
+            pareto: false,
         }
     }
 }
@@ -216,15 +233,16 @@ pub fn stream_seed(seed: u64, generation: u64) -> u64 {
 ///
 /// Elites survive generations unchanged and converged populations are
 /// full of duplicates; both would otherwise re-run a full chip + PDN
-/// co-simulation per generation. The cache maps a genome to its fitness
-/// and is consulted before any evaluation is dispatched to a worker.
+/// co-simulation per generation. The cache maps a genome to its
+/// objective vector (a 1-axis vector in the scalar search) and is
+/// consulted before any evaluation is dispatched to a worker.
 ///
 /// Correctness relies on the fitness being deterministic per genome
 /// (the [determinism contract](self)): a hit returns exactly what a
 /// re-simulation would have produced.
 #[derive(Debug, Clone, Default)]
 pub struct EvalCache {
-    map: HashMap<Vec<Gene>, f64>,
+    map: HashMap<Vec<Gene>, Objectives>,
     capacity: usize,
     hits: u64,
     misses: u64,
@@ -247,14 +265,14 @@ impl EvalCache {
     }
 
     /// Looks up a genome, counting the hit or miss.
-    pub fn lookup(&mut self, genome: &[Gene]) -> Option<f64> {
+    pub fn lookup(&mut self, genome: &[Gene]) -> Option<Objectives> {
         if !self.is_enabled() {
             return None;
         }
         match self.map.get(genome) {
-            Some(&fitness) => {
+            Some(objectives) => {
                 self.hits += 1;
-                Some(fitness)
+                Some(objectives.clone())
             }
             None => {
                 self.misses += 1;
@@ -263,16 +281,17 @@ impl EvalCache {
         }
     }
 
-    /// Records a computed fitness, flushing the cache first if inserting
+    /// Records a computed objective vector (a plain `f64` converts to
+    /// the 1-axis scalar vector), flushing the cache first if inserting
     /// would exceed the capacity bound.
-    pub fn insert(&mut self, genome: &[Gene], fitness: f64) {
+    pub fn insert(&mut self, genome: &[Gene], objectives: impl Into<Objectives>) {
         if !self.is_enabled() {
             return;
         }
         if self.map.len() >= self.capacity && !self.map.contains_key(genome) {
             self.map.clear();
         }
-        self.map.insert(genome.to_vec(), fitness);
+        self.map.insert(genome.to_vec(), objectives.into());
     }
 
     /// Lookups served from the cache.
@@ -379,6 +398,11 @@ pub struct GaRun {
     pub evaluations: u64,
     /// Fitness evaluations served by memoization instead of simulation.
     pub cache_hits: u64,
+    /// The deduplicated non-dominated front of the final generation when
+    /// [`GaConfig::pareto`] is on; `None` for scalar runs, which keeps
+    /// their serialized form byte-identical to pre-Pareto builds.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub pareto_front: Option<Vec<FrontMember>>,
     /// Wall-time and throughput telemetry (ignored by `PartialEq`).
     pub telemetry: GaTelemetry,
 }
@@ -391,6 +415,7 @@ impl PartialEq for GaRun {
             && self.generations_run == other.generations_run
             && self.evaluations == other.evaluations
             && self.cache_hits == other.cache_hits
+            && self.pareto_front == other.pareto_front
     }
 }
 
@@ -410,9 +435,9 @@ impl GaRun {
     /// Returns [`AuditError::Resume`] if the journal has no GA section
     /// or its generation records are inconsistent with the recorded
     /// [`GaConfig`], and any error the underlying search can produce.
-    pub fn resume_from(
+    pub fn resume_from<R: Into<Objectives>>(
         journal: &Journal,
-        fitness: impl Fn(&[Gene]) -> f64 + Sync,
+        fitness: impl Fn(&[Gene]) -> R + Sync,
     ) -> Result<GaRun, AuditError> {
         Self::resume_with_sink(journal, fitness, &mut NullSink)
     }
@@ -425,14 +450,30 @@ impl GaRun {
     /// # Errors
     ///
     /// Same as [`GaRun::resume_from`], plus any sink I/O error.
-    pub fn resume_with_sink(
+    pub fn resume_with_sink<R: Into<Objectives>>(
         journal: &Journal,
-        fitness: impl Fn(&[Gene]) -> f64 + Sync,
+        fitness: impl Fn(&[Gene]) -> R + Sync,
         sink: &mut dyn JournalSink,
     ) -> Result<GaRun, AuditError> {
         let section = journal
             .last_ga_section()
             .ok_or_else(|| AuditError::resume("journal contains no GA section"))?;
+        // A scalar closure produces 1-axis vectors; resuming a journal
+        // whose fronts carry wider vectors would mix axis counts in the
+        // ranking. Multi-objective runs must resume through
+        // `resume_dispatched` with a dispatcher computing the same
+        // objective vector.
+        if section.cfg.pareto
+            && section
+                .fronts
+                .iter()
+                .any(|f| f.objectives.iter().any(|o| o.len() > 1))
+        {
+            return Err(AuditError::resume(
+                "journal records a multi-objective pareto run; resume it with \
+                 `GaRun::resume_dispatched` and a vector-fitness dispatcher",
+            ));
+        }
         let mut null = NullSink;
         // A section already closed by `ga_end` is replay-only: recompute
         // the result without appending duplicate records.
@@ -447,6 +488,7 @@ impl GaRun {
             &mut dispatcher,
             sink,
             &section.generations,
+            &section.fronts,
         )
     }
 
@@ -477,6 +519,7 @@ impl GaRun {
             dispatcher,
             sink,
             &section.generations,
+            &section.fronts,
         )
     }
 }
@@ -486,15 +529,20 @@ impl GaRun {
 /// The engine hands a dispatcher the population and the slots that need
 /// measuring (`jobs`, already deduplicated, cache-filtered, and — when
 /// surrogate ranking is on — ordered most-promising-first) and expects
-/// one `(slot, fitness)` pair per job back, **in any order**. The engine
-/// sorts results into slot order before touching the cache, so a
+/// one `(slot, objectives)` pair per job back, **in any order**. The
+/// engine sorts results into slot order before touching the cache, so a
 /// conforming dispatcher can never perturb results: local thread pools
 /// ([`LocalDispatcher`]) and remote broker/worker fleets (`audit-net`)
 /// are bit-identical by construction as long as the fitness they compute
 /// is the same deterministic function of the genome.
+///
+/// A scalar dispatcher returns 1-axis vectors ([`Objectives::scalar`]);
+/// the engine treats the first axis as the legacy scalar fitness in
+/// every mode.
 pub trait EvalDispatcher {
     /// Scores `jobs` (slot indices into `population`), returning one
-    /// `(slot, fitness)` pair per job in any order.
+    /// `(slot, objectives)` pair per job in any order. All vectors in
+    /// one run must have the same axis count.
     ///
     /// # Errors
     ///
@@ -504,7 +552,7 @@ pub trait EvalDispatcher {
         &mut self,
         population: &[Vec<Gene>],
         jobs: &[usize],
-    ) -> Result<Vec<(usize, f64)>, AuditError>;
+    ) -> Result<Vec<(usize, Objectives)>, AuditError>;
 
     /// Worker parallelism, for telemetry only (never affects results).
     fn workers(&self) -> usize {
@@ -524,12 +572,16 @@ pub trait EvalDispatcher {
 /// over a fitness closure — exactly the engine's historical evaluation
 /// path, now behind the trait so local and distributed runs share one
 /// merge discipline.
+///
+/// The closure may return any type converting [`Into<Objectives>`]: the
+/// historical `f64` scalar (the 1-axis special case) or a full
+/// [`Objectives`] vector for Pareto runs.
 pub struct LocalDispatcher<F> {
     fitness: F,
     workers: usize,
 }
 
-impl<F: Fn(&[Gene]) -> f64 + Sync> LocalDispatcher<F> {
+impl<R: Into<Objectives>, F: Fn(&[Gene]) -> R + Sync> LocalDispatcher<F> {
     /// Wraps `fitness` with a concrete worker count (see
     /// [`resolve_workers`]).
     pub fn new(fitness: F, workers: usize) -> Self {
@@ -537,16 +589,16 @@ impl<F: Fn(&[Gene]) -> f64 + Sync> LocalDispatcher<F> {
     }
 }
 
-impl<F: Fn(&[Gene]) -> f64 + Sync> EvalDispatcher for LocalDispatcher<F> {
+impl<R: Into<Objectives>, F: Fn(&[Gene]) -> R + Sync> EvalDispatcher for LocalDispatcher<F> {
     fn evaluate(
         &mut self,
         population: &[Vec<Gene>],
         jobs: &[usize],
-    ) -> Result<Vec<(usize, f64)>, AuditError> {
+    ) -> Result<Vec<(usize, Objectives)>, AuditError> {
         let fitness = &self.fitness;
         Ok(if self.workers <= 1 || jobs.len() <= 1 {
             jobs.iter()
-                .map(|&slot| (slot, fitness(&population[slot])))
+                .map(|&slot| (slot, fitness(&population[slot]).into()))
                 .collect()
         } else {
             let queue = AtomicUsize::new(0);
@@ -554,11 +606,11 @@ impl<F: Fn(&[Gene]) -> f64 + Sync> EvalDispatcher for LocalDispatcher<F> {
                 let handles: Vec<_> = (0..self.workers.min(jobs.len()))
                     .map(|_| {
                         s.spawn(|| {
-                            let mut out: Vec<(usize, f64)> = Vec::new();
+                            let mut out: Vec<(usize, Objectives)> = Vec::new();
                             loop {
                                 let k = queue.fetch_add(1, Ordering::Relaxed);
                                 let Some(&slot) = jobs.get(k) else { break };
-                                out.push((slot, fitness(&population[slot])));
+                                out.push((slot, fitness(&population[slot]).into()));
                             }
                             out
                         })
@@ -580,7 +632,8 @@ impl<F: Fn(&[Gene]) -> f64 + Sync> EvalDispatcher for LocalDispatcher<F> {
 /// The batched in-process [`EvalDispatcher`]: pops fixed-width chunks of
 /// jobs off the same atomic work queue [`LocalDispatcher`] uses, and
 /// hands each chunk to a *batch* fitness closure (`&[&[Gene]] ->
-/// Vec<f64>`, one score per genome, in order). The closure is expected
+/// Vec<R>` with `R: Into<Objectives>`, one score per genome, in
+/// order). The closure is expected
 /// to amortize per-evaluation overhead across the chunk — the audit
 /// fitness function routes it through the structure-of-arrays
 /// `Rig::measure_batch` sweep (docs/SIMULATION.md).
@@ -595,7 +648,7 @@ pub struct BatchLocalDispatcher<F> {
     workers: usize,
 }
 
-impl<F: Fn(&[&[Gene]]) -> Vec<f64> + Sync> BatchLocalDispatcher<F> {
+impl<R: Into<Objectives>, F: Fn(&[&[Gene]]) -> Vec<R> + Sync> BatchLocalDispatcher<F> {
     /// Wraps a batch fitness closure with a chunk width (`batch`,
     /// clamped to at least 1) and a concrete worker count (see
     /// [`resolve_workers`]).
@@ -608,14 +661,16 @@ impl<F: Fn(&[&[Gene]]) -> Vec<f64> + Sync> BatchLocalDispatcher<F> {
     }
 }
 
-impl<F: Fn(&[&[Gene]]) -> Vec<f64> + Sync> EvalDispatcher for BatchLocalDispatcher<F> {
+impl<R: Into<Objectives>, F: Fn(&[&[Gene]]) -> Vec<R> + Sync> EvalDispatcher
+    for BatchLocalDispatcher<F>
+{
     fn evaluate(
         &mut self,
         population: &[Vec<Gene>],
         jobs: &[usize],
-    ) -> Result<Vec<(usize, f64)>, AuditError> {
+    ) -> Result<Vec<(usize, Objectives)>, AuditError> {
         let fitness = &self.fitness;
-        let run_chunk = |chunk: &[usize]| -> Vec<(usize, f64)> {
+        let run_chunk = |chunk: &[usize]| -> Vec<(usize, Objectives)> {
             let genomes: Vec<&[Gene]> = chunk
                 .iter()
                 .map(|&slot| population[slot].as_slice())
@@ -628,7 +683,11 @@ impl<F: Fn(&[&[Gene]]) -> Vec<f64> + Sync> EvalDispatcher for BatchLocalDispatch
                 scores.len(),
                 chunk.len()
             );
-            chunk.iter().copied().zip(scores).collect()
+            chunk
+                .iter()
+                .copied()
+                .zip(scores.into_iter().map(Into::into))
+                .collect()
         };
         let chunks: Vec<&[usize]> = jobs.chunks(self.batch).collect();
         Ok(if self.workers <= 1 || chunks.len() <= 1 {
@@ -639,7 +698,7 @@ impl<F: Fn(&[&[Gene]]) -> Vec<f64> + Sync> EvalDispatcher for BatchLocalDispatch
                 let handles: Vec<_> = (0..self.workers.min(chunks.len()))
                     .map(|_| {
                         s.spawn(|| {
-                            let mut out: Vec<(usize, f64)> = Vec::new();
+                            let mut out: Vec<(usize, Objectives)> = Vec::new();
                             loop {
                                 let k = queue.fetch_add(1, Ordering::Relaxed);
                                 let Some(&chunk) = chunks.get(k) else { break };
@@ -677,15 +736,24 @@ impl<F: Fn(&[&[Gene]]) -> Vec<f64> + Sync> EvalDispatcher for BatchLocalDispatch
 /// Returns [`AuditError::InvalidConfig`] for an unrunnable
 /// configuration ([`GaConfig::validate`]), an empty menu, or a zero
 /// genome length.
-pub fn try_evolve(
+pub fn try_evolve<R: Into<Objectives>>(
     cfg: &GaConfig,
     menu: &[Opcode],
     genome_len: usize,
     seeds: &[Vec<Gene>],
-    fitness: impl Fn(&[Gene]) -> f64 + Sync,
+    fitness: impl Fn(&[Gene]) -> R + Sync,
 ) -> Result<GaRun, AuditError> {
     let mut dispatcher = LocalDispatcher::new(fitness, resolve_workers(cfg.threads));
-    run_ga(cfg, menu, genome_len, seeds, &mut dispatcher, &mut NullSink, &[])
+    run_ga(
+        cfg,
+        menu,
+        genome_len,
+        seeds,
+        &mut dispatcher,
+        &mut NullSink,
+        &[],
+        &[],
+    )
 }
 
 /// [`try_evolve`], evaluating through an explicit [`EvalDispatcher`]
@@ -703,7 +771,16 @@ pub fn try_evolve_dispatched(
     seeds: &[Vec<Gene>],
     dispatcher: &mut dyn EvalDispatcher,
 ) -> Result<GaRun, AuditError> {
-    run_ga(cfg, menu, genome_len, seeds, dispatcher, &mut NullSink, &[])
+    run_ga(
+        cfg,
+        menu,
+        genome_len,
+        seeds,
+        dispatcher,
+        &mut NullSink,
+        &[],
+        &[],
+    )
 }
 
 /// [`try_evolve`], with every generation checkpointed to `sink`.
@@ -716,12 +793,12 @@ pub fn try_evolve_dispatched(
 /// # Errors
 ///
 /// Same as [`try_evolve`], plus any sink I/O error.
-pub fn evolve_journaled(
+pub fn evolve_journaled<R: Into<Objectives>>(
     cfg: &GaConfig,
     menu: &[Opcode],
     genome_len: usize,
     seeds: &[Vec<Gene>],
-    fitness: impl Fn(&[Gene]) -> f64 + Sync,
+    fitness: impl Fn(&[Gene]) -> R + Sync,
     sink: &mut dyn JournalSink,
 ) -> Result<GaRun, AuditError> {
     let mut dispatcher = LocalDispatcher::new(fitness, resolve_workers(cfg.threads));
@@ -766,7 +843,7 @@ pub fn evolve_journaled_dispatched(
             budget: cfg.fast_tier_budget as u64,
         })?;
     }
-    run_ga(cfg, menu, genome_len, seeds, dispatcher, sink, &[])
+    run_ga(cfg, menu, genome_len, seeds, dispatcher, sink, &[], &[])
 }
 
 /// Panicking convenience wrapper around [`try_evolve`] for callers that
@@ -809,12 +886,12 @@ pub fn evolve_journaled_dispatched(
 /// Panics on any error [`try_evolve`] would return (e.g. a population
 /// smaller than 2, an empty menu, a zero genome length), or if a
 /// fitness worker panics.
-pub fn evolve(
+pub fn evolve<R: Into<Objectives>>(
     cfg: &GaConfig,
     menu: &[Opcode],
     genome_len: usize,
     seeds: &[Vec<Gene>],
-    fitness: impl Fn(&[Gene]) -> f64 + Sync,
+    fitness: impl Fn(&[Gene]) -> R + Sync,
 ) -> GaRun {
     try_evolve(cfg, menu, genome_len, seeds, fitness).unwrap_or_else(|e| panic!("{e}"))
 }
@@ -839,7 +916,10 @@ fn validate_search(menu: &[Opcode], genome_len: usize) -> Result<(), AuditError>
 
 /// The engine proper, shared by fresh ([`try_evolve`]) and resumed
 /// ([`GaRun::resume_from`]) runs: `replay` holds the journaled
-/// generations to reconstruct before evolution continues live.
+/// generations to reconstruct before evolution continues live, and
+/// `fronts` the journaled `pareto_front` records that carry their full
+/// objective vectors (empty for scalar runs).
+#[allow(clippy::too_many_arguments)]
 fn run_ga(
     cfg: &GaConfig,
     menu: &[Opcode],
@@ -848,6 +928,7 @@ fn run_ga(
     dispatcher: &mut dyn EvalDispatcher,
     sink: &mut dyn JournalSink,
     replay: &[&GenerationRecord],
+    fronts: &[&ParetoFrontRecord],
 ) -> Result<GaRun, AuditError> {
     cfg.validate()?;
     validate_search(menu, genome_len)?;
@@ -866,6 +947,7 @@ fn run_ga(
     let mut generation = 0usize;
     let mut population: Vec<Vec<Gene>>;
     let mut scores: Vec<f64>;
+    let mut objs: Vec<Objectives>;
 
     if replay.is_empty() {
         // Fresh start: stream 0 breeds the initial population.
@@ -885,23 +967,27 @@ fn run_ga(
             );
         }
         debug_verify_population(&population);
-        scores = evaluate_population(&population, dispatcher, &mut cache, cfg, &mut telemetry)?;
-        append_generation(sink, cfg, 0, &population, &scores, &telemetry)?;
+        objs = evaluate_population(&population, dispatcher, &mut cache, cfg, &mut telemetry)?;
+        scores = objs.iter().map(Objectives::primary).collect();
+        append_generation(sink, cfg, 0, &population, &objs, &scores, &telemetry)?;
 
         let best_idx = argmax(&scores);
         best = population[best_idx].clone();
         best_fitness = scores[best_idx];
         history.push(best_fitness);
     } else {
-        // Resume: rebuild population, scores, cache, and best-so-far
-        // tracking from the journal. No fitness is re-executed; the cache
-        // is repopulated in the same slot order the live run inserted in,
-        // so even its deterministic flush timing is reproduced.
+        // Resume: rebuild population, scores, objective vectors, cache,
+        // and best-so-far tracking from the journal. No fitness is
+        // re-executed; the cache is repopulated in the same slot order
+        // the live run inserted in, so even its deterministic flush
+        // timing is reproduced.
         best = Vec::new();
         best_fitness = f64::NEG_INFINITY;
+        objs = Vec::new();
         for (k, rec) in replay.iter().enumerate() {
             check_replay_record(cfg, genome_len, k, rec)?;
-            replay_into_cache(&mut cache, rec);
+            objs = replay_objectives(cfg, k, rec, fronts)?;
+            replay_into_cache(&mut cache, rec, &objs);
             telemetry.record(rec.wall_s, rec.executed, rec.cache_hits);
 
             // Same update logic as the live loop below, fed the recorded
@@ -931,9 +1017,24 @@ fn run_ga(
         generation += 1;
         let mut rng = SmallRng::seed_from_u64(stream_seed(cfg.seed, generation as u64));
 
+        // Pareto mode ranks the parent population once per generation on
+        // the calling thread; both modes draw the RNG identically, so
+        // flipping `pareto` never perturbs the stream.
+        let ranking = if cfg.pareto {
+            Some(rank_population(&objs))
+        } else {
+            None
+        };
+
         // Elites survive unchanged.
-        let mut order: Vec<usize> = (0..population.len()).collect();
-        order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
+        let order: Vec<usize> = match &ranking {
+            Some(r) => r.selection_order(),
+            None => {
+                let mut order: Vec<usize> = (0..population.len()).collect();
+                order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
+                order
+            }
+        };
         let mut next: Vec<Vec<Gene>> = order
             .iter()
             .take(cfg.elitism)
@@ -941,11 +1042,15 @@ fn run_ga(
             .collect();
 
         while next.len() < cfg.population {
-            let a = tournament(cfg, &scores, &mut rng);
-            let b = tournament(cfg, &scores, &mut rng);
+            let a = tournament(cfg, &scores, ranking.as_ref(), &mut rng);
+            let b = tournament(cfg, &scores, ranking.as_ref(), &mut rng);
+            let a_wins = match &ranking {
+                Some(r) => r.better_or_equal(a, b),
+                None => scores[a] >= scores[b],
+            };
             let mut child = if rng.gen_bool(cfg.crossover_rate) {
                 crossover(&population[a], &population[b], &mut rng)
-            } else if scores[a] >= scores[b] {
+            } else if a_wins {
                 population[a].clone()
             } else {
                 population[b].clone()
@@ -960,8 +1065,9 @@ fn run_ga(
 
         population = next;
         debug_verify_population(&population);
-        scores = evaluate_population(&population, dispatcher, &mut cache, cfg, &mut telemetry)?;
-        append_generation(sink, cfg, generation, &population, &scores, &telemetry)?;
+        objs = evaluate_population(&population, dispatcher, &mut cache, cfg, &mut telemetry)?;
+        scores = objs.iter().map(Objectives::primary).collect();
+        append_generation(sink, cfg, generation, &population, &objs, &scores, &telemetry)?;
 
         let best_idx = argmax(&scores);
         if scores[best_idx] > best_fitness {
@@ -975,6 +1081,13 @@ fn run_ga(
     }
     sink.append(&JournalRecord::GaEnd)?;
 
+    let pareto_front = if cfg.pareto {
+        let ranking = rank_population(&objs);
+        Some(extract_front(&population, &objs, &ranking))
+    } else {
+        None
+    };
+
     telemetry.total_wall_s = run_start.elapsed().as_secs_f64();
     Ok(GaRun {
         best,
@@ -983,18 +1096,34 @@ fn run_ga(
         generations_run: generation,
         evaluations: telemetry.evaluations(),
         cache_hits: telemetry.cache_hits(),
+        pareto_front,
         telemetry,
     })
 }
 
+#[allow(clippy::too_many_arguments)]
 fn append_generation(
     sink: &mut dyn JournalSink,
     cfg: &GaConfig,
     index: usize,
     population: &[Vec<Gene>],
+    objs: &[Objectives],
     scores: &[f64],
     telemetry: &GaTelemetry,
 ) -> Result<(), AuditError> {
+    if cfg.pareto {
+        // Write-ahead of the generation record: a crash between the two
+        // leaves an orphan front, which replay ignores (it matches
+        // fronts to generations by index). The full vectors live here;
+        // the generation record keeps carrying only the primary scores,
+        // exactly as in scalar mode.
+        let ranking = rank_population(objs);
+        sink.append(&JournalRecord::ParetoFront(ParetoFrontRecord {
+            index,
+            objectives: objs.to_vec(),
+            ranks: ranking.rank.iter().map(|&r| r as u64).collect(),
+        }))?;
+    }
     sink.append(&JournalRecord::Generation(GenerationRecord {
         index,
         stream_seed: stream_seed(cfg.seed, index as u64),
@@ -1083,21 +1212,61 @@ fn check_replay_record(
     Ok(())
 }
 
+/// Reconstructs one replayed generation's objective vectors: the
+/// recorded primary scores wrapped as 1-axis vectors in scalar mode, or
+/// the full vectors from the generation's journaled `pareto_front`
+/// record in Pareto mode.
+fn replay_objectives(
+    cfg: &GaConfig,
+    k: usize,
+    rec: &GenerationRecord,
+    fronts: &[&ParetoFrontRecord],
+) -> Result<Vec<Objectives>, AuditError> {
+    if !cfg.pareto {
+        return Ok(rec.scores.iter().copied().map(Objectives::scalar).collect());
+    }
+    let front = fronts
+        .iter()
+        .find(|f| f.index == k)
+        .ok_or_else(|| {
+            AuditError::resume(format!(
+                "pareto run journal is missing the pareto_front record of generation {k}"
+            ))
+        })?;
+    if front.objectives.len() != rec.scores.len() {
+        return Err(AuditError::resume(format!(
+            "pareto_front {k} carries {} objective vectors for {} population slots",
+            front.objectives.len(),
+            rec.scores.len()
+        )));
+    }
+    for (i, (objectives, &score)) in front.objectives.iter().zip(&rec.scores).enumerate() {
+        if objectives.primary() != score {
+            return Err(AuditError::resume(format!(
+                "pareto_front {k} slot {i} disagrees with its generation record \
+                 (primary {} vs score {score}) — the journal is inconsistent",
+                objectives.primary()
+            )));
+        }
+    }
+    Ok(front.objectives.clone())
+}
+
 /// Re-inserts a replayed generation into the memo cache in exactly the
 /// order the live run did: first-occurrence cache misses, in slot order.
 /// Hits and within-generation duplicates were never inserted live, so
 /// they are skipped here too — this keeps the deterministic
 /// flush-at-capacity timing bit-identical across kill/resume.
-fn replay_into_cache(cache: &mut EvalCache, rec: &GenerationRecord) {
+fn replay_into_cache(cache: &mut EvalCache, rec: &GenerationRecord, objs: &[Objectives]) {
     if !cache.is_enabled() {
         return;
     }
     let mut seen: HashSet<&[Gene]> = HashSet::new();
-    for (genome, &score) in rec.population.iter().zip(&rec.scores) {
+    for (genome, objectives) in rec.population.iter().zip(objs) {
         // A `surrogate_budget` run records deferred slots as -inf
         // sentinels; the live run never cached those, so replay must
         // not either.
-        if score == f64::NEG_INFINITY {
+        if objectives.is_deferred() {
             continue;
         }
         if cache.lookup(genome).is_some() {
@@ -1106,7 +1275,7 @@ fn replay_into_cache(cache: &mut EvalCache, rec: &GenerationRecord) {
         if !seen.insert(genome.as_slice()) {
             continue;
         }
-        cache.insert(genome, score);
+        cache.insert(genome, objectives.clone());
     }
 }
 
@@ -1153,10 +1322,10 @@ fn evaluate_population(
     cache: &mut EvalCache,
     cfg: &GaConfig,
     telemetry: &mut GaTelemetry,
-) -> Result<Vec<f64>, AuditError> {
+) -> Result<Vec<Objectives>, AuditError> {
     let t0 = Instant::now();
     let n = population.len();
-    let mut scores: Vec<Option<f64>> = vec![None; n];
+    let mut scores: Vec<Option<Objectives>> = vec![None; n];
     let mut dup_of: Vec<Option<usize>> = vec![None; n];
     let mut jobs: Vec<usize> = Vec::new();
     let mut cache_hits = 0u64;
@@ -1237,19 +1406,19 @@ fn evaluate_population(
     results.sort_unstable_by_key(|&(slot, _)| slot);
 
     let executed = results.len() as u64;
-    for (slot, f) in results {
-        cache.insert(&population[slot], f);
-        scores[slot] = Some(f);
+    for (slot, objectives) in results {
+        cache.insert(&population[slot], objectives.clone());
+        scores[slot] = Some(objectives);
     }
     // Deferred-by-budget slots lose every tournament; they are not
     // cached, so the surrogate's verdict is never mistaken for a
     // measurement by a later generation.
     for slot in deferred {
-        scores[slot] = Some(f64::NEG_INFINITY);
+        scores[slot] = Some(Objectives::deferred());
     }
     for i in 0..n {
         if let Some(primary) = dup_of[i] {
-            scores[i] = scores[primary];
+            scores[i] = scores[primary].clone();
         }
     }
 
@@ -1269,11 +1438,20 @@ fn argmax(scores: &[f64]) -> usize {
         .expect("non-empty scores")
 }
 
-fn tournament(cfg: &GaConfig, scores: &[f64], rng: &mut SmallRng) -> usize {
+fn tournament(
+    cfg: &GaConfig,
+    scores: &[f64],
+    ranking: Option<&PopulationRanking>,
+    rng: &mut SmallRng,
+) -> usize {
     let mut winner = rng.gen_range(0..scores.len());
     for _ in 1..cfg.tournament.max(1) {
         let challenger = rng.gen_range(0..scores.len());
-        if scores[challenger] > scores[winner] {
+        let wins = match ranking {
+            Some(r) => r.better(challenger, winner),
+            None => scores[challenger] > scores[winner],
+        };
+        if wins {
             winner = challenger;
         }
     }
@@ -1908,7 +2086,7 @@ mod tests {
         assert_eq!(cache.len(), 2);
         cache.insert(&genomes[2], 3.0); // exceeds capacity → flush
         assert_eq!(cache.len(), 1);
-        assert_eq!(cache.lookup(&genomes[2]), Some(3.0));
+        assert_eq!(cache.lookup(&genomes[2]), Some(Objectives::scalar(3.0)));
         assert_eq!(cache.lookup(&genomes[0]), None);
         assert_eq!(cache.hits(), 1);
         assert_eq!(cache.misses(), 1);
@@ -2147,5 +2325,182 @@ mod tests {
         let empty = MemJournal::default();
         let err = GaRun::resume_from(&empty.as_journal(), fma_count).unwrap_err();
         assert!(err.to_string().contains("no GA section"), "{err}");
+    }
+
+    /// A synthetic two-axis objective with a genuine trade-off: FMA
+    /// slots and IAdd slots compete for the same genome positions, so no
+    /// single genome maximizes both.
+    fn mo_fitness(g: &[Gene]) -> Objectives {
+        let iadd = g.iter().filter(|x| x.opcode == Opcode::IAdd).count() as f64;
+        Objectives(vec![fma_count(g), iadd])
+    }
+
+    #[test]
+    fn pareto_off_leaves_journal_bytes_untouched() {
+        // `pareto: false` must leave both results and the exact journal
+        // byte stream identical to a config that predates the field —
+        // the regression gate for the disabled path.
+        let cfg = GaConfig {
+            population: 10,
+            generations: 6,
+            stall_generations: 6,
+            ..GaConfig::default()
+        };
+        let mut a = MemJournal::default();
+        let mut b = MemJournal::default();
+        let legacy = evolve_journaled(&cfg, &menu(), 8, &[], fma_count, &mut a).unwrap();
+        let explicit = evolve_journaled(
+            &GaConfig {
+                pareto: false,
+                ..cfg
+            },
+            &menu(),
+            8,
+            &[],
+            fma_count,
+            &mut b,
+        )
+        .unwrap();
+        assert_eq!(legacy, explicit);
+        assert!(legacy.pareto_front.is_none());
+        let lines = |m: &MemJournal| -> Vec<String> {
+            m.records
+                .iter()
+                .map(|r| strip_wall(&r.to_json().encode()))
+                .collect()
+        };
+        assert_eq!(lines(&a), lines(&b));
+        assert!(
+            !lines(&a).iter().any(|l| l.contains("pareto")),
+            "disabled pareto must not appear in journal bytes"
+        );
+        assert!(!a
+            .records
+            .iter()
+            .any(|r| matches!(r, JournalRecord::ParetoFront(_))));
+    }
+
+    #[test]
+    fn pareto_is_bit_identical_across_worker_counts() {
+        let base = GaConfig {
+            population: 12,
+            generations: 10,
+            stall_generations: 10,
+            pareto: true,
+            ..GaConfig::default()
+        };
+        let mut sequential_dispatcher = LocalDispatcher::new(mo_fitness, 1);
+        let sequential =
+            try_evolve_dispatched(&base, &menu(), 10, &[], &mut sequential_dispatcher).unwrap();
+        let front = sequential
+            .pareto_front
+            .as_ref()
+            .expect("pareto runs report a front");
+        assert!(!front.is_empty());
+        for m in front {
+            assert_eq!(m.objectives.len(), 2);
+            assert_eq!(m.objectives, mo_fitness(&m.genome));
+        }
+        // Front members are mutually non-dominated.
+        for (i, a) in front.iter().enumerate() {
+            for (j, b) in front.iter().enumerate() {
+                if i != j {
+                    assert!(!a.objectives.dominates(&b.objectives));
+                }
+            }
+        }
+        for threads in [2, 4, 7] {
+            let mut dispatcher = LocalDispatcher::new(mo_fitness, threads);
+            let parallel =
+                try_evolve_dispatched(&base, &menu(), 10, &[], &mut dispatcher).unwrap();
+            assert_eq!(sequential, parallel, "diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn pareto_front_records_precede_their_generations() {
+        let cfg = GaConfig {
+            population: 8,
+            generations: 5,
+            stall_generations: 5,
+            pareto: true,
+            ..GaConfig::default()
+        };
+        let mut mem = MemJournal::default();
+        let mut dispatcher = LocalDispatcher::new(mo_fitness, 1);
+        let run =
+            evolve_journaled_dispatched(&cfg, &menu(), 6, &[], &mut dispatcher, &mut mem)
+                .unwrap();
+        let mut pending_front: Option<&ParetoFrontRecord> = None;
+        let mut generations = 0usize;
+        for rec in &mem.records {
+            match rec {
+                JournalRecord::ParetoFront(f) => {
+                    assert!(pending_front.is_none(), "two fronts without a generation");
+                    assert_eq!(f.objectives.len(), cfg.population);
+                    assert_eq!(f.ranks.len(), cfg.population);
+                    assert!(f.ranks.contains(&0), "every generation has a rank-0 front");
+                    pending_front = Some(f);
+                }
+                JournalRecord::Generation(g) => {
+                    let f = pending_front.take().expect("generation without its front");
+                    assert_eq!(f.index, g.index);
+                    for (objectives, &score) in f.objectives.iter().zip(&g.scores) {
+                        assert_eq!(objectives.primary(), score);
+                    }
+                    generations += 1;
+                }
+                _ => {}
+            }
+        }
+        assert!(pending_front.is_none());
+        assert_eq!(generations, run.generations_run + 1);
+    }
+
+    #[test]
+    fn pareto_kill_and_resume_is_bit_identical_at_every_cut() {
+        // Cut after *every* record — including between a pareto_front
+        // and its generation, where the orphan front must be ignored.
+        let cfg = GaConfig {
+            population: 8,
+            generations: 6,
+            stall_generations: 6,
+            pareto: true,
+            ..GaConfig::default()
+        };
+        let mut mem = MemJournal::default();
+        let mut dispatcher = LocalDispatcher::new(mo_fitness, 2);
+        let full =
+            evolve_journaled_dispatched(&cfg, &menu(), 6, &[], &mut dispatcher, &mut mem)
+                .unwrap();
+        for cut in 1..mem.records.len() {
+            let truncated = MemJournal {
+                records: mem.records[..cut].to_vec(),
+            };
+            let mut dispatcher = LocalDispatcher::new(mo_fitness, 2);
+            let resumed = GaRun::resume_dispatched(
+                &truncated.as_journal(),
+                &mut dispatcher,
+                &mut NullSink,
+            )
+            .unwrap();
+            assert_eq!(full, resumed, "diverged when cut after {cut} records");
+        }
+    }
+
+    #[test]
+    fn pareto_resume_rejects_scalar_closures() {
+        let cfg = GaConfig {
+            population: 6,
+            generations: 3,
+            stall_generations: 3,
+            pareto: true,
+            ..GaConfig::default()
+        };
+        let mut mem = MemJournal::default();
+        let mut dispatcher = LocalDispatcher::new(mo_fitness, 1);
+        evolve_journaled_dispatched(&cfg, &menu(), 4, &[], &mut dispatcher, &mut mem).unwrap();
+        let err = GaRun::resume_from(&mem.as_journal(), fma_count).unwrap_err();
+        assert!(err.to_string().contains("resume_dispatched"), "{err}");
     }
 }

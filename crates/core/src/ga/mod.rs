@@ -16,6 +16,7 @@
 pub mod cost;
 pub mod engine;
 pub mod genome;
+pub mod pareto;
 pub mod study;
 
 pub use cost::CostFunction;
@@ -25,4 +26,8 @@ pub use engine::{
     GaRun, GaTelemetry, LocalDispatcher,
 };
 pub use genome::{from_program, to_sub_block, Gene};
+pub use pareto::{
+    crowding_distance, non_dominated_sort, rank_population, FrontMember, Objective, ObjectiveSet,
+    Objectives, PopulationRanking,
+};
 pub use study::{resume_study, run_study, run_study_journaled, try_run_study, StudySummary};

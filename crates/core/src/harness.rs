@@ -304,6 +304,14 @@ impl Rig {
         rig
     }
 
+    /// Returns a copy with the core clock replaced (the DVFS shmoo
+    /// sweep turns this knob alongside [`Rig::at_voltage`]).
+    pub fn at_clock(&self, clock_hz: f64) -> Rig {
+        let mut rig = self.clone();
+        rig.chip.clock_hz = clock_hz;
+        rig
+    }
+
     /// Returns a copy with OS timer interference enabled.
     pub fn with_os(mut self, os: OsConfig) -> Rig {
         self.os = Some(os);

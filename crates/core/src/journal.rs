@@ -29,11 +29,13 @@
 //! | `ga_start`    | GA engine         | full [`GaConfig`], menu, seeds     |
 //! | `surrogate_budget` | GA engine    | marker: budgeted early stopping    |
 //! | `cascade`     | GA engine         | marker: tiered cascade `budget`    |
+//! | `pareto_front` | GA engine        | per-generation objective vectors + front ranks |
 //! | `generation`  | GA engine         | population, scores, stream seed    |
 //! | `ga_end`      | GA engine         | —                                  |
 //! | `vmin_step`   | Vmin search       | `step`, `voltage`, `attempt`, `outcome` |
 //! | `retry`       | Vmin search       | `step`, `attempt`, `reason`, `backoff_cycles` |
 //! | `quarantine`  | Vmin search       | `step`, `attempts`, `fallback`     |
+//! | `shmoo_point` | DVFS shmoo sweep  | `index`, `volts`, `clock_hz`, `outcome` (+ results when `done`) |
 //! | `run_end`     | [`JournalWriter`] | —                                  |
 //!
 //! The three resilience kinds (`vmin_step`, `retry`, `quarantine`) are
@@ -42,6 +44,16 @@
 //! ([`crate::resilient::VminSearch`]) journals each probed voltage as a
 //! pending `vmin_step` *before* running it, so a crash mid-probe is
 //! visible on resume.
+//!
+//! The multi-objective kinds (`pareto_front`, `shmoo_point`) are
+//! additive in the same way. A Pareto GA run
+//! ([`crate::ga::GaConfig::pareto`]) writes each generation's
+//! `pareto_front` record immediately *before* its `generation` record,
+//! so a crash between the two leaves an orphan front that resume simply
+//! ignores; scalar runs write neither and keep their byte encoding. The
+//! DVFS shmoo driver ([`crate::shmoo`]) brackets each operating point
+//! with a pending `shmoo_point` before its Vmin search and a `done`
+//! record after, inheriting `vmin_step` crash tolerance mid-point.
 
 use std::fs;
 use std::io::Write as _;
@@ -52,7 +64,7 @@ use audit_error::AuditError;
 use audit_measure::json::JsonValue;
 use audit_measure::traceio::JournalReader;
 
-use crate::ga::{GaConfig, Gene};
+use crate::ga::{GaConfig, Gene, Objectives};
 
 /// Journal schema version this build writes and reads.
 pub const SCHEMA_VERSION: u32 = 1;
@@ -175,6 +187,15 @@ pub enum JournalRecord {
         /// swing estimate).
         budget: u64,
     },
+    /// One generation's full objective vectors and Pareto front ranks,
+    /// written by a multi-objective run
+    /// ([`crate::ga::GaConfig::pareto`]) immediately *before* the
+    /// matching `generation` record. The generation's `scores` carry
+    /// only the primary axis; this record is what lets resume rebuild
+    /// the memo cache and re-rank the last population with full
+    /// vectors. A crash between the two records leaves an orphan front,
+    /// which resume ignores.
+    ParetoFront(ParetoFrontRecord),
     /// One evaluated generation.
     Generation(GenerationRecord),
     /// The GA search completed (converged or hit its caps).
@@ -218,8 +239,48 @@ pub enum JournalRecord {
         /// The fallback fitness assigned to the quarantined candidate.
         fallback: f64,
     },
+    /// One operating point of a DVFS shmoo sweep ([`crate::shmoo`]).
+    /// A `pending` record is appended *before* the point's Vmin search
+    /// begins; the `done` record (carrying the results) after it
+    /// settles. A killed sweep therefore resumes mid-plane: done points
+    /// are replayed without re-measuring, and an in-progress point
+    /// resumes its own `vmin_step` trail.
+    ShmooPoint {
+        /// Sweep index of the point (0-based, row-major over the grid).
+        index: u64,
+        /// Nominal supply voltage of the operating point, in volts.
+        volts: f64,
+        /// Core clock of the operating point, in Hz.
+        clock_hz: f64,
+        /// `None` while pending; the measured results once done.
+        result: Option<ShmooPointResult>,
+    },
     /// The run completed; nothing to resume.
     RunEnd,
+}
+
+/// Per-generation Pareto payload of a multi-objective GA run (see
+/// [`JournalRecord::ParetoFront`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParetoFrontRecord {
+    /// Generation index, matching the `generation` record that follows.
+    pub index: usize,
+    /// Every slot's objective vector, in slot order and canonical axis
+    /// order. Budget-deferred slots carry the 1-axis `-inf` sentinel.
+    pub objectives: Vec<Objectives>,
+    /// Every slot's non-dominated front rank (0 = the Pareto front).
+    pub ranks: Vec<u64>,
+}
+
+/// Settled results of one [`JournalRecord::ShmooPoint`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShmooPointResult {
+    /// Highest voltage at which the point's workload malfunctioned.
+    pub v_fail: f64,
+    /// Safe margin: nominal voltage minus `v_fail`.
+    pub margin: f64,
+    /// Vmin probe steps the point's search settled (replayed + live).
+    pub steps: u64,
 }
 
 /// Outcome tag of a [`JournalRecord::VminStep`] record.
@@ -275,11 +336,13 @@ impl JournalRecord {
             JournalRecord::GaStart { .. } => "ga_start",
             JournalRecord::SurrogateBudget { .. } => "surrogate_budget",
             JournalRecord::Cascade { .. } => "cascade",
+            JournalRecord::ParetoFront(_) => "pareto_front",
             JournalRecord::Generation(_) => "generation",
             JournalRecord::GaEnd => "ga_end",
             JournalRecord::VminStep { .. } => "vmin_step",
             JournalRecord::Retry { .. } => "retry",
             JournalRecord::Quarantine { .. } => "quarantine",
+            JournalRecord::ShmooPoint { .. } => "shmoo_point",
             JournalRecord::RunEnd => "run_end",
         }
     }
@@ -331,6 +394,27 @@ impl JournalRecord {
             JournalRecord::Cascade { budget } => JsonValue::object(vec![
                 ("kind", JsonValue::String("cascade".into())),
                 ("budget", JsonValue::from_u64(*budget)),
+            ]),
+            JournalRecord::ParetoFront(r) => JsonValue::object(vec![
+                ("kind", JsonValue::String("pareto_front".into())),
+                ("index", JsonValue::from_u64(r.index as u64)),
+                (
+                    "objectives",
+                    JsonValue::Array(
+                        r.objectives
+                            .iter()
+                            .map(|o| {
+                                JsonValue::Array(
+                                    o.0.iter().map(|&x| JsonValue::from_f64(x)).collect(),
+                                )
+                            })
+                            .collect(),
+                    ),
+                ),
+                (
+                    "ranks",
+                    JsonValue::Array(r.ranks.iter().map(|&r| JsonValue::from_u64(r)).collect()),
+                ),
             ]),
             JournalRecord::Generation(r) => {
                 let mut fields = vec![
@@ -399,6 +483,31 @@ impl JournalRecord {
                 ("attempts", JsonValue::from_u64(u64::from(*attempts))),
                 ("fallback", JsonValue::from_f64(*fallback)),
             ]),
+            JournalRecord::ShmooPoint {
+                index,
+                volts,
+                clock_hz,
+                result,
+            } => {
+                let mut fields = vec![
+                    ("kind", JsonValue::String("shmoo_point".into())),
+                    ("index", JsonValue::from_u64(*index)),
+                    ("volts", JsonValue::from_f64(*volts)),
+                    ("clock_hz", JsonValue::from_f64(*clock_hz)),
+                    (
+                        "outcome",
+                        JsonValue::String(
+                            if result.is_some() { "done" } else { "pending" }.into(),
+                        ),
+                    ),
+                ];
+                if let Some(r) = result {
+                    fields.push(("v_fail", JsonValue::from_f64(r.v_fail)));
+                    fields.push(("margin", JsonValue::from_f64(r.margin)));
+                    fields.push(("steps", JsonValue::from_u64(r.steps)));
+                }
+                JsonValue::object(fields)
+            }
             JournalRecord::RunEnd => {
                 JsonValue::object(vec![("kind", JsonValue::String("run_end".into()))])
             }
@@ -480,6 +589,53 @@ impl JournalRecord {
             "cascade" => Ok(JournalRecord::Cascade {
                 budget: field_u64(v, "cascade", "budget")?,
             }),
+            "pareto_front" => {
+                let objectives = v
+                    .get("objectives")
+                    .and_then(JsonValue::as_array)
+                    .ok_or_else(|| AuditError::journal(0, "pareto_front has no `objectives`"))?
+                    .iter()
+                    .map(|slot| {
+                        slot.as_array()
+                            .ok_or_else(|| {
+                                AuditError::journal(0, "objective vector is not an array")
+                            })?
+                            .iter()
+                            .map(|x| {
+                                x.as_f64().ok_or_else(|| {
+                                    AuditError::journal(0, "objective is not a number")
+                                })
+                            })
+                            .collect::<Result<Vec<_>, _>>()
+                            .map(Objectives)
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                let ranks = v
+                    .get("ranks")
+                    .and_then(JsonValue::as_array)
+                    .ok_or_else(|| AuditError::journal(0, "pareto_front has no `ranks`"))?
+                    .iter()
+                    .map(|r| {
+                        r.as_u64()
+                            .ok_or_else(|| AuditError::journal(0, "rank is not an integer"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                if objectives.len() != ranks.len() {
+                    return Err(AuditError::journal(
+                        0,
+                        format!(
+                            "pareto_front has {} objective vectors but {} ranks",
+                            objectives.len(),
+                            ranks.len()
+                        ),
+                    ));
+                }
+                Ok(JournalRecord::ParetoFront(ParetoFrontRecord {
+                    index: field_u64(v, "pareto_front", "index")? as usize,
+                    objectives,
+                    ranks,
+                }))
+            }
             "generation" => {
                 let population = v
                     .get("population")
@@ -568,6 +724,33 @@ impl JournalRecord {
                     fallback,
                 })
             }
+            "shmoo_point" => {
+                let number = |field: &str| {
+                    v.get(field).and_then(JsonValue::as_f64).ok_or_else(|| {
+                        AuditError::journal(0, format!("shmoo_point has no number `{field}`"))
+                    })
+                };
+                let result = match field_str(v, "shmoo_point", "outcome")? {
+                    "pending" => None,
+                    "done" => Some(ShmooPointResult {
+                        v_fail: number("v_fail")?,
+                        margin: number("margin")?,
+                        steps: field_u64(v, "shmoo_point", "steps")?,
+                    }),
+                    other => {
+                        return Err(AuditError::journal(
+                            0,
+                            format!("unknown shmoo_point outcome `{other}`"),
+                        ))
+                    }
+                };
+                Ok(JournalRecord::ShmooPoint {
+                    index: field_u64(v, "shmoo_point", "index")?,
+                    volts: number("volts")?,
+                    clock_hz: number("clock_hz")?,
+                    result,
+                })
+            }
             "run_end" => Ok(JournalRecord::RunEnd),
             other => Err(AuditError::journal(0, format!("unknown kind `{other}`"))),
         }
@@ -654,6 +837,11 @@ fn encode_cfg(cfg: &GaConfig) -> JsonValue {
             JsonValue::from_u64(cfg.fast_tier_budget as u64),
         ));
     }
+    // And for Pareto mode: only written when on, so scalar runs keep
+    // their pre-multi-objective byte encoding.
+    if cfg.pareto {
+        fields.push(("pareto", JsonValue::Bool(true)));
+    }
     JsonValue::object(fields)
 }
 
@@ -696,6 +884,9 @@ fn decode_cfg(v: &JsonValue) -> Result<GaConfig, AuditError> {
             .get("fast_tier_budget")
             .and_then(JsonValue::as_u64)
             .unwrap_or(0) as usize,
+        // Absent (meaning scalar) in journals written before Pareto
+        // mode, and in every scalar journal since.
+        pareto: v.get("pareto").and_then(JsonValue::as_bool).unwrap_or(false),
     })
 }
 
@@ -1053,10 +1244,15 @@ impl Journal {
             unreachable!("rposition matched GaStart");
         };
         let mut generations = Vec::new();
+        let mut fronts = Vec::new();
         let mut complete = false;
         for r in &self.records[start_idx + 1..] {
             match r {
                 JournalRecord::Generation(g) => generations.push(g),
+                // Each generation's Pareto payload precedes it; a
+                // trailing front without its generation is a crash
+                // artifact that replay ignores.
+                JournalRecord::ParetoFront(f) => fronts.push(f),
                 // Informational markers inside the section (the budgets
                 // themselves live in `cfg`); skip them.
                 JournalRecord::SurrogateBudget { .. } | JournalRecord::Cascade { .. } => continue,
@@ -1073,6 +1269,7 @@ impl Journal {
             menu,
             seeds,
             generations,
+            fronts,
             complete,
         })
     }
@@ -1091,6 +1288,9 @@ pub struct GaSection<'a> {
     pub seeds: &'a [Vec<Gene>],
     /// Recorded generations, in index order.
     pub generations: Vec<&'a GenerationRecord>,
+    /// Recorded `pareto_front` payloads, in index order (empty for
+    /// scalar runs; may hold one orphan trailing front after a crash).
+    pub fronts: Vec<&'a ParetoFrontRecord>,
     /// True if a `ga_end` closed the section.
     pub complete: bool,
 }
@@ -1184,6 +1384,30 @@ mod tests {
                 step: 7,
                 attempts: 3,
                 fallback: -1.0,
+            },
+            JournalRecord::ParetoFront(ParetoFrontRecord {
+                index: 3,
+                objectives: vec![
+                    Objectives(vec![0.08125, 52.5, -0.02]),
+                    Objectives(vec![f64::NEG_INFINITY]),
+                ],
+                ranks: vec![0, 1],
+            }),
+            JournalRecord::ShmooPoint {
+                index: 5,
+                volts: 1.05,
+                clock_hz: 3.2e9,
+                result: None,
+            },
+            JournalRecord::ShmooPoint {
+                index: 5,
+                volts: 1.05,
+                clock_hz: 3.2e9,
+                result: Some(ShmooPointResult {
+                    v_fail: 0.9375,
+                    margin: 0.1125,
+                    steps: 7,
+                }),
             },
             JournalRecord::RunEnd,
         ];

@@ -54,6 +54,7 @@ pub mod patterns;
 pub mod report;
 pub mod resilient;
 pub mod resonance;
+pub mod shmoo;
 pub mod suite;
 
 pub use audit::{Audit, AuditOptions, AuditOptionsBuilder, FitnessSpec};
@@ -64,3 +65,4 @@ pub use journal::{Journal, JournalRecord, JournalSink, JournalWriter, MemJournal
 pub use resilient::{
     MeasurePolicy, ResilienceLog, ResilienceReport, ResilientOutcome, VminResult, VminSearch,
 };
+pub use shmoo::{ShmooCell, ShmooResult, ShmooSweep, VfPoint};

@@ -246,6 +246,19 @@ pub fn journal_summary(journal: &Journal) -> Table {
                     format!("top-{budget} fully simulated per generation"),
                 ]);
             }
+            JournalRecord::ParetoFront(f) => {
+                // The following generation record carries the scores;
+                // here only the front size is worth a row.
+                t.row(vec![
+                    "pareto_front".into(),
+                    format!(
+                        "generation {}: {} non-dominated of {}",
+                        f.index,
+                        f.ranks.iter().filter(|&&r| r == 0).count(),
+                        f.ranks.len()
+                    ),
+                ]);
+            }
             JournalRecord::Generation(g) => {
                 gens += 1;
                 best = g.scores.iter().copied().fold(best, f64::max);
@@ -295,6 +308,25 @@ pub fn journal_summary(journal: &Journal) -> Table {
                     "quarantine".into(),
                     format!("step {step} after {attempts} attempts, fallback {fallback}"),
                 ]);
+            }
+            JournalRecord::ShmooPoint {
+                index,
+                volts,
+                clock_hz,
+                result,
+            } => {
+                // Same write-ahead discipline as vmin_step: skip the
+                // pending shadows so each settled point is one row.
+                if let Some(r) = result {
+                    t.row(vec![
+                        "shmoo_point".into(),
+                        format!(
+                            "point {index}: {volts:.4} V @ {:.0} MHz, margin {:.4} V",
+                            clock_hz / 1e6,
+                            r.margin
+                        ),
+                    ]);
+                }
             }
             JournalRecord::RunEnd => {
                 flush_ga(&mut t, &mut gens, &mut best);

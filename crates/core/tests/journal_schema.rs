@@ -11,8 +11,11 @@
 
 use std::path::PathBuf;
 
-use audit_core::ga::{evolve_journaled, GaConfig, Gene};
-use audit_core::journal::{Journal, JournalRecord, JournalWriter, MemJournal, VminOutcome};
+use audit_core::ga::{evolve_journaled, GaConfig, Gene, Objectives};
+use audit_core::journal::{
+    Journal, JournalRecord, JournalWriter, MemJournal, ParetoFrontRecord, ShmooPointResult,
+    VminOutcome,
+};
 use audit_core::resonance::ResonanceResult;
 use audit_cpu::Opcode;
 
@@ -97,6 +100,34 @@ fn fixture_records() -> Vec<JournalRecord> {
         attempts: 3,
         fallback: -0.125,
     });
+    // The multi-objective kinds (additive, same schema version): a
+    // generation's Pareto payload with a budget-deferred `-inf`
+    // sentinel slot, and one shmoo point journaled write-ahead — the
+    // pending line first, then the settled `done` line.
+    mem.records.push(JournalRecord::ParetoFront(ParetoFrontRecord {
+        index: 0,
+        objectives: vec![
+            Objectives(vec![0.08125, 52.5, -0.02]),
+            Objectives(vec![f64::NEG_INFINITY]),
+        ],
+        ranks: vec![0, 1],
+    }));
+    mem.records.push(JournalRecord::ShmooPoint {
+        index: 4,
+        volts: 1.0875,
+        clock_hz: 3.2e9,
+        result: None,
+    });
+    mem.records.push(JournalRecord::ShmooPoint {
+        index: 4,
+        volts: 1.0875,
+        clock_hz: 3.2e9,
+        result: Some(ShmooPointResult {
+            v_fail: 0.9375,
+            margin: 0.15,
+            steps: 9,
+        }),
+    });
     evolve_journaled(
         &fixture_cfg(),
         &Opcode::stress_menu(),
@@ -141,7 +172,7 @@ fn golden_journal_decodes() {
     assert_eq!(kinds[..3], ["run_start", "phase_start", "phase_end"]);
     assert_eq!(kinds[kinds.len() - 2..], ["ga_end", "run_end"]);
     assert!(kinds.iter().filter(|k| **k == "generation").count() >= 2);
-    for kind in ["vmin_step", "retry", "quarantine"] {
+    for kind in ["vmin_step", "retry", "quarantine", "pareto_front", "shmoo_point"] {
         assert!(kinds.contains(&kind), "fixture lost its `{kind}` record");
     }
 
@@ -251,6 +282,36 @@ fn schema_field_names_are_pinned() {
     for key in ["\"step\"", "\"attempts\"", "\"fallback\""] {
         assert!(quarantine.contains(key), "quarantine record lost {key}");
     }
+    let pareto = text
+        .lines()
+        .find(|l| l.contains("\"pareto_front\""))
+        .expect("a pareto_front record");
+    for key in ["\"index\"", "\"objectives\"", "\"ranks\""] {
+        assert!(pareto.contains(key), "pareto_front record lost {key}");
+    }
+    let shmoo_done = text
+        .lines()
+        .find(|l| l.contains("\"shmoo_point\"") && l.contains("\"done\""))
+        .expect("a done shmoo_point record");
+    for key in [
+        "\"index\"",
+        "\"volts\"",
+        "\"clock_hz\"",
+        "\"outcome\"",
+        "\"v_fail\"",
+        "\"margin\"",
+        "\"steps\"",
+    ] {
+        assert!(shmoo_done.contains(key), "shmoo_point record lost {key}");
+    }
+    let shmoo_pending = text
+        .lines()
+        .find(|l| l.contains("\"shmoo_point\"") && l.contains("\"pending\""))
+        .expect("a pending shmoo_point record");
+    assert!(
+        !shmoo_pending.contains("\"v_fail\""),
+        "pending shmoo_point grew result fields"
+    );
 }
 
 #[test]
@@ -273,5 +334,26 @@ fn journal_without_resilience_kinds_still_decodes() {
     assert!(journal.phase_payload("resonance").is_some());
     let section = journal.last_ga_section().expect("GA section");
     assert!(section.complete);
+    assert_eq!(section.cfg, &fixture_cfg());
+}
+
+#[test]
+fn journal_without_multiobjective_kinds_still_decodes() {
+    // `pareto_front` and `shmoo_point` are additive too: a journal
+    // written before the multi-objective engine existed (the fixture
+    // minus those lines) must decode with an empty front list and its
+    // GA section intact.
+    let text = std::fs::read_to_string(fixture_path()).expect("golden fixture exists");
+    let old: String = text
+        .lines()
+        .filter(|l| !l.contains("\"pareto_front\"") && !l.contains("\"shmoo_point\""))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    assert!(old.len() < text.len(), "filter removed nothing");
+    let journal = Journal::parse(&old).expect("pre-pareto journal decodes");
+    assert!(journal.is_complete());
+    let section = journal.last_ga_section().expect("GA section");
+    assert!(section.complete);
+    assert!(section.fronts.is_empty(), "scalar journal grew fronts");
     assert_eq!(section.cfg, &fixture_cfg());
 }

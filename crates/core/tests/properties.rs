@@ -216,6 +216,7 @@ proptest! {
     /// tier only has to sort candidates, not predict droop.
     #[test]
     fn tier_estimate_is_rank_consistent_with_full_sim(seed in any::<u64>()) {
+        use audit_core::ga::ObjectiveSet;
         use audit_core::harness::{MeasureSpec, Rig};
         use audit_core::resilient::MeasurePolicy;
         use audit_core::FitnessSpec;
@@ -295,6 +296,7 @@ proptest! {
                 ..MeasureSpec::ga_eval()
             },
             policy: MeasurePolicy::disabled(),
+            objectives: ObjectiveSet::default(),
         };
         let rig = Rig::bulldozer();
         let model = TierModel::generic();
@@ -302,7 +304,10 @@ proptest! {
             .iter()
             .map(|g| estimate_swing(&to_sub_block(g), &model))
             .collect();
-        let full: Vec<f64> = genomes.iter().map(|g| fspec.evaluate(&rig, g).0).collect();
+        let full: Vec<f64> = genomes
+            .iter()
+            .map(|g| fspec.evaluate_objectives(&rig, g).0.primary())
+            .collect();
 
         // Spearman rank correlation (ordinal ranks; slot index breaks
         // the vanishingly-rare f64 ties deterministically).
@@ -360,5 +365,105 @@ proptest! {
         let report = log.snapshot();
         prop_assert_eq!(report.quarantined, 1);
         prop_assert_eq!(report.retries, u64::from(retries + 1));
+    }
+}
+
+/// Body of the Pareto ranking property, out-of-line so the
+/// `proptest!` macro only munches a one-line call.
+fn check_pareto_ranking(vecs: &[Vec<f64>], perm: &[usize]) -> proptest::TestCaseResult {
+    use audit_core::ga::{non_dominated_sort, rank_population, Objectives};
+
+    // A slot whose first axis lands in the bottom decile stands in for
+    // a budget-deferred candidate (the 1-axis `-inf` sentinel).
+    let objs: Vec<Objectives> = vecs
+        .iter()
+        .map(|v| if v[0] < -0.9 { Objectives::deferred() } else { Objectives(v.clone()) })
+        .collect();
+    let n = objs.len();
+
+    // Determinism: two runs agree exactly (rank and crowding).
+    let ranking = rank_population(&objs);
+    prop_assert_eq!(&ranking, &rank_population(&objs));
+
+    // Rank 0 is exactly the non-dominated set.
+    for i in 0..n {
+        let dominated = objs.iter().any(|o| o.dominates(&objs[i]));
+        prop_assert_eq!(ranking.rank[i] == 0, !dominated, "slot {}", i);
+    }
+
+    // Permuting the slots permutes the ranks identically.
+    let permuted: Vec<Objectives> = perm.iter().map(|&i| objs[i].clone()).collect();
+    let permuted_rank = non_dominated_sort(&permuted);
+    for (k, &i) in perm.iter().enumerate() {
+        prop_assert_eq!(permuted_rank[k], ranking.rank[i], "perm slot {}", k);
+    }
+    // Crowding is equivariant too whenever no axis value repeats (ties
+    // break by slot index, so tied values may legitimately swap their
+    // neighbour gaps under permutation).
+    let axes = objs.iter().map(Objectives::len).max().unwrap_or(0);
+    let axis_distinct = (0..axes).all(|a| {
+        let vals: Vec<f64> = objs
+            .iter()
+            .map(|o| o.0.get(a).copied().unwrap_or(f64::NEG_INFINITY))
+            .collect();
+        vals.iter()
+            .enumerate()
+            .all(|(i, x)| vals[i + 1..].iter().all(|y| x.total_cmp(y).is_ne()))
+    });
+    if axis_distinct {
+        let permuted_ranking = rank_population(&permuted);
+        for (k, &i) in perm.iter().enumerate() {
+            prop_assert_eq!(
+                permuted_ranking.crowding[k].total_cmp(&ranking.crowding[i]),
+                std::cmp::Ordering::Equal,
+                "crowding diverged at perm slot {}",
+                k
+            );
+        }
+    }
+
+    // The selection order is a permutation of the slots, best first:
+    // rank never decreases and every adjacent pair honours the
+    // better-or-equal total order.
+    let order = ranking.selection_order();
+    let mut seen = vec![false; n];
+    for &i in &order {
+        prop_assert!(!seen[i], "slot {} listed twice", i);
+        seen[i] = true;
+    }
+    for w in order.windows(2) {
+        prop_assert!(ranking.rank[w[0]] <= ranking.rank[w[1]]);
+        prop_assert!(ranking.better_or_equal(w[0], w[1]));
+        prop_assert!(!ranking.better(w[1], w[0]));
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The NSGA-II ranking is a pure function of the dominance
+    /// relation: re-running it is bit-identical, permuting the slots
+    /// permutes the front ranks identically, rank 0 is exactly the
+    /// non-dominated set, and the selection order is a total order
+    /// (rank ascending, crowding descending, slot index as the final
+    /// tie-break). This is the determinism contract the Pareto engine
+    /// leans on for threads:1 ≡ threads:N and kill/resume.
+    #[test]
+    fn pareto_ranking_is_deterministic_and_permutation_equivariant(
+        axes in 1usize..4,
+        raw in prop::collection::vec(prop::collection::vec(-1.0f64..1.0, 3..4), 2..12),
+        perm_seed in any::<u64>(),
+    ) {
+        // Equal-length vectors: keep the first `axes` of each triple.
+        let vecs: Vec<Vec<f64>> = raw.iter().map(|v| v[..axes].to_vec()).collect();
+        // Seeded Fisher–Yates for the slot permutation.
+        let mut perm: Vec<usize> = (0..vecs.len()).collect();
+        let mut rng = prop::TestRng::new(perm_seed);
+        for i in (1..perm.len()).rev() {
+            let j = rng.below(i as u64 + 1) as usize;
+            perm.swap(i, j);
+        }
+        check_pareto_ranking(&vecs, &perm)?;
     }
 }

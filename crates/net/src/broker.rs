@@ -3,15 +3,16 @@
 //!
 //! The broker is an [`EvalDispatcher`], so the GA engine drives it
 //! exactly as it drives the in-process thread pool: hand over the slots
-//! to score, get back `(slot, fitness)` pairs. Everything
+//! to score, get back `(slot, objectives)` pairs. Everything
 //! scheduling-related stays inside this module and provably cannot
 //! reach the results:
 //!
 //! * **Content-addressed work.** Each job is keyed by
 //!   [`audit_core::resilient::genome_key`]; a worker computes
-//!   [`audit_core::FitnessSpec::evaluate`], which is deterministic per
-//!   genome, so *which* worker runs a job (or how many times it is
-//!   re-run after a worker dies) cannot change the fitness.
+//!   [`audit_core::FitnessSpec::evaluate_objectives`], which is
+//!   deterministic per genome, so *which* worker runs a job (or how
+//!   many times it is re-run after a worker dies) cannot change the
+//!   result.
 //! * **Deterministic assignment.** A job's worker is chosen by FNV
 //!   hashing `(seed, key, attempt)` — the same
 //!   [`KeyHasher`] discipline the fault injector uses — over the sorted
@@ -41,7 +42,7 @@ use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use audit_core::ga::{EvalDispatcher, Gene};
+use audit_core::ga::{EvalDispatcher, Gene, Objectives};
 use audit_core::journal::{decode_u64, encode_u64};
 use audit_core::resilient::genome_key;
 use audit_core::ResilienceReport;
@@ -50,7 +51,10 @@ use audit_measure::fault::KeyHasher;
 use audit_measure::json::JsonValue;
 
 use crate::frame::{read_frame, write_frame, FrameOutcome};
-use crate::proto::{decode_resilience, encode_resilience, EvalContext, Msg, PROTOCOL_VERSION};
+use crate::proto::{
+    decode_objectives, decode_resilience, encode_objectives, encode_resilience, EvalContext, Msg,
+    PROTOCOL_VERSION,
+};
 use crate::transport::{Conn, Listener};
 
 /// Broker tuning knobs. Results are invariant to every one of them;
@@ -92,7 +96,7 @@ enum Event {
     Result {
         worker: u64,
         id: u64,
-        fitness: f64,
+        objectives: Objectives,
         resilience: ResilienceReport,
     },
     Pong { worker: u64 },
@@ -119,6 +123,10 @@ pub struct Broker {
     rx: Receiver<Event>,
     workers: HashMap<u64, WorkerState>,
     next_req: u64,
+    /// Objective-vector arity of the run (from the setup context), so
+    /// quarantine verdicts splat the fallback fitness across the same
+    /// number of axes every worker reports.
+    n_objectives: usize,
     report: ResilienceReport,
     wal: Option<Wal>,
     prefill: Prefill,
@@ -157,6 +165,7 @@ impl Broker {
             rx,
             workers: HashMap::new(),
             next_req: 0,
+            n_objectives: ctx.spec.objectives.len(),
             report: ResilienceReport::default(),
             wal: None,
             prefill: HashMap::new(),
@@ -341,16 +350,16 @@ impl EvalDispatcher for Broker {
         &mut self,
         population: &[Vec<Gene>],
         jobs: &[usize],
-    ) -> Result<Vec<(usize, f64)>, AuditError> {
-        let mut scores: Vec<(usize, f64)> = Vec::with_capacity(jobs.len());
+    ) -> Result<Vec<(usize, Objectives)>, AuditError> {
+        let mut scores: Vec<(usize, Objectives)> = Vec::with_capacity(jobs.len());
         let mut pending: VecDeque<(usize, u64, u32)> = VecDeque::new();
         for &slot in jobs {
             let key = genome_key(&population[slot]);
             // A result logged by a previous (killed) broker is final:
             // serve it from the WAL instead of re-measuring.
-            if let Some((fitness, delta)) = self.prefill.remove(&key) {
+            if let Some((objectives, delta)) = self.prefill.remove(&key) {
                 self.report.merge(&delta);
-                scores.push((slot, fitness));
+                scores.push((slot, objectives));
                 continue;
             }
             pending.push_back((slot, key, 0));
@@ -411,7 +420,7 @@ impl EvalDispatcher for Broker {
                 Ok(Event::Result {
                     worker,
                     id,
-                    fitness,
+                    objectives,
                     resilience,
                 }) => {
                     if let Some(w) = self.workers.get_mut(&worker) {
@@ -423,10 +432,10 @@ impl EvalDispatcher for Broker {
                     // authoritative (and identical anyway).
                     if let Some(job) = in_flight.remove(&id) {
                         if let Some(wal) = &mut self.wal {
-                            wal.log_result(job.key, fitness, &resilience)?;
+                            wal.log_result(job.key, &objectives, &resilience)?;
                         }
                         self.report.merge(&resilience);
-                        scores.push((job.slot, fitness));
+                        scores.push((job.slot, objectives));
                     }
                 }
                 Ok(event) => self.handle_event(event, &mut in_flight, &mut pending),
@@ -464,7 +473,7 @@ impl Broker {
         &mut self,
         slot: usize,
         key: u64,
-        scores: &mut Vec<(usize, f64)>,
+        scores: &mut Vec<(usize, Objectives)>,
     ) -> Result<(), AuditError> {
         let delta = ResilienceReport {
             evaluations: 1,
@@ -472,11 +481,12 @@ impl Broker {
             quarantined: 1,
             backoff_cycles: 0,
         };
+        let verdict = Objectives(vec![self.cfg.quarantine_fitness; self.n_objectives.max(1)]);
         if let Some(wal) = &mut self.wal {
-            wal.log_result(key, self.cfg.quarantine_fitness, &delta)?;
+            wal.log_result(key, &verdict, &delta)?;
         }
         self.report.merge(&delta);
-        scores.push((slot, self.cfg.quarantine_fitness));
+        scores.push((slot, verdict));
         Ok(())
     }
 
@@ -570,14 +580,14 @@ fn worker_session(mut conn: Conn, worker: u64, ctx: &EvalContext, tx: &Sender<Ev
         match Msg::from_json(&v) {
             Ok(Msg::Result {
                 id,
-                fitness,
+                objectives,
                 resilience,
             }) => {
                 if tx
                     .send(Event::Result {
                         worker,
                         id,
-                        fitness,
+                        objectives,
                         resilience,
                     })
                     .is_err()
@@ -598,9 +608,9 @@ fn worker_session(mut conn: Conn, worker: u64, ctx: &EvalContext, tx: &Sender<Ev
     tx.send(Event::Lost { worker }).ok();
 }
 
-/// WAL-recovered results keyed by genome content hash: fitness plus the
-/// resilience delta the original evaluation accrued.
-type Prefill = HashMap<u64, (f64, ResilienceReport)>;
+/// WAL-recovered results keyed by genome content hash: the objective
+/// vector plus the resilience delta the original evaluation accrued.
+type Prefill = HashMap<u64, (Objectives, ResilienceReport)>;
 
 /// The dispatch write-ahead log: NDJSON, appended and flushed per
 /// record. `dispatch` records are written before the `Eval` frame goes
@@ -644,10 +654,17 @@ impl Wal {
                             .ok_or_else(|| {
                                 AuditError::journal(i + 1, "WAL result has no fitness")
                             })?;
+                        // Scalar results carry only `fitness` (the
+                        // historical encoding); vector results add the
+                        // full axis array alongside it.
+                        let objectives = match value.get("objectives") {
+                            Some(arr) => decode_objectives(arr)?,
+                            None => Objectives::scalar(fitness),
+                        };
                         let resilience = decode_resilience(value.get("resilience").ok_or_else(
                             || AuditError::journal(i + 1, "WAL result has no resilience"),
                         )?)?;
-                        prefill.insert(key, (fitness, resilience));
+                        prefill.insert(key, (objectives, resilience));
                     }
                 }
             }
@@ -689,15 +706,21 @@ impl Wal {
     fn log_result(
         &mut self,
         key: u64,
-        fitness: f64,
+        objectives: &Objectives,
         resilience: &ResilienceReport,
     ) -> Result<(), AuditError> {
-        self.append(&JsonValue::object(vec![
+        let mut fields = vec![
             ("kind", JsonValue::String("result".into())),
             ("key", encode_u64(key)),
-            ("fitness", JsonValue::from_f64(fitness)),
-            ("resilience", encode_resilience(resilience)),
-        ]))
+            ("fitness", JsonValue::from_f64(objectives.primary())),
+        ];
+        // Mirror the wire rule: scalar results keep the historical
+        // single-number WAL lines.
+        if objectives.len() > 1 {
+            fields.push(("objectives", encode_objectives(objectives)));
+        }
+        fields.push(("resilience", encode_resilience(resilience)));
+        self.append(&JsonValue::object(fields))
     }
 }
 
@@ -720,14 +743,24 @@ mod tests {
             let (mut wal, prefill) = Wal::open(&path).unwrap();
             assert!(prefill.is_empty());
             wal.log_dispatch(0xABCD, 3, 0).unwrap();
-            wal.log_result(0xABCD, -0.125, &delta).unwrap();
+            wal.log_result(0xABCD, &Objectives::scalar(-0.125), &delta)
+                .unwrap();
+            wal.log_result(0xBEEF, &Objectives(vec![-0.5, 7.25]), &delta)
+                .unwrap();
         }
         // Simulate a broker killed mid-write: a torn trailing line.
         let mut bytes = std::fs::read(&path).unwrap();
         bytes.extend_from_slice(b"{\"kind\":\"disp");
         std::fs::write(&path, &bytes).unwrap();
         let (_wal, prefill) = Wal::open(&path).unwrap();
-        assert_eq!(prefill.get(&0xABCD), Some(&(-0.125, delta)));
+        assert_eq!(
+            prefill.get(&0xABCD),
+            Some(&(Objectives::scalar(-0.125), delta))
+        );
+        assert_eq!(
+            prefill.get(&0xBEEF),
+            Some(&(Objectives(vec![-0.5, 7.25]), delta))
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -10,12 +10,17 @@
 //! [`Msg::Setup`] carrying the [`EvalContext`] from which the worker
 //! rebuilds the broker's exact rig and fitness function. Then the
 //! broker streams [`Msg::Eval`] requests and the worker answers each
-//! with a [`Msg::Result`] carrying the fitness and the
+//! with a [`Msg::Result`] carrying the objective vector and the
 //! resilience-counter delta of that one evaluation. [`Msg::Ping`] /
 //! [`Msg::Pong`] probe liveness; [`Msg::Shutdown`] (or a clean EOF)
 //! ends the session.
+//!
+//! Scalar runs keep their historical wire bytes: a 1-axis result is
+//! encoded as the plain `fitness` number, and the `objectives` array
+//! (like the context's `objectives` axis spec) only appears when the
+//! run optimizes more than one axis.
 
-use audit_core::ga::{CostFunction, Gene};
+use audit_core::ga::{CostFunction, Gene, ObjectiveSet, Objectives};
 use audit_core::journal::{decode_genome, decode_u64, encode_genome, encode_u64};
 use audit_core::{FitnessSpec, MeasurePolicy, MeasureSpec, ResilienceReport, Rig};
 use audit_error::AuditError;
@@ -51,8 +56,9 @@ pub enum Msg {
     Result {
         /// The request id being answered.
         id: u64,
-        /// The fitness score.
-        fitness: f64,
+        /// The objective vector (a 1-axis vector on scalar runs; its
+        /// primary axis is the historical fitness score).
+        objectives: Objectives,
         /// This evaluation's resilience-counter delta (zeros on the
         /// plain path).
         resilience: ResilienceReport,
@@ -81,14 +87,23 @@ impl Msg {
             ]),
             Msg::Result {
                 id,
-                fitness,
+                objectives,
                 resilience,
-            } => JsonValue::object(vec![
-                kind("result"),
-                ("id", encode_u64(*id)),
-                ("fitness", JsonValue::from_f64(*fitness)),
-                ("resilience", encode_resilience(resilience)),
-            ]),
+            } => {
+                let mut fields = vec![
+                    kind("result"),
+                    ("id", encode_u64(*id)),
+                    ("fitness", JsonValue::from_f64(objectives.primary())),
+                ];
+                // Scalar results keep the historical single-number
+                // encoding; the array only rides along when there is
+                // more than one axis to carry.
+                if objectives.len() > 1 {
+                    fields.push(("objectives", encode_objectives(objectives)));
+                }
+                fields.push(("resilience", encode_resilience(resilience)));
+                JsonValue::object(fields)
+            }
             Msg::Ping => JsonValue::object(vec![kind("ping")]),
             Msg::Pong => JsonValue::object(vec![kind("pong")]),
             Msg::Shutdown => JsonValue::object(vec![kind("shutdown")]),
@@ -123,14 +138,21 @@ impl Msg {
                         .ok_or_else(|| AuditError::journal(0, "eval has no `genome`"))?,
                 )?,
             }),
-            "result" => Ok(Msg::Result {
-                id: field_u64(v, "result", "id")?,
-                fitness: field_f64(v, "result", "fitness")?,
-                resilience: decode_resilience(
-                    v.get("resilience")
-                        .ok_or_else(|| AuditError::journal(0, "result has no `resilience`"))?,
-                )?,
-            }),
+            "result" => {
+                let fitness = field_f64(v, "result", "fitness")?;
+                let objectives = match v.get("objectives") {
+                    Some(arr) => decode_objectives(arr)?,
+                    None => Objectives::scalar(fitness),
+                };
+                Ok(Msg::Result {
+                    id: field_u64(v, "result", "id")?,
+                    objectives,
+                    resilience: decode_resilience(
+                        v.get("resilience")
+                            .ok_or_else(|| AuditError::journal(0, "result has no `resilience`"))?,
+                    )?,
+                })
+            }
             "ping" => Ok(Msg::Ping),
             "pong" => Ok(Msg::Pong),
             "shutdown" => Ok(Msg::Shutdown),
@@ -141,9 +163,9 @@ impl Msg {
 
 /// Everything a worker needs to rebuild the broker's fitness function:
 /// which chip model, at what operating point, and the full
-/// [`FitnessSpec`]. Because [`FitnessSpec::evaluate`] is deterministic
-/// per genome, shipping the *spec* rather than results is what makes
-/// distributed runs bit-identical to local ones.
+/// [`FitnessSpec`]. Because [`FitnessSpec::evaluate_objectives`] is
+/// deterministic per genome, shipping the *spec* rather than results is
+/// what makes distributed runs bit-identical to local ones.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EvalContext {
     /// Chip model name (`bulldozer` or `phenom`).
@@ -185,6 +207,11 @@ impl EvalContext {
         fields.push(("cost", JsonValue::String(cost_tag(s.cost).into())));
         fields.push(("measure", encode_measure_spec(&s.spec)));
         fields.push(("policy", encode_policy(&s.policy)));
+        // The droop-only default is omitted so scalar setups keep their
+        // pre-Pareto wire bytes.
+        if s.objectives != ObjectiveSet::default() {
+            fields.push(("objectives", JsonValue::String(s.objectives.to_spec())));
+        }
         JsonValue::object(fields)
     }
 
@@ -229,6 +256,10 @@ impl EvalContext {
                 v.get("policy")
                     .ok_or_else(|| AuditError::journal(0, "ctx has no `policy`"))?,
             )?,
+            objectives: match v.get("objectives").and_then(JsonValue::as_str) {
+                Some(spec) => ObjectiveSet::parse(spec)?,
+                None => ObjectiveSet::default(),
+            },
         };
         let fast_tier_budget = match v.get("fast_tier_budget") {
             Some(b) => decode_u64(b)? as usize,
@@ -344,6 +375,24 @@ fn decode_policy(v: &JsonValue) -> Result<MeasurePolicy, AuditError> {
     })
 }
 
+pub(crate) fn encode_objectives(objs: &Objectives) -> JsonValue {
+    JsonValue::Array(objs.0.iter().map(|&x| JsonValue::from_f64(x)).collect())
+}
+
+pub(crate) fn decode_objectives(v: &JsonValue) -> Result<Objectives, AuditError> {
+    let items = v
+        .as_array()
+        .ok_or_else(|| AuditError::journal(0, "`objectives` is not an array"))?;
+    let mut axes = Vec::with_capacity(items.len());
+    for item in items {
+        axes.push(
+            item.as_f64()
+                .ok_or_else(|| AuditError::journal(0, "`objectives` axis is not a number"))?,
+        );
+    }
+    Ok(Objectives(axes))
+}
+
 pub(crate) fn encode_resilience(r: &ResilienceReport) -> JsonValue {
     JsonValue::object(vec![
         ("evaluations", encode_u64(r.evaluations)),
@@ -424,6 +473,7 @@ mod tests {
                     mad_threshold: 3.5,
                     quarantine_fitness: 0.0,
                 },
+                objectives: ObjectiveSet::parse("droop,margin").unwrap(),
             },
             fast_tier_budget: 6,
         }
@@ -445,13 +495,18 @@ mod tests {
         });
         round_trip(Msg::Result {
             id: 42,
-            fitness: -0.08125,
+            objectives: Objectives::scalar(-0.08125),
             resilience: ResilienceReport {
                 evaluations: 1,
                 retries: 2,
                 quarantined: 0,
                 backoff_cycles: 4096,
             },
+        });
+        round_trip(Msg::Result {
+            id: 43,
+            objectives: Objectives(vec![-0.08125, 14.5, -0.03]),
+            resilience: ResilienceReport::default(),
         });
         round_trip(Msg::Ping);
         round_trip(Msg::Pong);
@@ -471,6 +526,7 @@ mod tests {
                 cost: CostFunction::MaxDroop,
                 spec: MeasureSpec::reporting(),
                 policy: MeasurePolicy::disabled(),
+                objectives: ObjectiveSet::default(),
             },
             fast_tier_budget: 0,
         };
@@ -481,6 +537,37 @@ mod tests {
         // A disabled cascade is omitted from the wire bytes entirely,
         // so cascade-free setups keep their pre-cascade encoding.
         assert!(encoded.get("fast_tier_budget").is_none());
+        // Likewise the droop-only objective default keeps pre-Pareto
+        // wire bytes.
+        assert!(encoded.get("objectives").is_none());
+    }
+
+    #[test]
+    fn scalar_result_keeps_the_plain_fitness_encoding() {
+        let msg = Msg::Result {
+            id: 7,
+            objectives: Objectives::scalar(-0.0625),
+            resilience: ResilienceReport::default(),
+        };
+        let encoded = msg.to_json();
+        assert!(encoded.get("objectives").is_none());
+        assert_eq!(encoded.get("fitness").and_then(JsonValue::as_f64), Some(-0.0625));
+        assert_eq!(Msg::from_json(&encoded).unwrap(), msg);
+    }
+
+    #[test]
+    fn vector_result_carries_the_axes_and_primary() {
+        let msg = Msg::Result {
+            id: 8,
+            objectives: Objectives(vec![-0.0625, 12.0]),
+            resilience: ResilienceReport::default(),
+        };
+        let encoded = msg.to_json();
+        // The primary axis still rides the `fitness` field so scalar
+        // consumers (and the WAL) read the same number either way.
+        assert_eq!(encoded.get("fitness").and_then(JsonValue::as_f64), Some(-0.0625));
+        assert!(encoded.get("objectives").is_some());
+        assert_eq!(Msg::from_json(&encoded).unwrap(), msg);
     }
 
     #[test]

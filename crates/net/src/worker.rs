@@ -103,12 +103,12 @@ pub fn run_worker(addr: &str, opts: &WorkerOptions) -> Result<WorkerStats, Audit
                     // the broker re-dispatches the job.
                     return Ok(stats);
                 }
-                let (fitness, resilience) = fspec.evaluate(&rig, &genome);
+                let (objectives, resilience) = fspec.evaluate_objectives(&rig, &genome);
                 write_frame(
                     &mut conn,
                     &Msg::Result {
                         id,
-                        fitness,
+                        objectives,
                         resilience,
                     }
                     .to_json(),

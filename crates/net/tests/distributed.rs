@@ -9,7 +9,7 @@
 
 use std::sync::Mutex;
 
-use audit_core::ga::{self, CostFunction, GaConfig, GaRun};
+use audit_core::ga::{self, CostFunction, GaConfig, GaRun, ObjectiveSet};
 use audit_core::resilient::genome_key;
 use audit_core::{
     FitnessSpec, MeasurePolicy, MeasureSpec, MemJournal, ResilienceReport, Rig,
@@ -28,6 +28,7 @@ fn fspec(policy: MeasurePolicy) -> FitnessSpec {
         cost: CostFunction::MaxDroop,
         spec: MeasureSpec::ga_eval(),
         policy,
+        objectives: ObjectiveSet::default(),
     }
 }
 
@@ -63,9 +64,9 @@ fn local_run(spec: FitnessSpec, cfg: &GaConfig) -> (GaRun, MemJournal, Resilienc
         GENOME_LEN,
         &[],
         |genome| {
-            let (fitness, delta) = spec.evaluate(&rig, genome);
+            let (objectives, delta) = spec.evaluate_objectives(&rig, genome);
             log.lock().unwrap().merge(&delta);
-            fitness
+            objectives
         },
         &mut mem,
     )
@@ -174,6 +175,44 @@ fn cascade_pruning_is_bit_identical_across_worker_counts() {
 }
 
 #[test]
+fn pareto_mode_matches_the_in_process_run_at_any_worker_count() {
+    // Multi-objective evaluation over loopback workers: the objective
+    // vectors ride the result frames, the NSGA-II selection happens
+    // broker-side in the engine, and the run — GaRun, Pareto front, and
+    // journal bytes — must match the in-process run for any worker
+    // count.
+    let spec = FitnessSpec {
+        objectives: ObjectiveSet::parse("droop,power,margin").unwrap(),
+        ..fspec(MeasurePolicy::disabled())
+    };
+    let cfg = GaConfig {
+        pareto: true,
+        ..ga_cfg()
+    };
+    let (local, local_journal, _) = local_run(spec, &cfg);
+    assert!(
+        local.pareto_front.as_ref().is_some_and(|f| !f.is_empty()),
+        "pareto run produced no front"
+    );
+    assert!(
+        local_journal
+            .records
+            .iter()
+            .any(|r| r.kind() == "pareto_front"),
+        "pareto_front records missing from journal"
+    );
+    for workers in [1usize, 2, 4] {
+        let opts = vec![WorkerOptions::default(); workers];
+        let (dist, dist_journal, _) = distributed_run(spec, &cfg, &opts, workers);
+        assert_eq!(dist, local, "GaRun diverged at {workers} workers");
+        assert_eq!(
+            dist_journal.records, local_journal.records,
+            "journal diverged at {workers} workers"
+        );
+    }
+}
+
+#[test]
 fn late_joining_worker_shares_the_load_without_changing_results() {
     let spec = fspec(MeasurePolicy::disabled());
     let cfg = ga_cfg();
@@ -261,7 +300,8 @@ fn broker_resumes_from_journal_prefix_and_wal() {
             };
             GENOME_LEN
         ];
-        let (fitness, delta) = spec.evaluate(&rig, &sample);
+        let (objectives, delta) = spec.evaluate_objectives(&rig, &sample);
+        let fitness = objectives.primary();
         let line = audit_measure::json::JsonValue::object(vec![
             ("kind", audit_measure::json::JsonValue::String("result".into())),
             ("key", audit_core::journal::encode_u64(genome_key(&sample))),
@@ -339,7 +379,8 @@ fn broker_with_no_live_workers_serves_fully_prefilled_rounds() {
         population
             .iter()
             .map(|genome| {
-                let (fitness, _) = spec.evaluate(&rig, genome);
+                let (objectives, _) = spec.evaluate_objectives(&rig, genome);
+                let fitness = objectives.primary();
                 let line = audit_measure::json::JsonValue::object(vec![
                     ("kind", audit_measure::json::JsonValue::String("result".into())),
                     ("key", audit_core::journal::encode_u64(genome_key(genome))),
@@ -364,7 +405,7 @@ fn broker_with_no_live_workers_serves_fully_prefilled_rounds() {
     let mut scores = audit_core::ga::EvalDispatcher::evaluate(&mut broker, &population, &[0, 1, 2])
         .unwrap();
     scores.sort_unstable_by_key(|&(slot, _)| slot);
-    let got: Vec<f64> = scores.iter().map(|&(_, f)| f).collect();
+    let got: Vec<f64> = scores.iter().map(|(_, o)| o.primary()).collect();
     assert_eq!(got, expected);
     assert_eq!(
         audit_core::ga::EvalDispatcher::resilience(&broker).evaluations,

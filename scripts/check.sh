@@ -54,6 +54,16 @@ AUDIT_FAST=1 cargo run --release -q -p audit-bench --bin ext_cascade_scaling
 [[ -s BENCH_cascade.json ]] \
     || { echo "ext_cascade_scaling did not write BENCH_cascade.json" >&2; exit 1; }
 
+echo "==> shmoo gate (3x3 V/F surface, mid-plane kill/resume byte-identity)"
+# The ext_shmoo bin sweeps the 3x3 grid around the Bulldozer nominal
+# point, simulates a mid-plane kill by truncating its journal at a
+# terminal record boundary, and asserts the resumed sweep settles the
+# same surface with a byte-identical journal (docs/PARETO.md). It
+# writes the BENCH_shmoo.json artifact + the gnuplot heatmap.
+AUDIT_FAST=1 cargo run --release -q -p audit-bench --bin ext_shmoo
+[[ -s BENCH_shmoo.json ]] \
+    || { echo "ext_shmoo did not write BENCH_shmoo.json" >&2; exit 1; }
+
 echo "==> fault-injection smoke (Vmin checkpoint survives a kill)"
 # A crash-prone checkpointed Vmin search, killed after its first settled
 # probe, must resume to the same answer and a byte-identical journal
@@ -72,6 +82,18 @@ grep -F "$(grep 'fails at' "$smoke_dir/full.out")" "$smoke_dir/resumed.out" > /d
     || { echo "resumed Vmin answer drifted from the uninterrupted run" >&2; exit 1; }
 cmp "$smoke_dir/full.ndjson" "$smoke_dir/killed.ndjson" \
     || { echo "resumed Vmin journal is not byte-identical" >&2; exit 1; }
+# Same discipline for a checkpointed shmoo sweep through the CLI,
+# killed right after its first settled operating point: the resumed
+# sweep must replay that point, finish the plane, and rebuild the
+# byte-identical journal (docs/PARETO.md).
+"${audit[@]}" shmoo --stressmark sm-res --fast --threads 2 \
+    --checkpoint "$smoke_dir/shmoo.ndjson" > "$smoke_dir/shmoo.out"
+cut=$(grep -n '"kind":"shmoo_point".*"outcome":"done"' \
+    "$smoke_dir/shmoo.ndjson" | head -1 | cut -d: -f1)
+head -n "$cut" "$smoke_dir/shmoo.ndjson" > "$smoke_dir/shmoo-killed.ndjson"
+"${audit[@]}" shmoo --resume "$smoke_dir/shmoo-killed.ndjson" > "$smoke_dir/shmoo-resumed.out"
+cmp "$smoke_dir/shmoo.ndjson" "$smoke_dir/shmoo-killed.ndjson" \
+    || { echo "resumed shmoo journal is not byte-identical" >&2; exit 1; }
 # Same discipline for a faulty checkpointed GA run, killed after its
 # first completed generation. Journals are compared modulo `wall_s`
 # (wall-clock telemetry legitimately differs on resume, RUN_JOURNAL.md);
