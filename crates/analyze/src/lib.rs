@@ -19,6 +19,13 @@
 //!    score ([`swing_score`]) the GA uses as a deterministic surrogate
 //!    *ranking* (ordering real evaluations, never replacing them).
 //!
+//! Two further modules make the analysis *active* rather than merely
+//! advisory: [`dataflow`] exposes the fixpoint liveness/reaching-defs
+//! engine the verifier and lints are built on (also consumed by the
+//! GA's lint-driven mutation repair), and [`minimize`] provides the
+//! delta-debugging (`ddmin`) core of the witness minimizer behind the
+//! `audit minimize` CLI verb.
+//!
 //! See `docs/ANALYSIS.md` for the pass pipeline, the full lint catalog,
 //! and the surrogate-ranking determinism contract.
 //!
@@ -41,8 +48,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dataflow;
 mod diag;
 mod lints;
+pub mod minimize;
 mod pressure;
 mod verify;
 

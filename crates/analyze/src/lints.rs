@@ -6,10 +6,10 @@
 //! millions of iterations, so a value written at the bottom and read at
 //! the top is live, and a NOP run can wrap across the loop edge.
 
-use audit_cpu::{Inst, Opcode, Program, Reg};
+use audit_cpu::{Inst, Opcode, Program};
 
+use crate::dataflow::Liveness;
 use crate::diag::{Code, Diagnostic, LintConfig, LintLevel, Severity};
-use crate::verify::reads;
 
 fn severity(level: LintLevel) -> Option<Severity> {
     match level {
@@ -19,27 +19,10 @@ fn severity(level: LintLevel) -> Option<Severity> {
     }
 }
 
-/// Whether the value in `reg` written by instruction `at` is read by a
-/// later dynamic instruction before being overwritten, scanning the
-/// body circularly (the body is a loop).
-fn written_value_is_read(body: &[Inst], at: usize, reg: Reg) -> bool {
-    for j in 1..=body.len() {
-        let inst = &body[(at + j) % body.len()];
-        // Reads happen before the write within one instruction.
-        if reads(inst).any(|r| r == reg) {
-            return true;
-        }
-        if inst.dst == Some(reg) {
-            return false;
-        }
-    }
-    false // written every iteration, read never
-}
-
-fn lint_dead_value(body: &[Inst], sev: Severity, out: &mut Vec<Diagnostic>) {
+fn lint_dead_value(body: &[Inst], live: &Liveness, sev: Severity, out: &mut Vec<Diagnostic>) {
     for (i, inst) in body.iter().enumerate() {
         let Some(d) = inst.dst else { continue };
-        if !written_value_is_read(body, i, d) {
+        if !live.dst_is_live(body, i) {
             out.push(
                 Diagnostic::new(
                     Code::DeadValue,
@@ -120,13 +103,12 @@ fn lint_unreachable_toggle(body: &[Inst], sev: Severity, out: &mut Vec<Diagnosti
     }
 }
 
-fn lint_serializing_divide(body: &[Inst], sev: Severity, out: &mut Vec<Diagnostic>) {
+fn lint_serializing_divide(body: &[Inst], live: &Liveness, sev: Severity, out: &mut Vec<Diagnostic>) {
     for (i, inst) in body.iter().enumerate() {
-        if !inst.opcode.props().unpipelined {
+        if !inst.opcode.props().unpipelined || inst.dst.is_none() {
             continue;
         }
-        let Some(d) = inst.dst else { continue };
-        if written_value_is_read(body, i, d) {
+        if live.dst_is_live(body, i) {
             out.push(
                 Diagnostic::new(
                     Code::SerializingDivide,
@@ -175,8 +157,13 @@ pub fn lint(program: &Program, cfg: &LintConfig) -> Vec<Diagnostic> {
     if body.is_empty() {
         return out;
     }
-    if let Some(sev) = severity(cfg.level(Code::DeadValue)) {
-        lint_dead_value(body, sev, &mut out);
+    // One shared liveness fixpoint feeds both dataflow lints; skipped
+    // entirely when neither is enabled.
+    let dead = severity(cfg.level(Code::DeadValue));
+    let serializing = severity(cfg.level(Code::SerializingDivide));
+    let live = (dead.is_some() || serializing.is_some()).then(|| Liveness::of_loop(body));
+    if let (Some(sev), Some(live)) = (dead, live.as_ref()) {
+        lint_dead_value(body, live, sev, &mut out);
     }
     if let Some(sev) = severity(cfg.level(Code::NopRun)) {
         lint_nop_run(body, cfg.nop_run_threshold, sev, &mut out);
@@ -184,8 +171,8 @@ pub fn lint(program: &Program, cfg: &LintConfig) -> Vec<Diagnostic> {
     if let Some(sev) = severity(cfg.level(Code::UnreachableToggle)) {
         lint_unreachable_toggle(body, sev, &mut out);
     }
-    if let Some(sev) = severity(cfg.level(Code::SerializingDivide)) {
-        lint_serializing_divide(body, sev, &mut out);
+    if let (Some(sev), Some(live)) = (serializing, live.as_ref()) {
+        lint_serializing_divide(body, live, sev, &mut out);
     }
     if let Some(sev) = severity(cfg.level(Code::UnitMonoculture)) {
         lint_monoculture(body, cfg.monoculture_min_insts, sev, &mut out);

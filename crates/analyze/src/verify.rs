@@ -11,6 +11,7 @@
 
 use audit_cpu::{ChipConfig, Inst, MemBehavior, Opcode, Program, Reg};
 
+use crate::dataflow;
 use crate::diag::{Code, Diagnostic, Severity};
 
 /// A set of defined registers, one bit per entry of the int and media
@@ -138,12 +139,6 @@ fn required_srcs(op: Opcode) -> usize {
     }
 }
 
-/// FMA-class ops read their destination as a third source
-/// (`vfmaddpd d, s0, s1, d` in the emitter).
-fn reads_dst(op: Opcode) -> bool {
-    matches!(op, Opcode::Fma | Opcode::SimdFma)
-}
-
 fn reg_name(reg: Reg) -> String {
     if reg.index() < Reg::PER_FILE {
         reg.name()
@@ -152,15 +147,6 @@ fn reg_name(reg: Reg) -> String {
     } else {
         format!("r{}", reg.index())
     }
-}
-
-/// Every register an instruction reads, in operand order.
-pub(crate) fn reads(inst: &Inst) -> impl Iterator<Item = Reg> + '_ {
-    inst.srcs
-        .iter()
-        .flatten()
-        .copied()
-        .chain(inst.dst.filter(|_| reads_dst(inst.opcode)))
 }
 
 fn check_operand_shape(i: usize, inst: &Inst, out: &mut Vec<Diagnostic>) {
@@ -330,7 +316,13 @@ pub fn verify(program: &Program, target: &VerifyTarget) -> Vec<Diagnostic> {
         return out;
     }
 
-    let mut defined = target.init;
+    // AUD001 sites come from the shared forward dataflow pass
+    // (first-iteration reaching definitions seeded from the preamble's
+    // def set); they are interleaved below so each instruction's
+    // diagnostics keep their historical order.
+    let mut undefined = dataflow::undefined_uses(body, target.init)
+        .into_iter()
+        .peekable();
     for (i, inst) in body.iter().enumerate() {
         // AUD002: indices outside the file. Checked first so the rest
         // of the passes can ignore out-of-range registers.
@@ -369,22 +361,16 @@ pub fn verify(program: &Program, target: &VerifyTarget) -> Vec<Diagnostic> {
         check_attributes(i, inst, &mut out);
 
         // AUD001: def-before-use, seeded from the preamble's def set.
-        for reg in reads(inst) {
-            if !defined.contains(reg) {
-                out.push(
-                    Diagnostic::new(
-                        Code::UseBeforeDef,
-                        Severity::Error,
-                        Some(i),
-                        format!("{} read before definition", reg_name(reg)),
-                    )
-                    .with_help("initialize it in the preamble or define it earlier"),
-                );
-                defined.define(reg); // report each register once
-            }
-        }
-        if let Some(d) = inst.dst {
-            defined.define(d);
+        while let Some((_, reg)) = undefined.next_if(|(at, _)| *at == i) {
+            out.push(
+                Diagnostic::new(
+                    Code::UseBeforeDef,
+                    Severity::Error,
+                    Some(i),
+                    format!("{} read before definition", reg_name(reg)),
+                )
+                .with_help("initialize it in the preamble or define it earlier"),
+            );
         }
     }
     out

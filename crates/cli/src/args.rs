@@ -63,6 +63,8 @@ const VALUE_FLAGS: &[&str] = &[
     "--objective",
     "--grid-volts",
     "--grid-clocks",
+    "--retain",
+    "--input",
 ];
 
 /// Value flags that may be given more than once; repeats accumulate

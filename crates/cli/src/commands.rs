@@ -5,7 +5,9 @@ use std::path::Path;
 
 use audit_analyze::{check, Code, Diagnostic, LintConfig, Severity, VerifyTarget};
 use audit_core::audit::{Audit, StressmarkRun};
+use audit_core::harness::Rig;
 use audit_core::journal::{Journal, JournalSink, JournalWriter, NullSink};
+use audit_core::minimize::{MinimizeResult, MinimizeSearch};
 use audit_core::report::{journal_summary, mv, Table};
 use audit_core::resilient::{self, VminResult, VminSearch};
 use audit_core::resonance::{self, ResonanceResult};
@@ -38,9 +40,14 @@ USAGE:
                    [--save file.prog] [--iterations N] [--fast]
                    [--checkpoint run.ndjson] [--faults SEED:RATES]
                    [--repeat K] [--retries N] [--cycle-budget N]
-                   [--fast-tier-budget N] [--eval-batch N]
+                   [--fast-tier-budget N] [--eval-batch N] [--lint-repair]
       Evolve a stressmark; --out writes NASM, --save archives the
       lossless .prog form for later `audit measure --file`.
+      --lint-repair re-rolls statically-dead mutations (AUD101/AUD104)
+      after breeding, before any simulation; deterministic and
+      journaled, so results stay bit-identical across worker counts
+      and kill/--resume. Off by default: journals of unrepaired runs
+      keep their exact prior bytes.
       --workers sets GA evaluation threads (0 = all cores) and
       --eval-batch co-simulates N genomes per batched sweep; results
       are bit-identical for any worker count or batch width.
@@ -130,6 +137,26 @@ USAGE:
       workload are restored from the journal; done points replay, the
       interrupted point resumes its own bisection trail, and the
       surface is bit-identical to an uninterrupted sweep.
+
+  audit minimize   (<witness.prog> | <generate-ckpt.ndjson>) [--retain F]
+                   [--threads N] [--chip C] [--volts V] [--throttle N]
+                   [--cycles N] [--fast] [--checkpoint run.ndjson]
+                   [--out kernel.prog]
+      Delta-debug an evolved witness down to a 1-minimal kernel that
+      still retains --retain (default 0.90) of the full program's peak
+      droop on the simulator. A *finished* `generate` checkpoint may
+      be given directly: the winning stressmark and its platform are
+      reconstructed from the journal (a .prog file instead takes the
+      platform flags from the command line). With --checkpoint every
+      probe is journaled write-ahead, so a killed minimization resumes
+      without repeating settled probes; --out archives the minimized
+      kernel in .prog form, small enough to read, re-lint, and check
+      in as a regression corpus.
+
+  audit minimize   --resume run.ndjson [--out kernel.prog]
+      Continue a killed --checkpoint minimization. The input and knobs
+      are restored from the journal; settled probes are replayed and
+      the kernel is bit-identical to an uninterrupted run's.
 
   audit lint       (<file.prog> | --builtin NAME | --all-builtins)
                    [--chip bulldozer|phenom] [--json] [--deny-warnings]
@@ -647,6 +674,170 @@ fn print_vmin(name: &str, threads: usize, result: &VminResult) {
     }
 }
 
+/// `audit minimize`: the delta-debugged witness minimizer.
+pub fn minimize(args: &Args) -> Result<(), ArgError> {
+    if let Some(journal_path) = args.opt_flag("--resume") {
+        return resume_minimize(args, &journal_path);
+    }
+    let input = args
+        .positionals()
+        .get(1)
+        .cloned()
+        .or_else(|| args.opt_flag("--input"))
+        .ok_or_else(|| {
+            ArgError("audit minimize needs an input: a .prog file or a generate checkpoint".into())
+        })?;
+    let meta = platform::minimize_meta(args, &input);
+    let out = args.opt_flag("--out");
+    let checkpoint = args.opt_flag("--checkpoint");
+    let (program, search, rig) = minimize_setup(args, &input)?;
+    args.reject_unknown()?;
+
+    println!(
+        "minimizing {} ({} instructions), keeping ≥{:.0}% of baseline droop…",
+        program.name(),
+        program.len(),
+        search.retain * 100.0
+    );
+    let result = match &checkpoint {
+        Some(path) => {
+            let mut writer = JournalWriter::create(path, "minimize", meta).map_err(core_err)?;
+            let result = search.run(&rig, &program, &mut writer).map_err(core_err)?;
+            writer.finish().map_err(core_err)?;
+            println!("checkpoint: {path} ({} records)", writer.len());
+            result
+        }
+        None => search
+            .run(&rig, &program, &mut NullSink)
+            .map_err(core_err)?,
+    };
+    print_minimize(&program, search.threads, &result, out)
+}
+
+/// `audit minimize --resume <journal>`: restores the input and knobs
+/// from the checkpoint's `run_start` metadata, replays settled probes,
+/// and finishes the search live.
+fn resume_minimize(args: &Args, journal_path: &str) -> Result<(), ArgError> {
+    let out = args.opt_flag("--out");
+    args.reject_unknown()?;
+
+    let journal = Journal::load(journal_path).map_err(core_err)?;
+    if journal.mode() != Some("minimize") {
+        return Err(ArgError(format!(
+            "{journal_path}: not a `minimize` checkpoint (mode {:?})",
+            journal.mode().unwrap_or("<none>")
+        )));
+    }
+    let meta = journal
+        .meta()
+        .ok_or_else(|| ArgError(format!("{journal_path}: journal has no run_start record")))?;
+    let saved = platform::args_from_meta(meta)?;
+    let input = saved
+        .opt_flag("--input")
+        .ok_or_else(|| ArgError(format!("{journal_path}: checkpoint records no input path")))?;
+    let (program, search, rig) = minimize_setup(&saved, &input)?;
+
+    println!("resuming {journal_path}:");
+    print!("{}", journal_summary(&journal));
+    let complete = journal.is_complete();
+
+    let mut writer = JournalWriter::resume(journal_path).map_err(core_err)?;
+    let result = search
+        .resume_from(&journal, &rig, &program, &mut writer)
+        .map_err(core_err)?;
+    if !complete {
+        writer.finish().map_err(core_err)?;
+    }
+    println!("checkpoint: {journal_path} ({} records)", writer.len());
+    print_minimize(&program, search.threads, &result, out)
+}
+
+/// Builds the (witness, search, rig) triple from the minimize input:
+/// either a finished `generate` checkpoint — the evolved stressmark
+/// and the platform it was evolved on are reconstructed from the
+/// journal — or a `.prog` file, with the platform taken from the
+/// command line. The probe spec always comes from the command line
+/// (`--fast` / `--cycles`), so probe cost is the caller's choice.
+fn minimize_setup(args: &Args, input: &str) -> Result<(Program, MinimizeSearch, Rig), ArgError> {
+    let retain = args.num_flag("--retain", 0.9f64)?;
+    let spec = platform::spec_from(args)?;
+    let text =
+        fs::read_to_string(input).map_err(|e| ArgError(format!("reading {input}: {e}")))?;
+    let (program, threads, rig) = if text.trim_start().starts_with('{') {
+        let journal = Journal::load(input).map_err(core_err)?;
+        if journal.mode() != Some("generate") {
+            return Err(ArgError(format!(
+                "{input}: not a `generate` checkpoint (mode {:?})",
+                journal.mode().unwrap_or("<none>")
+            )));
+        }
+        if !journal.is_complete() {
+            return Err(ArgError(format!(
+                "{input}: generate run is incomplete — finish it with \
+                 `audit generate --resume {input}` first"
+            )));
+        }
+        let meta = journal
+            .meta()
+            .ok_or_else(|| ArgError(format!("{input}: journal has no run_start record")))?;
+        let saved = platform::args_from_meta(meta)?;
+        let rig = platform::rig_from(&saved)?;
+        let threads = saved.num_flag("--threads", 4usize)?;
+        let kind = saved.str_flag("--kind", "res");
+        let opts = platform::options_from(&saved)?;
+        let audit = Audit::new(rig.clone(), opts);
+        let run = match kind.as_str() {
+            "res" => audit.resume_resonant(&journal, threads, &mut NullSink),
+            "ex" => audit.resume_excitation(&journal, threads, &mut NullSink),
+            other => return Err(ArgError(format!("journal has unknown kind `{other}`"))),
+        }
+        .map_err(core_err)?;
+        (run.program, threads, rig)
+    } else {
+        let program = progfile::parse(&text).map_err(|e| ArgError(format!("{input}: {e}")))?;
+        let rig = platform::rig_from(args)?;
+        let threads = args.num_flag("--threads", 4usize)?;
+        (program, threads, rig)
+    };
+    let mut search = MinimizeSearch::new(threads, spec);
+    search.retain = retain;
+    search.validate().map_err(core_err)?;
+    Ok((program, search, rig))
+}
+
+/// Prints a finished minimization and writes the `--out` kernel.
+fn print_minimize(
+    original: &Program,
+    threads: usize,
+    result: &MinimizeResult,
+    out: Option<String>,
+) -> Result<(), ArgError> {
+    println!("{} × {threads}T minimized:", original.name());
+    println!(
+        "  baseline     : {} over {} instructions",
+        mv(result.baseline),
+        original.len()
+    );
+    println!(
+        "  minimized    : {} over {} instructions ({:.1}% droop retained)",
+        mv(result.droop),
+        result.program.len(),
+        100.0 * result.droop / result.baseline
+    );
+    println!(
+        "  probes       : {} ({} live, {} replayed)",
+        result.steps,
+        result.live_steps,
+        result.steps - result.live_steps
+    );
+    if let Some(path) = out {
+        let text = progfile::emit(&result.program);
+        fs::write(&path, text).map_err(|e| ArgError(format!("writing {path}: {e}")))?;
+        println!("  saved        : {path}");
+    }
+    Ok(())
+}
+
 /// `audit shmoo`: sweep the V/F plane, running a Vmin search at every
 /// operating point, and report the safe-margin surface.
 pub fn shmoo(args: &Args) -> Result<(), ArgError> {
@@ -774,12 +965,13 @@ fn print_shmoo(name: &str, threads: usize, sweep: &ShmooSweep, result: &ShmooRes
     );
 }
 
-/// One analyzed program: its diagnostics plus an optional body-index →
-/// source-line table (present only for `.prog` files).
+/// One analyzed program: its diagnostics plus optional source info
+/// (present only for `.prog` files): the body-index → byte-span table
+/// and the total byte length of the source text.
 struct LintReport {
     name: String,
     diags: Vec<Diagnostic>,
-    spans: Option<Vec<usize>>,
+    source: Option<(Vec<progfile::Span>, usize)>,
 }
 
 /// Every built-in program `--all-builtins` covers: the synthetic
@@ -819,7 +1011,15 @@ fn codes_from(list: &str, flag: &str) -> Result<Vec<Code>, ArgError> {
         .collect()
 }
 
-fn diag_to_json(d: &Diagnostic, spans: Option<&[usize]>) -> JsonValue {
+fn span_to_json(span: progfile::Span) -> JsonValue {
+    JsonValue::object(vec![
+        ("line", JsonValue::from_u64(span.line as u64)),
+        ("start", JsonValue::from_u64(span.start as u64)),
+        ("end", JsonValue::from_u64(span.end as u64)),
+    ])
+}
+
+fn diag_to_json(d: &Diagnostic, source: Option<&(Vec<progfile::Span>, usize)>) -> JsonValue {
     let mut fields = vec![
         ("code", JsonValue::String(d.code.as_str().to_string())),
         (
@@ -836,9 +1036,20 @@ fn diag_to_json(d: &Diagnostic, spans: Option<&[usize]>) -> JsonValue {
     ];
     if let Some(i) = d.inst_index {
         fields.push(("inst", JsonValue::from_u64(i as u64)));
-        if let Some(line) = spans.and_then(|s| s.get(i)) {
-            fields.push(("line", JsonValue::from_u64(*line as u64)));
-        }
+    }
+    // Every diagnostic of a `.prog` file carries a byte span: the
+    // offending instruction's when it names one, the whole file's for
+    // program-level findings.
+    if let Some((spans, len)) = source {
+        let span = d
+            .inst_index
+            .and_then(|i| spans.get(i).copied())
+            .unwrap_or(progfile::Span {
+                line: 1,
+                start: 0,
+                end: *len,
+            });
+        fields.push(("span", span_to_json(span)));
     }
     if let Some(help) = &d.help {
         fields.push(("help", JsonValue::String(help.clone())));
@@ -856,7 +1067,7 @@ fn print_report(report: &LintReport, json: bool) {
                     report
                         .diags
                         .iter()
-                        .map(|d| diag_to_json(d, report.spans.as_deref()))
+                        .map(|d| diag_to_json(d, report.source.as_ref()))
                         .collect(),
                 ),
             ),
@@ -870,10 +1081,10 @@ fn print_report(report: &LintReport, json: bool) {
     }
     println!("{}:", report.name);
     for d in &report.diags {
-        let location = match (d.inst_index, &report.spans) {
-            (Some(i), Some(spans)) => spans
+        let location = match (d.inst_index, &report.source) {
+            (Some(i), Some((spans, _))) => spans
                 .get(i)
-                .map(|line| format!("line {line}"))
+                .map(|span| format!("line {}", span.line))
                 .unwrap_or_else(|| format!("inst {i}")),
             (Some(i), None) => format!("inst {i}"),
             (None, _) => "program".to_string(),
@@ -934,7 +1145,7 @@ pub fn lint(args: &Args) -> Result<(), ArgError> {
             vec![LintReport {
                 name: path.clone(),
                 diags: check(&program, &target, &lints),
-                spans: Some(spans),
+                source: Some((spans, text.len())),
             }]
         }
         (None, Some(name), false) => {
@@ -942,7 +1153,7 @@ pub fn lint(args: &Args) -> Result<(), ArgError> {
             vec![LintReport {
                 name: program.name().to_string(),
                 diags: check(&program, &target, &lints),
-                spans: None,
+                source: None,
             }]
         }
         (None, None, true) => all_builtins()
@@ -950,7 +1161,7 @@ pub fn lint(args: &Args) -> Result<(), ArgError> {
             .map(|p| LintReport {
                 name: p.name().to_string(),
                 diags: check(p, &target, &lints),
-                spans: None,
+                source: None,
             })
             .collect(),
         (None, None, false) => {
@@ -1085,19 +1296,42 @@ mod tests {
     }
 
     #[test]
-    fn diag_json_carries_line_numbers() {
+    fn diag_json_carries_byte_spans() {
         let d = Diagnostic::new(
             Code::RegisterOutOfRange,
             Severity::Error,
             Some(1),
             "register r20 outside the 16-entry file",
         );
-        let v = diag_to_json(&d, Some(&[4, 9]));
+        let spans = vec![
+            progfile::Span {
+                line: 4,
+                start: 30,
+                end: 33,
+            },
+            progfile::Span {
+                line: 9,
+                start: 80,
+                end: 101,
+            },
+        ];
+        let v = diag_to_json(&d, Some(&(spans, 120)));
         assert_eq!(v.get("code").and_then(JsonValue::as_str), Some("AUD002"));
-        assert_eq!(v.get("line").and_then(JsonValue::as_f64), Some(9.0));
-        // Without spans there is no line, but the body index survives.
+        let span = v.get("span").expect("span object");
+        assert_eq!(span.get("line").and_then(JsonValue::as_f64), Some(9.0));
+        assert_eq!(span.get("start").and_then(JsonValue::as_f64), Some(80.0));
+        assert_eq!(span.get("end").and_then(JsonValue::as_f64), Some(101.0));
+        // A program-level diagnostic (no inst index) spans the file.
+        let whole = Diagnostic::new(Code::NopRun, Severity::Warning, None, "all NOPs");
+        let v = diag_to_json(&whole, Some(&(Vec::new(), 120)));
+        let span = v.get("span").expect("span object");
+        assert_eq!(span.get("line").and_then(JsonValue::as_f64), Some(1.0));
+        assert_eq!(span.get("start").and_then(JsonValue::as_f64), Some(0.0));
+        assert_eq!(span.get("end").and_then(JsonValue::as_f64), Some(120.0));
+        // Without source text there is no span, but the body index
+        // survives.
         let v = diag_to_json(&d, None);
-        assert!(v.get("line").is_none());
+        assert!(v.get("span").is_none());
         assert_eq!(v.get("inst").and_then(JsonValue::as_f64), Some(1.0));
     }
 }

@@ -10,6 +10,8 @@
 //! audit measure    (--workload NAME | --stressmark NAME) [--threads N]
 //!                  [--chip C] [--volts V] [--throttle N] [--cycles N] [--fast]
 //! audit failure    (--workload NAME | --stressmark NAME) [--threads N] [--chip C] [--fast]
+//! audit minimize   (<witness.prog> | <generate-ckpt.ndjson>) [--retain F]
+//!                  [--checkpoint run.ndjson | --resume run.ndjson] [--out kernel.prog]
 //! audit serve      [generate flags] [--listen ADDR] [--min-workers N] [--window N]
 //! audit work       --connect ADDR
 //! audit lint       (<file.prog> | --builtin NAME | --all-builtins)
@@ -49,6 +51,7 @@ fn run(raw: Vec<String>) -> Result<(), String> {
         "measure" => commands::measure(&parsed),
         "failure" => commands::failure(&parsed),
         "shmoo" => commands::shmoo(&parsed),
+        "minimize" => commands::minimize(&parsed),
         "serve" => commands::serve(&parsed),
         "work" => commands::work(&parsed),
         "lint" => commands::lint(&parsed),

@@ -71,10 +71,39 @@ const FAILURE_RESULT_FLAGS: &[&str] = &[
     "--cycle-budget",
 ];
 
+/// The `minimize` flags that determine the *result* of a witness
+/// minimization, recorded in its checkpoint journal (together with the
+/// input path) so `--resume` can reconstruct the exact search.
+const MINIMIZE_RESULT_FLAGS: &[&str] = &[
+    "--chip",
+    "--threads",
+    "--volts",
+    "--throttle",
+    "--cycles",
+    "--retain",
+];
+
 /// Captures the result-determining `generate` flags as a `run_start`
 /// metadata object (`{"argv": ["--chip", "phenom", ...]}`).
 pub fn generate_meta(args: &Args) -> JsonValue {
-    meta_from_flags(args, GENERATE_RESULT_FLAGS)
+    let mut argv = argv_from_flags(args, GENERATE_RESULT_FLAGS);
+    // `--lint-repair` shapes every bred population, so resume must
+    // restore it (and its absence must leave the argv untouched — the
+    // byte-invisibility contract in docs/ANALYSIS.md).
+    if args.bool_flag("--lint-repair") {
+        argv.push(JsonValue::String("--lint-repair".to_string()));
+    }
+    JsonValue::object(vec![("argv", JsonValue::Array(argv))])
+}
+
+/// Captures the result-determining `minimize` flags — plus the input
+/// path, spelled `--input` so the replayed argv parses — as a
+/// `run_start` metadata object.
+pub fn minimize_meta(args: &Args, input: &str) -> JsonValue {
+    let mut argv = argv_from_flags(args, MINIMIZE_RESULT_FLAGS);
+    argv.push(JsonValue::String("--input".to_string()));
+    argv.push(JsonValue::String(input.to_string()));
+    JsonValue::object(vec![("argv", JsonValue::Array(argv))])
 }
 
 /// Captures the result-determining `failure` flags as a `run_start`
@@ -90,6 +119,13 @@ pub fn shmoo_meta(args: &Args) -> JsonValue {
 }
 
 fn meta_from_flags(args: &Args, flags: &[&str]) -> JsonValue {
+    JsonValue::object(vec![(
+        "argv",
+        JsonValue::Array(argv_from_flags(args, flags)),
+    )])
+}
+
+fn argv_from_flags(args: &Args, flags: &[&str]) -> Vec<JsonValue> {
     let mut argv = Vec::new();
     for flag in flags {
         if let Some(mut v) = args.opt_flag(flag) {
@@ -109,7 +145,7 @@ fn meta_from_flags(args: &Args, flags: &[&str]) -> JsonValue {
     if args.bool_flag("--fast") {
         argv.push(JsonValue::String("--fast".to_string()));
     }
-    JsonValue::object(vec![("argv", JsonValue::Array(argv))])
+    argv
 }
 
 /// Reconstructs the recorded `generate` flags from `run_start`
@@ -166,7 +202,7 @@ pub fn rig_from(args: &Args) -> Result<Rig, ArgError> {
 }
 
 /// Generation options from `--fast`, `--seed`, `--cost`, `--workers`,
-/// `--fast-tier-budget`, and `--eval-batch`.
+/// `--fast-tier-budget`, `--eval-batch`, and `--lint-repair`.
 ///
 /// `--workers` sets the GA fitness-evaluation worker count (`0`, the
 /// default, means all available cores) and `--eval-batch` the number of
@@ -209,6 +245,9 @@ pub fn options_from(args: &Args) -> Result<AuditOptions, ArgError> {
             .parse()
             .map_err(|_| ArgError(format!("--eval-batch: cannot parse `{batch}`")))?;
         opts = opts.with_eval_batch(batch);
+    }
+    if args.bool_flag("--lint-repair") {
+        opts.ga.lint_repair = true;
     }
     if let Some(spec) = args.opt_flag("--objective") {
         let (set, variant) = parse_objective_spec(&spec)?;
@@ -419,6 +458,20 @@ mod tests {
 
     fn parse(words: &[&str]) -> Args {
         Args::parse(words.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn lint_repair_flag_round_trips_through_the_journal_meta() {
+        let args = parse(&["--lint-repair", "--fast"]);
+        assert!(options_from(&args).unwrap().ga.lint_repair);
+        let meta = generate_meta(&args);
+        let saved = args_from_meta(&meta).unwrap();
+        assert!(options_from(&saved).unwrap().ga.lint_repair);
+        // Absent, the flag leaves both the options and the recorded
+        // argv untouched (the byte-invisibility contract).
+        let plain = parse(&["--fast"]);
+        assert!(!options_from(&plain).unwrap().ga.lint_repair);
+        assert!(!generate_meta(&plain).encode().contains("lint-repair"));
     }
 
     #[test]

@@ -350,6 +350,149 @@ fn checkpointed_vmin_search_survives_a_kill() {
 }
 
 #[test]
+fn lint_json_output_shape_is_pinned() {
+    // Golden test: the machine-readable lint output is a contract.
+    // Every diagnostic of a `.prog` file carries a byte `span` — the
+    // offending instruction's for per-instruction findings, the whole
+    // file's for program-level ones.
+    let dir = std::env::temp_dir().join("audit-cli-lint-json-test");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Per-instruction finding: a dependent add behind an IDiv (AUD104).
+    let golden = dir.join("golden.prog");
+    std::fs::write(
+        &golden,
+        "# name: golden\nidiv r0 r14 r15 t=1.00\niadd r1 r0 r15 t=1.00\n",
+    )
+    .unwrap();
+    let out = audit(&["lint", golden.to_str().unwrap(), "--json"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert_eq!(
+        stdout(&out),
+        format!(
+            "{{\"program\":\"{}\",\"diagnostics\":[\
+             {{\"code\":\"AUD104\",\"severity\":\"warning\",\
+             \"message\":\"unpipelined IDiv feeds a dependent consumer; \
+             the window drains behind it\",\
+             \"inst\":0,\"span\":{{\"line\":2,\"start\":15,\"end\":37}},\
+             \"help\":\"break the dependence unless the stall is the \
+             point of the stressmark\"}}]}}\n",
+            golden.display()
+        )
+    );
+
+    // Program-level finding: an all-NOP body (AUD102, no inst index)
+    // gets the whole file as its span.
+    let nops = dir.join("nops.prog");
+    std::fs::write(&nops, format!("# name: all-nops\n{}", "nop\n".repeat(8))).unwrap();
+    let out = audit(&["lint", nops.to_str().unwrap(), "--json"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert_eq!(
+        stdout(&out),
+        format!(
+            "{{\"program\":\"{}\",\"diagnostics\":[\
+             {{\"code\":\"AUD102\",\"severity\":\"warning\",\
+             \"message\":\"program body is entirely NOPs\",\
+             \"span\":{{\"line\":1,\"start\":0,\"end\":49}},\
+             \"help\":\"a pure-NOP loop draws no switching current at \
+             all\"}}]}}\n",
+            nops.display()
+        )
+    );
+}
+
+#[test]
+fn checkpointed_minimize_survives_a_kill() {
+    let dir = std::env::temp_dir().join("audit-cli-minimize-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let witness = dir.join("witness.prog");
+    let journal = dir.join("min.ndjson");
+    let full_kernel = dir.join("full.prog");
+    let resumed_kernel = dir.join("resumed.prog");
+
+    // A witness with a dense resonant core padded by NOP freeloaders.
+    let mut text = String::from("# name: padded-witness\n");
+    for i in 0..8 {
+        text.push_str(&format!("simdfma f{} f12 f13 t=1.00\n", i % 4));
+    }
+    for _ in 0..8 {
+        text.push_str("nop\n");
+    }
+    std::fs::write(&witness, text).unwrap();
+
+    // Full checkpointed minimization.
+    let out = audit(&[
+        "minimize",
+        witness.to_str().unwrap(),
+        "--fast",
+        "--threads",
+        "2",
+        "--checkpoint",
+        journal.to_str().unwrap(),
+        "--out",
+        full_kernel.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let full_text = stdout(&out);
+    assert!(full_text.contains("minimized"), "{full_text}");
+    let full_journal = std::fs::read_to_string(&journal).unwrap();
+    let lines: Vec<&str> = full_journal.lines().collect();
+    assert!(
+        lines.iter().any(|l| l.contains("\"minimize_step\"")),
+        "{full_journal}"
+    );
+    // The kernel is strictly smaller than the witness and lints clean.
+    let kernel_text = std::fs::read_to_string(&full_kernel).unwrap();
+    assert!(kernel_text.lines().count() < 17, "{kernel_text}");
+    let out = audit(&["lint", full_kernel.to_str().unwrap(), "--deny-warnings"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+
+    // Kill right after the first terminal probe, then resume: the
+    // stitched journal must be byte-identical to the uninterrupted
+    // one and the kernel must match.
+    let cut = lines
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| l.contains("\"minimize_step\"") && l.contains("\"droop\""))
+        .map(|(i, _)| i)
+        .next()
+        .expect("at least one settled probe");
+    assert!(cut + 1 < lines.len(), "cut must drop something");
+    std::fs::write(&journal, format!("{}\n", lines[..=cut].join("\n"))).unwrap();
+    let out = audit(&[
+        "minimize",
+        "--resume",
+        journal.to_str().unwrap(),
+        "--out",
+        resumed_kernel.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let resumed_text = stdout(&out);
+    assert!(resumed_text.contains("resuming"), "{resumed_text}");
+    assert!(resumed_text.contains("replayed"), "{resumed_text}");
+    assert_eq!(std::fs::read_to_string(&journal).unwrap(), full_journal);
+    assert_eq!(
+        std::fs::read_to_string(&resumed_kernel).unwrap(),
+        kernel_text
+    );
+
+    // A non-minimize journal is refused as a --resume target, and a
+    // non-generate journal is refused as an *input*.
+    let bogus = dir.join("bogus.ndjson");
+    std::fs::write(
+        &bogus,
+        "{\"kind\":\"run_start\",\"schema\":1,\"mode\":\"failure\",\"meta\":{}}\n",
+    )
+    .unwrap();
+    let out = audit(&["minimize", "--resume", bogus.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("not a `minimize` checkpoint"));
+    let out = audit(&["minimize", bogus.to_str().unwrap(), "--fast"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("not a `generate` checkpoint"));
+}
+
+#[test]
 fn measure_with_faults_reports_resilience() {
     let out = audit(&[
         "measure",

@@ -1217,6 +1217,62 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_scalar_wrappers_pin_the_primary_axis() {
+        // The deprecated scalar API must stay exactly the primary axis
+        // of the objective vector until it is removed — callers
+        // migrating one at a time see bit-identical fitness.
+        use crate::ga::{CostFunction, Gene, ObjectiveSet};
+        use crate::harness::MeasureSpec;
+        use crate::resilient::MeasurePolicy;
+
+        let spec = FitnessSpec {
+            threads: 2,
+            sub_blocks: 2,
+            lp_slots: 2,
+            cost: CostFunction::MaxDroop,
+            spec: MeasureSpec {
+                warmup_cycles: 500,
+                record_cycles: 2_000,
+                settle_cycles: 30_000,
+                ..MeasureSpec::ga_eval()
+            },
+            policy: MeasurePolicy::disabled(),
+            objectives: ObjectiveSet::default(),
+        };
+        let rig = Rig::bulldozer();
+        let genomes: Vec<Vec<Gene>> = (0..3u8)
+            .map(|k| {
+                (0..8u8)
+                    .map(|slot| Gene {
+                        opcode: if slot % 2 == 0 {
+                            Opcode::SimdFma
+                        } else {
+                            Opcode::IAdd
+                        },
+                        dst: (slot + k) % 8,
+                        src1: 12,
+                        src2: 13,
+                        miss: false,
+                    })
+                    .collect()
+            })
+            .collect();
+        for genome in &genomes {
+            let (scalar, _) = spec.evaluate(&rig, genome);
+            let (objs, _) = spec.evaluate_objectives(&rig, genome);
+            assert_eq!(scalar.to_bits(), objs.primary().to_bits());
+        }
+        let refs: Vec<&[Gene]> = genomes.iter().map(Vec::as_slice).collect();
+        let scalars = spec.evaluate_batch(&rig, &refs);
+        let vectors = spec.evaluate_objectives_batch(&rig, &refs);
+        assert_eq!(scalars.len(), vectors.len());
+        for ((s, _), (v, _)) in scalars.iter().zip(&vectors) {
+            assert_eq!(s.to_bits(), v.primary().to_bits());
+        }
+    }
+
+    #[test]
     fn eval_batch_zero_is_rejected() {
         let err = AuditOptions::builder().eval_batch(0).build().unwrap_err();
         assert!(err.to_string().contains("eval_batch"), "{err}");

@@ -133,6 +133,20 @@ pub struct GaConfig {
     /// thread counts, dispatchers, and kill/resume.
     #[serde(default)]
     pub pareto: bool,
+    /// Lint-driven mutation repair. Off by default: breeding is
+    /// untouched and journal bytes match a config that predates the
+    /// flag. On, every as-bred genome (initial population included) is
+    /// linted under [`super::repair::repair_lint_config`] and offending
+    /// slots are re-rolled deterministically (bounded attempts, NOP
+    /// fallback; see [`super::repair`]), so populations reach the
+    /// simulator free of deny-level AUD1xx dead work. Repair draws from
+    /// per-slot streams keyed by the child's content — never from the
+    /// generation's breeding stream — and runs on the calling thread,
+    /// preserving bit-identity across thread counts, dispatchers, and
+    /// kill/resume. Each generation journals a `repair` record counting
+    /// its re-rolls.
+    #[serde(default)]
+    pub lint_repair: bool,
 }
 
 fn default_threads() -> usize {
@@ -160,6 +174,7 @@ impl Default for GaConfig {
             surrogate_budget: 0,
             fast_tier_budget: 0,
             pareto: false,
+            lint_repair: false,
         }
     }
 }
@@ -966,10 +981,11 @@ fn run_ga(
                     .collect(),
             );
         }
+        let rerolls = repair_population(cfg, menu, &mut population);
         debug_verify_population(&population);
         objs = evaluate_population(&population, dispatcher, &mut cache, cfg, &mut telemetry)?;
         scores = objs.iter().map(Objectives::primary).collect();
-        append_generation(sink, cfg, 0, &population, &objs, &scores, &telemetry)?;
+        append_generation(sink, cfg, 0, &population, &objs, &scores, &telemetry, rerolls)?;
 
         let best_idx = argmax(&scores);
         best = population[best_idx].clone();
@@ -1063,11 +1079,25 @@ fn run_ga(
             next.push(child);
         }
 
+        // Repair runs after the whole brood is bred, on the calling
+        // thread, from content-keyed streams — the breeding RNG above
+        // is already exhausted, so flipping `lint_repair` cannot
+        // perturb it. Elites are already clean and repair no-ops.
+        let rerolls = repair_population(cfg, menu, &mut next);
         population = next;
         debug_verify_population(&population);
         objs = evaluate_population(&population, dispatcher, &mut cache, cfg, &mut telemetry)?;
         scores = objs.iter().map(Objectives::primary).collect();
-        append_generation(sink, cfg, generation, &population, &objs, &scores, &telemetry)?;
+        append_generation(
+            sink,
+            cfg,
+            generation,
+            &population,
+            &objs,
+            &scores,
+            &telemetry,
+            rerolls,
+        )?;
 
         let best_idx = argmax(&scores);
         if scores[best_idx] > best_fitness {
@@ -1101,6 +1131,18 @@ fn run_ga(
     })
 }
 
+/// Repairs every genome of an as-bred population in place (no-op
+/// unless [`GaConfig::lint_repair`]), returning total slot re-rolls.
+fn repair_population(cfg: &GaConfig, menu: &[Opcode], population: &mut [Vec<Gene>]) -> u64 {
+    if !cfg.lint_repair {
+        return 0;
+    }
+    population
+        .iter_mut()
+        .map(|g| super::repair::repair_genome(g, menu, cfg.seed))
+        .sum()
+}
+
 #[allow(clippy::too_many_arguments)]
 fn append_generation(
     sink: &mut dyn JournalSink,
@@ -1110,7 +1152,13 @@ fn append_generation(
     objs: &[Objectives],
     scores: &[f64],
     telemetry: &GaTelemetry,
+    rerolls: u64,
 ) -> Result<(), AuditError> {
+    if cfg.lint_repair {
+        // Repair telemetry rides ahead of the generation it shaped; the
+        // section walker skips it like the other GA markers.
+        sink.append(&JournalRecord::Repair { index, rerolls })?;
+    }
     if cfg.pareto {
         // Write-ahead of the generation record: a crash between the two
         // leaves an orphan front, which replay ignores (it matches
@@ -1767,6 +1815,153 @@ mod tests {
             .records
             .iter()
             .any(|r| matches!(r, JournalRecord::Cascade { .. })));
+    }
+
+    #[test]
+    fn lint_repair_off_leaves_journal_bytes_untouched() {
+        // `lint_repair: false` must leave both results and the exact
+        // journal byte stream identical to a config that predates the
+        // field — the regression gate for the disabled path.
+        let cfg = GaConfig {
+            population: 10,
+            generations: 6,
+            stall_generations: 6,
+            ..GaConfig::default()
+        };
+        let mut a = MemJournal::default();
+        let mut b = MemJournal::default();
+        let off = evolve_journaled(&cfg, &menu(), 8, &[], fma_count, &mut a).unwrap();
+        let explicit = evolve_journaled(
+            &GaConfig {
+                lint_repair: false,
+                ..cfg
+            },
+            &menu(),
+            8,
+            &[],
+            fma_count,
+            &mut b,
+        )
+        .unwrap();
+        assert_eq!(off, explicit);
+        let lines = |m: &MemJournal| -> Vec<String> {
+            m.records
+                .iter()
+                .map(|r| strip_wall(&r.to_json().encode()))
+                .collect()
+        };
+        assert_eq!(lines(&a), lines(&b));
+        assert!(
+            !lines(&a).iter().any(|l| l.contains("lint_repair")),
+            "disabled repair must not appear in ga_start config bytes"
+        );
+        assert!(!a
+            .records
+            .iter()
+            .any(|r| matches!(r, JournalRecord::Repair { .. })));
+    }
+
+    #[test]
+    fn lint_repair_populations_lint_clean() {
+        // With repair on, every journaled population — initial and
+        // bred — must be free of deny-level AUD1xx findings, and each
+        // generation record must be preceded by its repair marker.
+        let cfg = GaConfig {
+            population: 12,
+            generations: 5,
+            stall_generations: 5,
+            lint_repair: true,
+            ..GaConfig::default()
+        };
+        let mut mem = MemJournal::default();
+        evolve_journaled(&cfg, &menu(), 10, &[], fma_count, &mut mem).unwrap();
+
+        let mut pending_repair: Option<usize> = None;
+        let mut total_rerolls = 0u64;
+        let mut generations = 0usize;
+        for rec in &mem.records {
+            match rec {
+                JournalRecord::Repair { index, rerolls } => {
+                    assert!(pending_repair.is_none(), "two repair markers in a row");
+                    pending_repair = Some(*index);
+                    total_rerolls += rerolls;
+                }
+                JournalRecord::Generation(g) => {
+                    assert_eq!(
+                        pending_repair.take(),
+                        Some(g.index),
+                        "generation {} missing its repair marker",
+                        g.index
+                    );
+                    generations += 1;
+                    for genome in &g.population {
+                        assert!(
+                            crate::ga::repair::offending_slots(genome).is_empty(),
+                            "repaired population still lints dirty"
+                        );
+                    }
+                }
+                _ => {}
+            }
+        }
+        assert!(generations > 0);
+        assert!(
+            total_rerolls > 0,
+            "a random initial population should need at least one re-roll"
+        );
+    }
+
+    #[test]
+    fn lint_repair_is_bit_identical_across_worker_counts() {
+        let base = GaConfig {
+            population: 12,
+            generations: 8,
+            stall_generations: 8,
+            lint_repair: true,
+            threads: 1,
+            ..GaConfig::default()
+        };
+        let one = evolve(&base, &menu(), 8, &[], fma_count);
+        for threads in [2, 4] {
+            let n = evolve(&GaConfig { threads, ..base }, &menu(), 8, &[], fma_count);
+            assert_eq!(one, n, "diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn lint_repair_kill_and_resume_is_bit_identical() {
+        let cfg = GaConfig {
+            population: 8,
+            generations: 6,
+            stall_generations: 6,
+            lint_repair: true,
+            ..GaConfig::default()
+        };
+        let mut mem = MemJournal::default();
+        let full = evolve_journaled(&cfg, &menu(), 6, &[], fma_count, &mut mem).unwrap();
+
+        // Kill right after each generation record (the repair marker
+        // rides ahead of it, so every cut keeps matched pairs); resume
+        // while appending to the truncated journal.
+        let cuts: Vec<usize> = mem
+            .records
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| matches!(r, JournalRecord::Generation(_)))
+            .map(|(i, _)| i + 1)
+            .collect();
+        for cut in cuts {
+            let mut partial = MemJournal {
+                records: mem.records[..cut].to_vec(),
+            };
+            let journal = partial.as_journal();
+            let resumed = GaRun::resume_with_sink(&journal, fma_count, &mut partial).unwrap();
+            assert_eq!(full, resumed, "diverged when cut at record {cut}");
+            assert_eq!(
+                mem.records, partial.records,
+                "journal shape diverged when cut at record {cut}"
+            );
+        }
     }
 
     #[test]

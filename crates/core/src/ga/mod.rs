@@ -17,6 +17,7 @@ pub mod cost;
 pub mod engine;
 pub mod genome;
 pub mod pareto;
+pub mod repair;
 pub mod study;
 
 pub use cost::CostFunction;
@@ -26,6 +27,7 @@ pub use engine::{
     GaRun, GaTelemetry, LocalDispatcher,
 };
 pub use genome::{from_program, to_sub_block, Gene};
+pub use repair::{offending_slots, repair_genome, repair_lint_config, REPAIR_MAX_ATTEMPTS};
 pub use pareto::{
     crowding_distance, non_dominated_sort, rank_population, FrontMember, Objective, ObjectiveSet,
     Objectives, PopulationRanking,

@@ -187,6 +187,21 @@ pub enum JournalRecord {
         /// swing estimate).
         budget: u64,
     },
+    /// Lint-driven mutation repair telemetry
+    /// ([`crate::ga::GaConfig::lint_repair`]): how many slot re-rolls
+    /// the repair pass performed while settling one generation's
+    /// population. Written immediately *before* the matching
+    /// `generation` record (index 0 covers the initial population),
+    /// and only when repair is enabled — journals of unrepaired runs
+    /// keep their exact prior byte encoding. Resume skips it like the
+    /// other GA markers.
+    Repair {
+        /// Generation index, matching the `generation` record that
+        /// follows.
+        index: usize,
+        /// Slot re-rolls performed across the whole population.
+        rerolls: u64,
+    },
     /// One generation's full objective vectors and Pareto front ranks,
     /// written by a multi-objective run
     /// ([`crate::ga::GaConfig::pareto`]) immediately *before* the
@@ -254,6 +269,30 @@ pub enum JournalRecord {
         clock_hz: f64,
         /// `None` while pending; the measured results once done.
         result: Option<ShmooPointResult>,
+    },
+    /// One delta-debugging probe of a witness minimization
+    /// ([`crate::minimize::MinimizeSearch`]). A `pending` record is
+    /// appended *before* the candidate subset is simulated; the
+    /// terminal record (`passed` when the subset retains enough droop,
+    /// `failed` otherwise, carrying the measured droop) after — the
+    /// same write-ahead discipline as `vmin_step`, so a killed
+    /// minimization resumes by replaying settled probes.
+    MinimizeStep {
+        /// Probe index within the minimization (0-based, in `ddmin`
+        /// probe order).
+        step: u64,
+        /// Number of loop-body instructions in the candidate subset.
+        kept: u64,
+        /// Content key of the kept index set; resume cross-checks it
+        /// against the subset the replayed `ddmin` derives at this
+        /// step.
+        key: u64,
+        /// `pending`, then `passed`/`failed` (shares [`VminOutcome`]'s
+        /// tags; `crashed` is unused here).
+        outcome: VminOutcome,
+        /// Peak droop the candidate measured, in volts (terminal
+        /// records only).
+        droop: Option<f64>,
     },
     /// The run completed; nothing to resume.
     RunEnd,
@@ -336,6 +375,7 @@ impl JournalRecord {
             JournalRecord::GaStart { .. } => "ga_start",
             JournalRecord::SurrogateBudget { .. } => "surrogate_budget",
             JournalRecord::Cascade { .. } => "cascade",
+            JournalRecord::Repair { .. } => "repair",
             JournalRecord::ParetoFront(_) => "pareto_front",
             JournalRecord::Generation(_) => "generation",
             JournalRecord::GaEnd => "ga_end",
@@ -343,6 +383,7 @@ impl JournalRecord {
             JournalRecord::Retry { .. } => "retry",
             JournalRecord::Quarantine { .. } => "quarantine",
             JournalRecord::ShmooPoint { .. } => "shmoo_point",
+            JournalRecord::MinimizeStep { .. } => "minimize_step",
             JournalRecord::RunEnd => "run_end",
         }
     }
@@ -394,6 +435,11 @@ impl JournalRecord {
             JournalRecord::Cascade { budget } => JsonValue::object(vec![
                 ("kind", JsonValue::String("cascade".into())),
                 ("budget", JsonValue::from_u64(*budget)),
+            ]),
+            JournalRecord::Repair { index, rerolls } => JsonValue::object(vec![
+                ("kind", JsonValue::String("repair".into())),
+                ("index", JsonValue::from_u64(*index as u64)),
+                ("rerolls", JsonValue::from_u64(*rerolls)),
             ]),
             JournalRecord::ParetoFront(r) => JsonValue::object(vec![
                 ("kind", JsonValue::String("pareto_front".into())),
@@ -508,6 +554,25 @@ impl JournalRecord {
                 }
                 JsonValue::object(fields)
             }
+            JournalRecord::MinimizeStep {
+                step,
+                kept,
+                key,
+                outcome,
+                droop,
+            } => {
+                let mut fields = vec![
+                    ("kind", JsonValue::String("minimize_step".into())),
+                    ("step", JsonValue::from_u64(*step)),
+                    ("kept", JsonValue::from_u64(*kept)),
+                    ("key", encode_u64(*key)),
+                    ("outcome", JsonValue::String(outcome.as_str().into())),
+                ];
+                if let Some(d) = droop {
+                    fields.push(("droop", JsonValue::from_f64(*d)));
+                }
+                JsonValue::object(fields)
+            }
             JournalRecord::RunEnd => {
                 JsonValue::object(vec![("kind", JsonValue::String("run_end".into()))])
             }
@@ -588,6 +653,10 @@ impl JournalRecord {
             }),
             "cascade" => Ok(JournalRecord::Cascade {
                 budget: field_u64(v, "cascade", "budget")?,
+            }),
+            "repair" => Ok(JournalRecord::Repair {
+                index: field_u64(v, "repair", "index")? as usize,
+                rerolls: field_u64(v, "repair", "rerolls")?,
             }),
             "pareto_front" => {
                 let objectives = v
@@ -751,6 +820,29 @@ impl JournalRecord {
                     result,
                 })
             }
+            "minimize_step" => {
+                let tag = field_str(v, "minimize_step", "outcome")?;
+                let outcome = VminOutcome::parse(tag).ok_or_else(|| {
+                    AuditError::journal(0, format!("unknown minimize_step outcome `{tag}`"))
+                })?;
+                let droop = v.get("droop").and_then(JsonValue::as_f64);
+                if outcome.is_terminal() && droop.is_none() {
+                    return Err(AuditError::journal(
+                        0,
+                        "terminal minimize_step has no number `droop`",
+                    ));
+                }
+                Ok(JournalRecord::MinimizeStep {
+                    step: field_u64(v, "minimize_step", "step")?,
+                    kept: field_u64(v, "minimize_step", "kept")?,
+                    key: decode_u64(
+                        v.get("key")
+                            .ok_or_else(|| AuditError::journal(0, "minimize_step has no `key`"))?,
+                    )?,
+                    outcome,
+                    droop,
+                })
+            }
             "run_end" => Ok(JournalRecord::RunEnd),
             other => Err(AuditError::journal(0, format!("unknown kind `{other}`"))),
         }
@@ -842,6 +934,11 @@ fn encode_cfg(cfg: &GaConfig) -> JsonValue {
     if cfg.pareto {
         fields.push(("pareto", JsonValue::Bool(true)));
     }
+    // And for lint-driven repair: only written when on, so unrepaired
+    // runs keep their pre-repair byte encoding.
+    if cfg.lint_repair {
+        fields.push(("lint_repair", JsonValue::Bool(true)));
+    }
     JsonValue::object(fields)
 }
 
@@ -887,6 +984,12 @@ fn decode_cfg(v: &JsonValue) -> Result<GaConfig, AuditError> {
         // Absent (meaning scalar) in journals written before Pareto
         // mode, and in every scalar journal since.
         pareto: v.get("pareto").and_then(JsonValue::as_bool).unwrap_or(false),
+        // Absent (meaning off) in journals written before lint-driven
+        // repair, and in every unrepaired journal since.
+        lint_repair: v
+            .get("lint_repair")
+            .and_then(JsonValue::as_bool)
+            .unwrap_or(false),
     })
 }
 
@@ -1254,8 +1357,11 @@ impl Journal {
                 // artifact that replay ignores.
                 JournalRecord::ParetoFront(f) => fronts.push(f),
                 // Informational markers inside the section (the budgets
-                // themselves live in `cfg`); skip them.
-                JournalRecord::SurrogateBudget { .. } | JournalRecord::Cascade { .. } => continue,
+                // and the repair flag themselves live in `cfg`); skip
+                // them.
+                JournalRecord::SurrogateBudget { .. }
+                | JournalRecord::Cascade { .. }
+                | JournalRecord::Repair { .. } => continue,
                 JournalRecord::GaEnd => {
                     complete = true;
                     break;

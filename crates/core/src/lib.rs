@@ -50,6 +50,7 @@ pub mod dither;
 pub mod ga;
 pub mod harness;
 pub mod journal;
+pub mod minimize;
 pub mod patterns;
 pub mod report;
 pub mod resilient;
@@ -62,6 +63,7 @@ pub use audit_analyze as analyze;
 pub use audit_error::{AuditError, AuditResult};
 pub use harness::{MeasureSpec, MeasureSpecBuilder, Measurement, Rig};
 pub use journal::{Journal, JournalRecord, JournalSink, JournalWriter, MemJournal, NullSink};
+pub use minimize::{MinimizeResult, MinimizeSearch};
 pub use resilient::{
     MeasurePolicy, ResilienceLog, ResilienceReport, ResilientOutcome, VminResult, VminSearch,
 };

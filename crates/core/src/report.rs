@@ -246,6 +246,12 @@ pub fn journal_summary(journal: &Journal) -> Table {
                     format!("top-{budget} fully simulated per generation"),
                 ]);
             }
+            JournalRecord::Repair { index, rerolls } => {
+                t.row(vec![
+                    "repair".into(),
+                    format!("generation {index}: {rerolls} slot re-rolls"),
+                ]);
+            }
             JournalRecord::ParetoFront(f) => {
                 // The following generation record carries the scores;
                 // here only the front size is worth a row.
@@ -324,6 +330,28 @@ pub fn journal_summary(journal: &Journal) -> Table {
                             "point {index}: {volts:.4} V @ {:.0} MHz, margin {:.4} V",
                             clock_hz / 1e6,
                             r.margin
+                        ),
+                    ]);
+                }
+            }
+            JournalRecord::MinimizeStep {
+                step,
+                kept,
+                outcome,
+                droop,
+                ..
+            } => {
+                // Same write-ahead discipline as vmin_step: skip the
+                // pending shadows so each settled probe is one row.
+                if outcome.is_terminal() {
+                    t.row(vec![
+                        "minimize_step".into(),
+                        format!(
+                            "step {step}: {kept} insts {}{}",
+                            outcome.as_str(),
+                            droop
+                                .map(|d| format!(", droop {d:.4} V"))
+                                .unwrap_or_default()
                         ),
                     ]);
                 }

@@ -128,6 +128,29 @@ fn fixture_records() -> Vec<JournalRecord> {
             steps: 9,
         }),
     });
+    // The analyzer-loop kinds (additive, same schema version): one
+    // generation's lint-repair accounting, and a minimize probe
+    // journaled write-ahead — the pending line first, then the
+    // terminal line carrying the measured droop. `key` of 2^53+3 pins
+    // the beyond-f64 u64 codec for the subset content key.
+    mem.records.push(JournalRecord::Repair {
+        index: 2,
+        rerolls: 17,
+    });
+    mem.records.push(JournalRecord::MinimizeStep {
+        step: 3,
+        kept: 6,
+        key: 9_007_199_254_740_995,
+        outcome: VminOutcome::Pending,
+        droop: None,
+    });
+    mem.records.push(JournalRecord::MinimizeStep {
+        step: 3,
+        kept: 6,
+        key: 9_007_199_254_740_995,
+        outcome: VminOutcome::Passed,
+        droop: Some(0.020625),
+    });
     evolve_journaled(
         &fixture_cfg(),
         &Opcode::stress_menu(),
@@ -172,7 +195,15 @@ fn golden_journal_decodes() {
     assert_eq!(kinds[..3], ["run_start", "phase_start", "phase_end"]);
     assert_eq!(kinds[kinds.len() - 2..], ["ga_end", "run_end"]);
     assert!(kinds.iter().filter(|k| **k == "generation").count() >= 2);
-    for kind in ["vmin_step", "retry", "quarantine", "pareto_front", "shmoo_point"] {
+    for kind in [
+        "vmin_step",
+        "retry",
+        "quarantine",
+        "pareto_front",
+        "shmoo_point",
+        "repair",
+        "minimize_step",
+    ] {
         assert!(kinds.contains(&kind), "fixture lost its `{kind}` record");
     }
 
@@ -312,6 +343,28 @@ fn schema_field_names_are_pinned() {
         !shmoo_pending.contains("\"v_fail\""),
         "pending shmoo_point grew result fields"
     );
+    let repair = text
+        .lines()
+        .find(|l| l.contains("\"repair\""))
+        .expect("a repair record");
+    for key in ["\"index\"", "\"rerolls\""] {
+        assert!(repair.contains(key), "repair record lost {key}");
+    }
+    let minimize_done = text
+        .lines()
+        .find(|l| l.contains("\"minimize_step\"") && l.contains("\"droop\""))
+        .expect("a terminal minimize_step record");
+    for key in ["\"step\"", "\"kept\"", "\"key\"", "\"outcome\"", "\"droop\""] {
+        assert!(minimize_done.contains(key), "minimize_step record lost {key}");
+    }
+    let minimize_pending = text
+        .lines()
+        .find(|l| l.contains("\"minimize_step\"") && l.contains("\"pending\""))
+        .expect("a pending minimize_step record");
+    assert!(
+        !minimize_pending.contains("\"droop\""),
+        "pending minimize_step grew a droop field"
+    );
 }
 
 #[test]
@@ -332,6 +385,26 @@ fn journal_without_resilience_kinds_still_decodes() {
     let journal = Journal::parse(&old).expect("pre-resilience journal decodes");
     assert!(journal.is_complete());
     assert!(journal.phase_payload("resonance").is_some());
+    let section = journal.last_ga_section().expect("GA section");
+    assert!(section.complete);
+    assert_eq!(section.cfg, &fixture_cfg());
+}
+
+#[test]
+fn journal_without_analyzer_loop_kinds_still_decodes() {
+    // `repair` and `minimize_step` are additive as well: a journal
+    // written before the analyzer↔GA loop existed (the fixture minus
+    // those lines) must decode, report completeness, and keep its GA
+    // section intact.
+    let text = std::fs::read_to_string(fixture_path()).expect("golden fixture exists");
+    let old: String = text
+        .lines()
+        .filter(|l| !l.contains("\"repair\"") && !l.contains("\"minimize_step\""))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    assert!(old.len() < text.len(), "filter removed nothing");
+    let journal = Journal::parse(&old).expect("pre-analyzer-loop journal decodes");
+    assert!(journal.is_complete());
     let section = journal.last_ga_section().expect("GA section");
     assert!(section.complete);
     assert_eq!(section.cfg, &fixture_cfg());

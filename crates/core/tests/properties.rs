@@ -97,6 +97,86 @@ proptest! {
         }
     }
 
+    /// Lint-driven repair off (the default) is byte-invisible: for any
+    /// seed, a run with `lint_repair: false` spelled out journals the
+    /// exact same records as one using the default config, no record
+    /// mentions repair, and re-running is bit-identical — the journal
+    /// compatibility contract that keeps old checkpoints replayable.
+    #[test]
+    fn lint_repair_off_is_byte_invisible(seed in any::<u64>()) {
+        let run = |lint_repair: bool| {
+            let cfg = GaConfig {
+                population: 6,
+                generations: 2,
+                stall_generations: 2,
+                seed,
+                threads: 1,
+                lint_repair,
+                ..GaConfig::default()
+            };
+            let mut mem = MemJournal::default();
+            evolve_journaled(
+                &cfg,
+                &Opcode::stress_menu(),
+                6,
+                &[],
+                |g: &[Gene]| g.iter().filter(|x| x.opcode == Opcode::IMul).count() as f64,
+                &mut mem,
+            )
+            .expect("tiny GA runs");
+            mem.records
+        };
+        let default_off = run(false);
+        prop_assert_eq!(&default_off, &run(false)); // determinism
+        for record in &default_off {
+            prop_assert!(
+                !matches!(record, JournalRecord::Repair { .. }),
+                "seed {seed}: repair record journaled with repair off"
+            );
+            let line = record.to_json().encode();
+            prop_assert!(!line.contains("lint_repair"), "seed {seed}: {line}");
+        }
+    }
+
+    /// With repair on, every journaled population — initial and bred
+    /// alike — is lint-clean under the repair deny set: zero deny-level
+    /// findings survive into any generation the GA evaluates.
+    #[test]
+    fn lint_repair_populations_are_lint_clean(seed in any::<u64>()) {
+        use audit_core::ga::offending_slots;
+
+        let cfg = GaConfig {
+            population: 8,
+            generations: 3,
+            stall_generations: 3,
+            seed,
+            threads: 1,
+            lint_repair: true,
+            ..GaConfig::default()
+        };
+        let mut mem = MemJournal::default();
+        evolve_journaled(
+            &cfg,
+            &Opcode::stress_menu(),
+            6,
+            &[],
+            |g: &[Gene]| g.iter().filter(|x| x.opcode == Opcode::IMul).count() as f64,
+            &mut mem,
+        )
+        .expect("tiny GA runs");
+        for record in &mem.records {
+            let JournalRecord::Generation(generation) = record else { continue };
+            for genome in &generation.population {
+                let slots = offending_slots(genome);
+                prop_assert!(
+                    slots.is_empty(),
+                    "seed {seed}, gen {}: deny-level lints at slots {slots:?}",
+                    generation.index
+                );
+            }
+        }
+    }
+
     /// The activity waveform has exactly H high cycles per period.
     #[test]
     fn activity_pattern_duty(h in 1u32..64, l in 1u32..64) {

@@ -42,6 +42,22 @@ impl From<ParseError> for AuditError {
     }
 }
 
+/// Byte span of one body instruction in its `.prog` source text:
+/// exactly the instruction's own characters (leading indentation and
+/// the line terminator excluded), so `&text[span.start..span.end]` is
+/// the instruction as written. This is what lets diagnostics from
+/// `audit-analyze` (which carry body indices) be rendered against the
+/// original source by editors and `lint --json` consumers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// 1-based source line.
+    pub line: usize,
+    /// Byte offset of the instruction's first character.
+    pub start: usize,
+    /// Byte offset one past the instruction's last character.
+    pub end: usize,
+}
+
 fn keyword(op: Opcode) -> &'static str {
     match op {
         Opcode::Nop => "nop",
@@ -151,27 +167,37 @@ pub fn try_parse(text: &str) -> Result<Program, AuditError> {
 }
 
 /// Parses a program and returns, for each instruction of the body, the
-/// 1-based source line it came from. This is what lets diagnostics from
-/// `audit-analyze` (which carry body indices) be reported against the
-/// original `.prog` text.
+/// [`Span`] of the source it came from.
 ///
 /// # Errors
 ///
 /// Returns [`ParseError`] locating the first malformed line.
-pub fn parse_spanned(text: &str) -> Result<(Program, Vec<usize>), ParseError> {
+pub fn parse_spanned(text: &str) -> Result<(Program, Vec<Span>), ParseError> {
     let mut name = "unnamed".to_string();
     let mut body = Vec::new();
     let mut spans = Vec::new();
-    for (idx, raw) in text.lines().enumerate() {
+    let mut pos = 0usize;
+    for (idx, full) in text.split('\n').enumerate() {
         let line_no = idx + 1;
+        let line_start = pos;
+        pos += full.len() + 1;
         let err = |message: String| ParseError {
             line: line_no,
             message,
         };
+        let raw = full.strip_suffix('\r').unwrap_or(full);
         let line = raw.trim();
         if line.is_empty() {
             continue;
         }
+        // The instruction's own bytes: indentation and trailing
+        // whitespace trimmed off, offsets into the original text.
+        let start = line_start + (raw.len() - raw.trim_start().len());
+        let span = Span {
+            line: line_no,
+            start,
+            end: start + line.len(),
+        };
         if let Some(rest) = line.strip_prefix('#') {
             if let Some(n) = rest.trim().strip_prefix("name:") {
                 name = n.trim().to_string();
@@ -184,7 +210,7 @@ pub fn parse_spanned(text: &str) -> Result<(Program, Vec<usize>), ParseError> {
             opcode_from(op_word).ok_or_else(|| err(format!("unknown opcode `{op_word}`")))?;
         if opcode.is_nop() {
             body.push(Inst::new(Opcode::Nop));
-            spans.push(line_no);
+            spans.push(span);
             continue;
         }
         let dst = reg_from(words.next().ok_or_else(|| err("missing dst".into()))?).map_err(&err)?;
@@ -254,7 +280,7 @@ pub fn parse_spanned(text: &str) -> Result<(Program, Vec<usize>), ParseError> {
             }
         }
         body.push(inst);
-        spans.push(line_no);
+        spans.push(span);
     }
     if body.is_empty() {
         return Err(ParseError {
@@ -327,7 +353,21 @@ mod tests {
         let text = "# name: spans\n\nnop\n# comment\niadd r0 r8 r9 t=1.00\n\nstore - r0 r9 t=1.00\n";
         let (program, spans) = parse_spanned(text).unwrap();
         assert_eq!(program.len(), 3);
-        assert_eq!(spans, vec![3, 5, 7]);
+        assert_eq!(spans.iter().map(|s| s.line).collect::<Vec<_>>(), [3, 5, 7]);
+        // Byte offsets slice the original text back to the instruction.
+        assert_eq!(&text[spans[0].start..spans[0].end], "nop");
+        assert_eq!(&text[spans[1].start..spans[1].end], "iadd r0 r8 r9 t=1.00");
+        assert_eq!(&text[spans[2].start..spans[2].end], "store - r0 r9 t=1.00");
+    }
+
+    #[test]
+    fn spans_exclude_indentation_and_crlf() {
+        let text = "# name: ws\r\n  nop  \r\n\tiadd r0 r8 r9 t=1.00\r\n";
+        let (program, spans) = parse_spanned(text).unwrap();
+        assert_eq!(program.len(), 2);
+        assert_eq!(&text[spans[0].start..spans[0].end], "nop");
+        assert_eq!(&text[spans[1].start..spans[1].end], "iadd r0 r8 r9 t=1.00");
+        assert_eq!(spans[1].line, 3);
     }
 
     #[test]

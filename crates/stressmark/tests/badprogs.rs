@@ -30,6 +30,12 @@ fn corpus() -> Vec<(&'static str, &'static str, Code, Setup)> {
             Setup::LegacyPreamble,
         ),
         (
+            "aud001_fma_accumulator.prog",
+            include_str!("fixtures/aud001_fma_accumulator.prog"),
+            Code::UseBeforeDef,
+            Setup::LegacyPreamble,
+        ),
+        (
             "aud002_register_out_of_range.prog",
             include_str!("fixtures/aud002_register_out_of_range.prog"),
             Code::RegisterOutOfRange,
@@ -68,6 +74,12 @@ fn corpus() -> Vec<(&'static str, &'static str, Code, Setup)> {
         (
             "aud101_dead_value.prog",
             include_str!("fixtures/aud101_dead_value.prog"),
+            Code::DeadValue,
+            Setup::DenyDeadValue,
+        ),
+        (
+            "aud101_loop_edge_dead.prog",
+            include_str!("fixtures/aud101_loop_edge_dead.prog"),
             Code::DeadValue,
             Setup::DenyDeadValue,
         ),
@@ -166,15 +178,58 @@ fn fixtures_are_clean_under_the_fixed_preamble_where_expected() {
 }
 
 #[test]
+fn loop_edge_liveness_flags_only_the_clobbered_write() {
+    // The circular analysis behind AUD101: the last instruction's
+    // write (r2) survives to the next iteration's first read and must
+    // not be flagged; only the clobbered r1 write is dead.
+    let (_, text, _, setup) = corpus()
+        .into_iter()
+        .find(|(file, ..)| *file == "aud101_loop_edge_dead.prog")
+        .unwrap();
+    let diags = analyze(text, &setup);
+    let dead: Vec<Option<usize>> = diags
+        .iter()
+        .filter(|d| d.code == Code::DeadValue)
+        .map(|d| d.inst_index)
+        .collect();
+    assert_eq!(dead, vec![Some(1)], "{diags:?}");
+}
+
+#[test]
+fn fma_accumulator_read_is_a_dataflow_use() {
+    // The FMA fixture has no undefined *source*: the undefined read is
+    // the destination-as-accumulator, visible only to the dataflow use
+    // set. Under the fixed preamble the same program is clean.
+    let (_, text, _, setup) = corpus()
+        .into_iter()
+        .find(|(file, ..)| *file == "aud001_fma_accumulator.prog")
+        .unwrap();
+    let diags = analyze(text, &setup);
+    let diag = diags.iter().find(|d| d.code == Code::UseBeforeDef).unwrap();
+    assert_eq!(diag.inst_index, Some(0));
+    let program = progfile::parse(text).unwrap();
+    assert!(check(&program, &VerifyTarget::permissive(), &LintConfig::new()).is_empty());
+}
+
+#[test]
 fn spanned_parse_maps_diagnostics_to_fixture_lines() {
-    let (_, text, expected, setup) = &corpus()[1]; // aud002, single inst
+    let corpus = corpus();
+    let (_, text, expected, setup) = corpus
+        .iter()
+        .find(|(file, ..)| *file == "aud002_register_out_of_range.prog")
+        .unwrap(); // single-instruction fixture
     let (program, spans) = progfile::parse_spanned(text).unwrap();
     let diags = {
         let _ = setup;
         check(&program, &VerifyTarget::permissive(), &LintConfig::new())
     };
     let diag = diags.iter().find(|d| d.code == *expected).unwrap();
-    let line = spans[diag.inst_index.unwrap()];
-    // The offending instruction sits on the line the span table says.
-    assert_eq!(text.lines().nth(line - 1).unwrap().trim(), "iadd r0 r20 r8 t=1.00");
+    let span = spans[diag.inst_index.unwrap()];
+    // The offending instruction sits on the line the span table says,
+    // and the byte span slices the source back to it exactly.
+    assert_eq!(
+        text.lines().nth(span.line - 1).unwrap().trim(),
+        "iadd r0 r20 r8 t=1.00"
+    );
+    assert_eq!(&text[span.start..span.end], "iadd r0 r20 r8 t=1.00");
 }

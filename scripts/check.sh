@@ -38,11 +38,25 @@ fi
 echo "==> cargo doc (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --document-private-items
 
-echo "==> cargo clippy (warnings are errors)"
-cargo clippy --workspace --all-targets -- -D warnings
+echo "==> cargo clippy (warnings are errors; deprecated calls are errors)"
+# `-D deprecated` keeps the workspace off the deprecated scalar
+# `FitnessSpec::evaluate`/`evaluate_batch` wrappers (and anything else
+# we deprecate later): internal callers must migrate, only the pinned
+# `#[allow(deprecated)]` equivalence test may touch them.
+cargo clippy --workspace --all-targets -- -D warnings -D deprecated
 
 echo "==> self-lint (every built-in program must be clean)"
 cargo run --release -q -p audit-cli --bin audit -- lint --all-builtins --deny-warnings
+
+echo "==> minimized-corpus re-lint (checked-in kernels stay publishable)"
+# The regression corpus under tests/fixtures/minimized/ was produced by
+# `audit minimize`; every witness and kernel must survive the strictest
+# lint gate, so a lint-catalog change that poisons the corpus fails
+# here (minimized_corpus.rs pins the same contract in-process).
+for f in crates/stressmark/tests/fixtures/minimized/*.prog; do
+    cargo run --release -q -p audit-cli --bin audit -- lint "$f" --deny-warnings > /dev/null \
+        || { echo "minimized corpus file $f is not lint-clean" >&2; exit 1; }
+done
 
 echo "==> cascade perf gate (≥2x candidate throughput at a fixed sim budget)"
 # The ext_cascade_scaling bin asserts the thresholds itself — ≥2x
@@ -63,6 +77,17 @@ echo "==> shmoo gate (3x3 V/F surface, mid-plane kill/resume byte-identity)"
 AUDIT_FAST=1 cargo run --release -q -p audit-bench --bin ext_shmoo
 [[ -s BENCH_shmoo.json ]] \
     || { echo "ext_shmoo did not write BENCH_shmoo.json" >&2; exit 1; }
+
+echo "==> minimize gate (ddmin strips freeloaders, mid-search kill/resume byte-identity)"
+# The ext_minimize bin minimizes a padded witness (dense SimdFma core +
+# NOP freeloaders), asserts the kernel is strictly smaller with ≥90% of
+# the baseline droop and that only core instructions survive, simulates
+# a mid-search kill at a terminal probe boundary, and asserts the
+# resumed search settles the same kernel with a byte-identical journal
+# (docs/ANALYSIS.md). It writes the BENCH_minimize.json artifact.
+AUDIT_FAST=1 cargo run --release -q -p audit-bench --bin ext_minimize
+[[ -s BENCH_minimize.json ]] \
+    || { echo "ext_minimize did not write BENCH_minimize.json" >&2; exit 1; }
 
 echo "==> fault-injection smoke (Vmin checkpoint survives a kill)"
 # A crash-prone checkpointed Vmin search, killed after its first settled
@@ -94,6 +119,30 @@ head -n "$cut" "$smoke_dir/shmoo.ndjson" > "$smoke_dir/shmoo-killed.ndjson"
 "${audit[@]}" shmoo --resume "$smoke_dir/shmoo-killed.ndjson" > "$smoke_dir/shmoo-resumed.out"
 cmp "$smoke_dir/shmoo.ndjson" "$smoke_dir/shmoo-killed.ndjson" \
     || { echo "resumed shmoo journal is not byte-identical" >&2; exit 1; }
+# Same discipline for a checkpointed witness minimization through the
+# CLI, killed right after its first terminal probe: the resumed search
+# must replay that probe, settle the same kernel, and rebuild the
+# byte-identical journal (docs/ANALYSIS.md). Minimize records carry no
+# wall-clock telemetry, so a plain cmp is the contract.
+{
+    echo "# name: smoke-witness"
+    for i in 0 1 2 3; do echo "simdfma f$i f12 f13 t=1.00"; done
+    for _ in $(seq 1 8); do echo "nop"; done
+} > "$smoke_dir/witness.prog"
+"${audit[@]}" minimize "$smoke_dir/witness.prog" --fast --threads 2 \
+    --checkpoint "$smoke_dir/min.ndjson" --out "$smoke_dir/kernel.prog" \
+    > "$smoke_dir/min.out"
+cut=$(grep -nE '"kind":"minimize_step".*"droop"' "$smoke_dir/min.ndjson" \
+    | head -1 | cut -d: -f1)
+head -n "$cut" "$smoke_dir/min.ndjson" > "$smoke_dir/min-killed.ndjson"
+"${audit[@]}" minimize --resume "$smoke_dir/min-killed.ndjson" \
+    --out "$smoke_dir/kernel-resumed.prog" > "$smoke_dir/min-resumed.out"
+cmp "$smoke_dir/min.ndjson" "$smoke_dir/min-killed.ndjson" \
+    || { echo "resumed minimize journal is not byte-identical" >&2; exit 1; }
+cmp "$smoke_dir/kernel.prog" "$smoke_dir/kernel-resumed.prog" \
+    || { echo "resumed minimize kernel drifted from the uninterrupted run" >&2; exit 1; }
+"${audit[@]}" lint "$smoke_dir/kernel.prog" --deny-warnings > /dev/null \
+    || { echo "minimized kernel is not lint-clean" >&2; exit 1; }
 # Same discipline for a faulty checkpointed GA run, killed after its
 # first completed generation. Journals are compared modulo `wall_s`
 # (wall-clock telemetry legitimately differs on resume, RUN_JOURNAL.md);
