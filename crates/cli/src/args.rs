@@ -58,6 +58,12 @@ const VALUE_FLAGS: &[&str] = &[
     "--connect",
     "--min-workers",
     "--window",
+    "--heartbeat",
+    "--dead-after",
+    "--net-faults",
+    "--verify-fraction",
+    "--connect-for",
+    "--connect-retry",
     "--fast-tier-budget",
     "--eval-batch",
     "--objective",

@@ -15,7 +15,8 @@ use audit_core::shmoo::{ShmooResult, ShmooSweep};
 use audit_core::AuditError;
 use audit_cpu::{ChipConfig, Program};
 use audit_measure::json::JsonValue;
-use audit_net::{run_worker, Broker, BrokerConfig, EvalContext, WorkerOptions};
+use audit_measure::traceio::{self, FsckVerdict};
+use audit_net::{run_worker, Broker, BrokerConfig, EvalContext, NetFaultPlan, WorkerOptions};
 use audit_stressmark::{manual, nasm, progfile, workloads};
 
 use crate::args::{ArgError, Args};
@@ -85,6 +86,9 @@ USAGE:
 
   audit serve      [generate flags] [--listen HOST:PORT|unix:/path]
                    [--min-workers N] [--window N]
+                   [--heartbeat MS] [--dead-after MS]
+                   [--net-faults SEED:drop=P,dup=P,corrupt=P,stall=P,lie=P]
+                   [--verify-fraction F]
       `generate`, but fitness evaluations are dispatched to worker
       processes (`audit work`) over TCP or a Unix socket. Equivalent
       to `audit generate --distributed`. Results, journals, and
@@ -93,12 +97,37 @@ USAGE:
       deterministically on the survivors. --listen defaults to
       127.0.0.1:0 (the bound port is printed); --min-workers (default
       1) blocks until that many workers join; --window bounds
-      in-flight evaluations per worker (default 2).
+      in-flight evaluations per worker (default 2). --heartbeat
+      (default 1000 ms) paces liveness pings; --dead-after (default
+      10000 ms, must exceed --heartbeat) declares a silent worker lost
+      and doubles as the dispatch lease. --verify-fraction (0..=1,
+      default 0) cross-validates that hash-selected fraction of jobs
+      on two workers and evicts any worker whose answer loses the
+      vote. --net-faults arms deterministic chaos at the broker's wire
+      boundary (drops, duplicates, bit-flips, stalls, byzantine lies
+      — see docs/ROBUSTNESS.md); every decision is a pure hash, so a
+      chaos campaign replays exactly. None of these knobs touch
+      results or journal bytes.
 
   audit work       --connect HOST:PORT|unix:/path
+                   [--connect-for MS] [--connect-retry MS]
       Join a broker and serve fitness evaluations until released. The
       worker learns the chip, operating point, and fitness function
-      from the broker — no other flags needed.
+      from the broker — no other flags needed. --connect-for (default
+      30000 ms) bounds how long to keep trying the initial connect;
+      --connect-retry (default 100 ms) is the base of the worker's
+      jittered exponential backoff. A worker severed mid-run (broker
+      restart, eviction, network fault) automatically rejoins while
+      the broker is reachable and exits cleanly once it is gone.
+
+  audit journal    fsck <run.ndjson> [--repair]
+      Classify a checkpoint journal or dispatch WAL: clean, torn tail
+      (the ordinary crash signature --resume already tolerates), or
+      corrupt interior (bit rot --resume refuses). Reports the longest
+      valid prefix and a per-kind record census. With --repair the
+      file is atomically truncated to that prefix, reviving the
+      checkpoint for --resume. Exits non-zero if the file is (still)
+      not resumable.
 
   audit measure    (--workload NAME | --stressmark NAME | --file X.prog)
                    [--threads N] [--chip C] [--volts V] [--throttle N]
@@ -271,10 +300,26 @@ pub fn work(args: &Args) -> Result<(), ArgError> {
     let connect = args
         .opt_flag("--connect")
         .ok_or_else(|| ArgError("audit work needs --connect HOST:PORT or unix:/path".into()))?;
+    let connect_for = args.num_flag("--connect-for", 30_000u64)?;
+    let connect_retry = args.num_flag("--connect-retry", 100u64)?;
+    if connect_retry == 0 {
+        return Err(ArgError("--connect-retry must be at least 1 ms".into()));
+    }
     args.reject_unknown()?;
 
+    let opts = WorkerOptions {
+        connect_for: std::time::Duration::from_millis(connect_for),
+        connect_retry: std::time::Duration::from_millis(connect_retry),
+        // Decorrelate a fleet's retry storms; the schedule of any one
+        // worker process stays reproducible.
+        jitter_salt: u64::from(std::process::id()),
+        // A worker process severed mid-run (broker restart, eviction,
+        // chaos) rejoins while the broker is reachable.
+        rejoin: true,
+        max_evals: None,
+    };
     println!("worker connecting to {connect}…");
-    let stats = run_worker(&connect, &WorkerOptions::default()).map_err(core_err)?;
+    let stats = run_worker(&connect, &opts).map_err(core_err)?;
     println!(
         "served {} evaluation(s); {}",
         stats.evaluations,
@@ -287,21 +332,117 @@ pub fn work(args: &Args) -> Result<(), ArgError> {
     Ok(())
 }
 
-/// The distribution flags (`--listen`, `--min-workers`, `--window`).
+/// `audit journal`: offline journal maintenance. Currently one
+/// subcommand, `fsck`.
+pub fn journal(args: &Args) -> Result<(), ArgError> {
+    match (
+        args.positionals().get(1).map(String::as_str),
+        args.positionals().get(2),
+    ) {
+        (Some("fsck"), Some(path)) => journal_fsck(args, path),
+        (Some(other), _) if other != "fsck" => Err(ArgError(format!(
+            "unknown journal subcommand `{other}` (expected `fsck`)"
+        ))),
+        _ => Err(ArgError(
+            "usage: audit journal fsck <run.ndjson> [--repair]".into(),
+        )),
+    }
+}
+
+/// `audit journal fsck`: classify (and optionally repair) a checkpoint
+/// journal or dispatch WAL.
+fn journal_fsck(args: &Args, path: &str) -> Result<(), ArgError> {
+    let repair = args.bool_flag("--repair");
+    args.reject_unknown()?;
+
+    let report = if repair {
+        traceio::fsck_repair(path)
+    } else {
+        traceio::fsck(path)
+    }
+    .map_err(core_err)?;
+
+    let verdict = match report.verdict {
+        FsckVerdict::Clean => "clean".to_string(),
+        FsckVerdict::TornTail => "torn tail (crash mid-append; --resume drops it)".to_string(),
+        FsckVerdict::CorruptInterior { line } => {
+            format!("corrupt interior (first damaged line: {line})")
+        }
+    };
+    println!("{path}: {verdict}");
+    println!(
+        "  valid prefix: {} of {} bytes, {} record(s)",
+        report.valid_bytes, report.total_bytes, report.records
+    );
+    let mut t = Table::new(vec!["kind", "records"]);
+    for (kind, n) in &report.kind_counts {
+        t.row(vec![kind.clone(), n.to_string()]);
+    }
+    if report.records > 0 {
+        println!("{t}");
+    }
+    if repair && report.verdict != FsckVerdict::Clean {
+        println!(
+            "repaired: truncated to the {}-byte valid prefix",
+            report.valid_bytes
+        );
+    }
+    if !repair && !report.resumable() {
+        return Err(ArgError(format!(
+            "{path} is not resumable; re-run with --repair to truncate \
+             it to its valid prefix"
+        )));
+    }
+    Ok(())
+}
+
+/// The distribution flags (`--listen`, `--min-workers`, `--window`,
+/// `--heartbeat`, `--dead-after`, `--verify-fraction`, `--net-faults`).
 /// Deliberately *not* recorded in the checkpoint metadata: they are
 /// result-neutral, so a local and a distributed run of the same
-/// configuration produce byte-identical journals.
+/// configuration produce byte-identical journals — including a run
+/// under chaos, whose defenses (re-dispatch, cross-validation,
+/// eviction) converge on the same bytes.
 struct DistFlags {
     listen: String,
     min_workers: usize,
     window: usize,
+    heartbeat: std::time::Duration,
+    dead_after: std::time::Duration,
+    verify_fraction: f64,
+    chaos: NetFaultPlan,
 }
 
 fn dist_flags(args: &Args) -> Result<DistFlags, ArgError> {
+    let heartbeat = args.num_flag("--heartbeat", 1000u64)?;
+    let dead_after = args.num_flag("--dead-after", 10_000u64)?;
+    if heartbeat == 0 {
+        return Err(ArgError("--heartbeat must be at least 1 ms".into()));
+    }
+    if dead_after <= heartbeat {
+        return Err(ArgError(format!(
+            "--dead-after ({dead_after} ms) must exceed --heartbeat ({heartbeat} ms); \
+             a worker must miss at least one ping before it is declared lost"
+        )));
+    }
+    let verify_fraction = args.num_flag("--verify-fraction", 0.0f64)?;
+    if !(0.0..=1.0).contains(&verify_fraction) {
+        return Err(ArgError(format!(
+            "--verify-fraction must be within 0..=1, got {verify_fraction}"
+        )));
+    }
+    let chaos = match args.opt_flag("--net-faults") {
+        Some(spec) => NetFaultPlan::parse(&spec).map_err(core_err)?,
+        None => NetFaultPlan::disabled(),
+    };
     Ok(DistFlags {
         listen: args.str_flag("--listen", "127.0.0.1:0"),
         min_workers: args.num_flag("--min-workers", 1usize)?,
         window: args.num_flag("--window", 2usize)?,
+        heartbeat: std::time::Duration::from_millis(heartbeat),
+        dead_after: std::time::Duration::from_millis(dead_after),
+        verify_fraction,
+        chaos,
     })
 }
 
@@ -346,6 +487,10 @@ fn run_distributed(
     let cfg = BrokerConfig {
         seed: audit.options().ga.seed,
         window: dist.window.max(1),
+        heartbeat: dist.heartbeat,
+        dead_after: dist.dead_after,
+        verify_fraction: dist.verify_fraction,
+        chaos: dist.chaos,
         ..BrokerConfig::default()
     };
     let mut broker = Broker::bind(&dist.listen, &ctx, cfg).map_err(core_err)?;

@@ -13,7 +13,10 @@
 //! audit minimize   (<witness.prog> | <generate-ckpt.ndjson>) [--retain F]
 //!                  [--checkpoint run.ndjson | --resume run.ndjson] [--out kernel.prog]
 //! audit serve      [generate flags] [--listen ADDR] [--min-workers N] [--window N]
-//! audit work       --connect ADDR
+//!                  [--heartbeat MS] [--dead-after MS]
+//!                  [--net-faults SEED:drop=P,…] [--verify-fraction F]
+//! audit work       --connect ADDR [--connect-for MS] [--connect-retry MS]
+//! audit journal    fsck <run.ndjson> [--repair]
 //! audit lint       (<file.prog> | --builtin NAME | --all-builtins)
 //!                  [--chip C] [--json] [--deny-warnings] [--allow AUD###] [--deny AUD###]
 //! audit list
@@ -54,6 +57,7 @@ fn run(raw: Vec<String>) -> Result<(), String> {
         "minimize" => commands::minimize(&parsed),
         "serve" => commands::serve(&parsed),
         "work" => commands::work(&parsed),
+        "journal" => commands::journal(&parsed),
         "lint" => commands::lint(&parsed),
         "list" => commands::list(&parsed),
         "spice" => commands::spice(&parsed),

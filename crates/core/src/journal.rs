@@ -36,6 +36,7 @@
 //! | `retry`       | Vmin search       | `step`, `attempt`, `reason`, `backoff_cycles` |
 //! | `quarantine`  | Vmin search       | `step`, `attempts`, `fallback`     |
 //! | `shmoo_point` | DVFS shmoo sweep  | `index`, `volts`, `clock_hz`, `outcome` (+ results when `done`) |
+//! | `worker_evicted` | net broker WAL | `worker`, `key`, `quarantined`     |
 //! | `run_end`     | [`JournalWriter`] | —                                  |
 //!
 //! The three resilience kinds (`vmin_step`, `retry`, `quarantine`) are
@@ -54,6 +55,14 @@
 //! DVFS shmoo driver ([`crate::shmoo`]) brackets each operating point
 //! with a pending `shmoo_point` before its Vmin search and a `done`
 //! record after, inheriting `vmin_step` crash tolerance mid-point.
+//!
+//! `worker_evicted` is additive the same way, and is a *dispatch-WAL*
+//! kind: the distributed broker (`audit-net`) appends it to its
+//! write-ahead log when cross-validation catches a worker returning
+//! wrong results — never to the checkpoint journal, so chaos-era runs
+//! keep journal bytes identical to in-process runs. It is defined here
+//! so the schema fixture pins its encoding and `audit journal fsck`
+//! counts it like any other kind.
 
 use std::fs;
 use std::io::Write as _;
@@ -294,6 +303,21 @@ pub enum JournalRecord {
         /// records only).
         droop: Option<f64>,
     },
+    /// A distributed broker evicted a worker whose result lost a
+    /// cross-validation vote (byzantine defense; see
+    /// `audit-net`'s broker). Written to the broker's dispatch WAL —
+    /// not the checkpoint journal — purely as telemetry: resume skips
+    /// it, and re-dispatch of the worker's in-flight jobs is what
+    /// restores correctness.
+    WorkerEvicted {
+        /// Broker-local id of the evicted worker connection.
+        worker: u64,
+        /// Content key of the job whose vote exposed the worker.
+        key: u64,
+        /// How many of the worker's in-flight jobs were pulled back
+        /// for re-dispatch alongside the eviction.
+        quarantined: u64,
+    },
     /// The run completed; nothing to resume.
     RunEnd,
 }
@@ -384,6 +408,7 @@ impl JournalRecord {
             JournalRecord::Quarantine { .. } => "quarantine",
             JournalRecord::ShmooPoint { .. } => "shmoo_point",
             JournalRecord::MinimizeStep { .. } => "minimize_step",
+            JournalRecord::WorkerEvicted { .. } => "worker_evicted",
             JournalRecord::RunEnd => "run_end",
         }
     }
@@ -573,6 +598,16 @@ impl JournalRecord {
                 }
                 JsonValue::object(fields)
             }
+            JournalRecord::WorkerEvicted {
+                worker,
+                key,
+                quarantined,
+            } => JsonValue::object(vec![
+                ("kind", JsonValue::String("worker_evicted".into())),
+                ("worker", JsonValue::from_u64(*worker)),
+                ("key", encode_u64(*key)),
+                ("quarantined", JsonValue::from_u64(*quarantined)),
+            ]),
             JournalRecord::RunEnd => {
                 JsonValue::object(vec![("kind", JsonValue::String("run_end".into()))])
             }
@@ -843,6 +878,14 @@ impl JournalRecord {
                     droop,
                 })
             }
+            "worker_evicted" => Ok(JournalRecord::WorkerEvicted {
+                worker: field_u64(v, "worker_evicted", "worker")?,
+                key: decode_u64(
+                    v.get("key")
+                        .ok_or_else(|| AuditError::journal(0, "worker_evicted has no `key`"))?,
+                )?,
+                quarantined: field_u64(v, "worker_evicted", "quarantined")?,
+            }),
             "run_end" => Ok(JournalRecord::RunEnd),
             other => Err(AuditError::journal(0, format!("unknown kind `{other}`"))),
         }
@@ -1120,7 +1163,8 @@ impl JournalWriter {
     ///
     /// # Errors
     ///
-    /// Returns [`AuditError::Io`] if the file cannot be written.
+    /// Returns [`AuditError::Journal`] if the file cannot be written
+    /// (the destination, if it existed, keeps its previous contents).
     pub fn create(
         path: impl AsRef<Path>,
         mode: &str,
@@ -1173,23 +1217,49 @@ impl JournalWriter {
     ///
     /// # Errors
     ///
-    /// Returns [`AuditError::Io`] on write failure.
+    /// Returns [`AuditError::Journal`] on write failure; the journal
+    /// file keeps its previous complete contents.
     pub fn finish(&mut self) -> Result<(), AuditError> {
         self.append(&JournalRecord::RunEnd)
     }
 
     fn flush(&self) -> Result<(), AuditError> {
         let tmp = self.path.with_extension("ndjson.tmp");
+        match self.flush_via(&tmp) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                // Write-failure degradation (disk full, pulled volume,
+                // permissions yanked): every byte of the failure landed
+                // in the `.tmp` sibling, so the destination still holds
+                // the previous complete journal — never a torn interior
+                // line. Sweep the sibling away and surface one clean
+                // journal error the caller can report.
+                let _ = fs::remove_file(&tmp);
+                Err(AuditError::journal(
+                    self.lines.len(),
+                    format!(
+                        "journal write to `{}` failed ({e}); \
+                         the file keeps its previous complete contents",
+                        self.path.display()
+                    ),
+                ))
+            }
+        }
+    }
+
+    /// The happy path of [`JournalWriter::flush`]: stage the full
+    /// journal in `tmp`, make it durable, rename it into place.
+    fn flush_via(&self, tmp: &Path) -> Result<(), AuditError> {
         let io_err = |e: &std::io::Error| AuditError::io(self.path.display(), e);
         {
-            let mut f = fs::File::create(&tmp).map_err(|e| io_err(&e))?;
+            let mut f = fs::File::create(tmp).map_err(|e| io_err(&e))?;
             for line in &self.lines {
                 f.write_all(line.as_bytes()).map_err(|e| io_err(&e))?;
                 f.write_all(b"\n").map_err(|e| io_err(&e))?;
             }
             f.sync_all().map_err(|e| io_err(&e))?;
         }
-        fs::rename(&tmp, &self.path).map_err(|e| io_err(&e))?;
+        fs::rename(tmp, &self.path).map_err(|e| io_err(&e))?;
         // Make the rename itself durable: without fsyncing the parent
         // directory, a power cut can roll the directory entry back to
         // the pre-rename file even though the data blocks were synced.
@@ -1361,7 +1431,8 @@ impl Journal {
                 // them.
                 JournalRecord::SurrogateBudget { .. }
                 | JournalRecord::Cascade { .. }
-                | JournalRecord::Repair { .. } => continue,
+                | JournalRecord::Repair { .. }
+                | JournalRecord::WorkerEvicted { .. } => continue,
                 JournalRecord::GaEnd => {
                     complete = true;
                     break;
@@ -1515,6 +1586,11 @@ mod tests {
                     steps: 7,
                 }),
             },
+            JournalRecord::WorkerEvicted {
+                worker: 3,
+                key: u64::MAX - 2, // forces the string encoding
+                quarantined: 2,
+            },
             JournalRecord::RunEnd,
         ];
         for r in &records {
@@ -1599,6 +1675,44 @@ mod tests {
         assert!(Journal::load(&path).unwrap().is_complete());
 
         // No stray tmp file survives.
+        assert!(!dir.join("run.ndjson.tmp").exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn writer_degrades_cleanly_when_the_disk_says_no() {
+        let dir = std::env::temp_dir().join(format!(
+            "audit-journal-enospc-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.ndjson");
+        let mut w = JournalWriter::create(&path, "ga", JsonValue::Null).unwrap();
+        let healthy = fs::read_to_string(&path).unwrap();
+
+        // Simulate the volume going away mid-run: every staging write
+        // now fails. The append must surface one clean journal error...
+        fs::remove_dir_all(&dir).unwrap();
+        let err = w
+            .append(&JournalRecord::Generation(sample_generation()))
+            .unwrap_err();
+        assert!(
+            matches!(err, AuditError::Journal { .. }),
+            "want a clean journal error, got {err}"
+        );
+        assert!(err.to_string().contains("previous complete contents"), "{err}");
+
+        // ...and once the volume returns, the writer still holds every
+        // record (including the one whose flush failed) and recovers to
+        // a complete, loadable journal — no torn interior line ever
+        // touches the destination.
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(&path, &healthy).unwrap();
+        w.finish().unwrap();
+        let j = Journal::load(&path).unwrap();
+        assert!(j.is_complete());
+        assert_eq!(j.records.len(), 3);
         assert!(!dir.join("run.ndjson.tmp").exists());
         fs::remove_dir_all(&dir).unwrap();
     }

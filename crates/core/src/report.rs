@@ -356,6 +356,19 @@ pub fn journal_summary(journal: &Journal) -> Table {
                     ]);
                 }
             }
+            JournalRecord::WorkerEvicted {
+                worker,
+                key,
+                quarantined,
+            } => {
+                t.row(vec![
+                    "worker_evicted".into(),
+                    format!(
+                        "worker {worker} voted wrong on key {key:#x}; \
+                         {quarantined} jobs re-dispatched"
+                    ),
+                ]);
+            }
             JournalRecord::RunEnd => {
                 flush_ga(&mut t, &mut gens, &mut best);
                 t.row(vec!["run_end".into(), "run complete".into()]);

@@ -29,6 +29,13 @@
 //!   steps skip re-measurement while re-probed steps redraw the exact
 //!   fault schedule they would have seen uninterrupted.
 //!
+//! The distributed layer applies the same contract one level up: the
+//! `audit-net` broker's network fault injection (`NetFaultPlan`) and
+//! its defenses (dispatch leases, cross-validation, eviction) are all
+//! keyed by the same content-addressed [`genome_key`] hashes, so a
+//! chaos-ridden distributed run still reproduces this module's
+//! measurements bit-for-bit.
+//!
 //! See `docs/ROBUSTNESS.md` for the fault taxonomy and a resume
 //! walkthrough.
 

@@ -151,6 +151,15 @@ fn fixture_records() -> Vec<JournalRecord> {
         outcome: VminOutcome::Passed,
         droop: Some(0.020625),
     });
+    // The distributed-defense kind (additive, same schema version): a
+    // byzantine worker out-voted on a cross-validated job and evicted,
+    // its in-flight jobs re-dispatched. `key` of 2^53+5 pins the
+    // beyond-f64 u64 codec for genome content keys.
+    mem.records.push(JournalRecord::WorkerEvicted {
+        worker: 3,
+        key: 9_007_199_254_740_997,
+        quarantined: 2,
+    });
     evolve_journaled(
         &fixture_cfg(),
         &Opcode::stress_menu(),
@@ -203,6 +212,7 @@ fn golden_journal_decodes() {
         "shmoo_point",
         "repair",
         "minimize_step",
+        "worker_evicted",
     ] {
         assert!(kinds.contains(&kind), "fixture lost its `{kind}` record");
     }
@@ -365,6 +375,13 @@ fn schema_field_names_are_pinned() {
         !minimize_pending.contains("\"droop\""),
         "pending minimize_step grew a droop field"
     );
+    let evicted = text
+        .lines()
+        .find(|l| l.contains("\"worker_evicted\""))
+        .expect("a worker_evicted record");
+    for key in ["\"worker\"", "\"key\"", "\"quarantined\""] {
+        assert!(evicted.contains(key), "worker_evicted record lost {key}");
+    }
 }
 
 #[test]
@@ -404,6 +421,25 @@ fn journal_without_analyzer_loop_kinds_still_decodes() {
         .collect();
     assert!(old.len() < text.len(), "filter removed nothing");
     let journal = Journal::parse(&old).expect("pre-analyzer-loop journal decodes");
+    assert!(journal.is_complete());
+    let section = journal.last_ga_section().expect("GA section");
+    assert!(section.complete);
+    assert_eq!(section.cfg, &fixture_cfg());
+}
+
+#[test]
+fn journal_without_distributed_kinds_still_decodes() {
+    // `worker_evicted` is additive too: it normally lives in the net
+    // broker's WAL, but a journal carrying one (or an old journal with
+    // none) must decode with its GA section intact either way.
+    let text = std::fs::read_to_string(fixture_path()).expect("golden fixture exists");
+    let old: String = text
+        .lines()
+        .filter(|l| !l.contains("\"worker_evicted\""))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    assert!(old.len() < text.len(), "filter removed nothing");
+    let journal = Journal::parse(&old).expect("pre-distributed journal decodes");
     assert!(journal.is_complete());
     let section = journal.last_ga_section().expect("GA section");
     assert!(section.complete);

@@ -369,7 +369,9 @@ const STREAM_NOISE: u64 = 0x4E4F4953; // "NOIS"
 
 /// SplitMix64 finalizer — the same mixer the GA uses for per-generation
 /// RNG streams, so fault schedules inherit its avalanche behaviour.
-fn splitmix(z: u64) -> u64 {
+/// Public so other deterministic fault layers (e.g. the network chaos
+/// plan in `audit-net`) draw from the identical mixing discipline.
+pub fn splitmix(z: u64) -> u64 {
     let z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     let z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     let z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -377,12 +379,12 @@ fn splitmix(z: u64) -> u64 {
 }
 
 /// Combines two words into one well-mixed word.
-fn mix(a: u64, b: u64) -> u64 {
+pub fn mix(a: u64, b: u64) -> u64 {
     splitmix(a ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15))
 }
 
 /// Converts random bits into a uniform draw in `[0, 1)`.
-fn uniform(bits: u64) -> f64 {
+pub fn uniform(bits: u64) -> f64 {
     (bits >> 11) as f64 / (1u64 << 53) as f64
 }
 

@@ -8,6 +8,13 @@
 //! sample. Run journals (see `docs/RUN_JOURNAL.md`) are newline-delimited
 //! JSON; [`JournalReader`] iterates their records without interpreting
 //! them, tolerating the torn final line a crash can leave behind.
+//!
+//! [`fsck`] / [`fsck_repair`] go further: they classify a journal or
+//! dispatch WAL as clean, torn-tail, or corrupt-interior (bit rot that
+//! resume would refuse), report the longest valid prefix with a
+//! per-kind record census, and can atomically truncate the file back to
+//! that prefix so `--resume` accepts a previously dead checkpoint. This
+//! backs `audit journal fsck`.
 
 use std::io::{self, BufRead, Write};
 use std::path::Path;
@@ -238,6 +245,180 @@ impl JournalReader {
     }
 }
 
+/// How `fsck` classified an NDJSON journal (or dispatch WAL).
+///
+/// The classification is deliberately three-way because the recovery
+/// story differs: a [`FsckVerdict::TornTail`] is the ordinary signature
+/// of a crash mid-append and resume already tolerates it; a
+/// [`FsckVerdict::CorruptInterior`] (bit rot, a bad sector, a chaos
+/// campaign's bit-flip landing in storage) would make resume refuse the
+/// whole file — until [`fsck_repair`] truncates it back to the longest
+/// valid prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsckVerdict {
+    /// Every line is a complete record; nothing to repair.
+    Clean,
+    /// Only the final line is damaged — the crash-tail pattern that
+    /// resume already drops on its own.
+    TornTail,
+    /// A damaged line has complete lines *after* it; resume would
+    /// error. `line` is the 1-based number of the first bad line.
+    CorruptInterior {
+        /// 1-based line number of the first damaged line.
+        line: usize,
+    },
+}
+
+/// What `fsck` found: the verdict, the longest valid prefix, and a
+/// per-kind census of the records inside that prefix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FsckReport {
+    /// The classification (see [`FsckVerdict`]).
+    pub verdict: FsckVerdict,
+    /// Byte length of the longest valid prefix — what [`fsck_repair`]
+    /// truncates the file to.
+    pub valid_bytes: u64,
+    /// Total byte length of the file as found.
+    pub total_bytes: u64,
+    /// Complete records inside the valid prefix.
+    pub records: usize,
+    /// `(kind, count)` census of the valid prefix, in first-seen order.
+    pub kind_counts: Vec<(String, usize)>,
+}
+
+impl FsckReport {
+    /// True when resume would accept the file as-is (clean, or the
+    /// torn tail resume already tolerates).
+    pub fn resumable(&self) -> bool {
+        !matches!(self.verdict, FsckVerdict::CorruptInterior { .. })
+    }
+}
+
+/// Classifies raw journal bytes. See [`fsck`] for the file wrapper.
+///
+/// Operates on bytes, not `str`: a corrupted journal (the whole reason
+/// to fsck one) need not be valid UTF-8. A line is *valid* when it is
+/// UTF-8, parses as JSON, and is an object with a string `"kind"`;
+/// whitespace-only lines are tolerated as filler. The valid prefix ends
+/// just after the last valid line before the first damaged one.
+pub fn fsck_bytes(bytes: &[u8]) -> FsckReport {
+    let mut report = FsckReport {
+        verdict: FsckVerdict::Clean,
+        valid_bytes: 0,
+        total_bytes: bytes.len() as u64,
+        records: 0,
+        kind_counts: Vec::new(),
+    };
+    let mut offset = 0usize;
+    let mut line_no = 0usize;
+    let mut first_bad: Option<usize> = None;
+    let mut lines_after_bad = false;
+    while offset < bytes.len() {
+        let end = bytes[offset..]
+            .iter()
+            .position(|&b| b == b'\n')
+            .map_or(bytes.len(), |nl| offset + nl + 1);
+        let line = &bytes[offset..end];
+        line_no += 1;
+        let text = std::str::from_utf8(line).ok().map(str::trim);
+        let record = match text {
+            Some("") => None, // whitespace filler: valid, not a record
+            Some(t) => match JsonValue::parse(t) {
+                Ok(v) if v.get("kind").and_then(JsonValue::as_str).is_some() => Some(v),
+                _ => {
+                    if first_bad.is_none() {
+                        first_bad = Some(line_no);
+                    } else {
+                        lines_after_bad = true;
+                    }
+                    offset = end;
+                    continue;
+                }
+            },
+            None => {
+                if first_bad.is_none() {
+                    first_bad = Some(line_no);
+                } else {
+                    lines_after_bad = true;
+                }
+                offset = end;
+                continue;
+            }
+        };
+        if first_bad.is_some() {
+            // A complete line after damage: the damage is interior.
+            lines_after_bad = true;
+            offset = end;
+            continue;
+        }
+        if let Some(v) = record {
+            let kind = v
+                .get("kind")
+                .and_then(JsonValue::as_str)
+                .expect("validated above")
+                .to_string();
+            match report.kind_counts.iter_mut().find(|(k, _)| *k == kind) {
+                Some((_, n)) => *n += 1,
+                None => report.kind_counts.push((kind, 1)),
+            }
+            report.records += 1;
+        }
+        report.valid_bytes = end as u64;
+        offset = end;
+    }
+    report.verdict = match first_bad {
+        None => FsckVerdict::Clean,
+        Some(line) if lines_after_bad => FsckVerdict::CorruptInterior { line },
+        Some(_) => FsckVerdict::TornTail,
+    };
+    report
+}
+
+/// Classifies a journal (or dispatch WAL) file on disk: clean, torn
+/// tail, or corrupt interior, with the longest valid prefix and a
+/// per-kind record census. Never modifies the file — see
+/// [`fsck_repair`] for the truncating variant.
+///
+/// # Errors
+///
+/// Returns [`AuditError::Io`] if the file cannot be read.
+pub fn fsck(path: impl AsRef<Path>) -> Result<FsckReport, AuditError> {
+    let path = path.as_ref();
+    let bytes = std::fs::read(path).map_err(|e| AuditError::io(path.display(), &e))?;
+    Ok(fsck_bytes(&bytes))
+}
+
+/// Runs [`fsck`] and, when the file is damaged, atomically truncates it
+/// to its longest valid prefix: the prefix is staged in a `.fsck.tmp`
+/// sibling, fsynced, and renamed over the original, so a crash during
+/// repair leaves either the damaged original or the repaired file —
+/// never a third state. A clean file is left byte-untouched.
+///
+/// Returns the pre-repair report (so callers can print what was cut).
+///
+/// # Errors
+///
+/// Returns [`AuditError::Io`] if the file cannot be read or the
+/// repaired prefix cannot be staged and renamed into place.
+pub fn fsck_repair(path: impl AsRef<Path>) -> Result<FsckReport, AuditError> {
+    let path = path.as_ref();
+    let bytes = std::fs::read(path).map_err(|e| AuditError::io(path.display(), &e))?;
+    let report = fsck_bytes(&bytes);
+    if report.verdict == FsckVerdict::Clean {
+        return Ok(report);
+    }
+    let io_err = |e: &io::Error| AuditError::io(path.display(), e);
+    let tmp = path.with_extension("fsck.tmp");
+    {
+        let mut f = std::fs::File::create(&tmp).map_err(|e| io_err(&e))?;
+        f.write_all(&bytes[..report.valid_bytes as usize])
+            .map_err(|e| io_err(&e))?;
+        f.sync_all().map_err(|e| io_err(&e))?;
+    }
+    std::fs::rename(&tmp, path).map_err(|e| io_err(&e))?;
+    Ok(report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -356,5 +537,101 @@ mod tests {
         let r = JournalReader::parse("").unwrap();
         assert!(r.records().is_empty());
         assert!(!r.torn_tail());
+    }
+
+    #[test]
+    fn fsck_classifies_a_clean_journal() {
+        let text = concat!(
+            "{\"kind\":\"run_start\",\"schema\":1}\n",
+            "{\"kind\":\"generation\",\"index\":0}\n",
+            "{\"kind\":\"generation\",\"index\":1}\n",
+            "{\"kind\":\"run_end\"}\n",
+        );
+        let r = fsck_bytes(text.as_bytes());
+        assert_eq!(r.verdict, FsckVerdict::Clean);
+        assert!(r.resumable());
+        assert_eq!(r.valid_bytes, r.total_bytes);
+        assert_eq!(r.records, 4);
+        assert_eq!(
+            r.kind_counts,
+            vec![
+                ("run_start".to_string(), 1),
+                ("generation".to_string(), 2),
+                ("run_end".to_string(), 1),
+            ]
+        );
+        // Empty files are vacuously clean.
+        assert_eq!(fsck_bytes(b"").verdict, FsckVerdict::Clean);
+    }
+
+    #[test]
+    fn fsck_classifies_a_torn_tail() {
+        let good = b"{\"kind\":\"run_start\",\"schema\":1}\n";
+        for tail in [
+            b"{\"kind\":\"gener".as_slice(),
+            b"{}".as_slice(),
+            b"\xff\xfe garbage".as_slice(), // not even UTF-8
+        ] {
+            let mut text = good.to_vec();
+            text.extend_from_slice(tail);
+            let r = fsck_bytes(&text);
+            assert_eq!(r.verdict, FsckVerdict::TornTail, "tail `{tail:?}`");
+            assert!(r.resumable(), "resume already drops a torn tail");
+            assert_eq!(r.valid_bytes as usize, good.len());
+            assert_eq!(r.records, 1);
+        }
+    }
+
+    #[test]
+    fn fsck_classifies_a_corrupt_interior() {
+        let mut text = Vec::new();
+        text.extend_from_slice(b"{\"kind\":\"run_start\",\"schema\":1}\n");
+        text.extend_from_slice(b"{\"kind\":\"generation\",\"index\":0}\n");
+        // Bit rot: raw non-UTF-8 bytes torn through a record's middle.
+        text.extend_from_slice(b"{\"kind\":\"gene\xaa\xbbation\",\"index\":1}\n");
+        text.extend_from_slice(b"{\"kind\":\"run_end\"}\n");
+        let r = fsck_bytes(&text);
+        assert_eq!(r.verdict, FsckVerdict::CorruptInterior { line: 3 });
+        assert!(!r.resumable());
+        // The prefix stops before the damage; the valid line after it
+        // is unreachable by an append-only reader and stays excluded.
+        assert_eq!(r.records, 2);
+        assert_eq!(
+            r.kind_counts,
+            vec![("run_start".to_string(), 1), ("generation".to_string(), 1)]
+        );
+        let prefix = &text[..r.valid_bytes as usize];
+        assert!(prefix.ends_with(b"\"index\":0}\n"));
+    }
+
+    #[test]
+    fn fsck_repair_truncates_atomically_and_is_idempotent() {
+        let dir = std::env::temp_dir().join(format!(
+            "audit-fsck-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.ndjson");
+        let good = concat!(
+            "{\"kind\":\"run_start\",\"schema\":1}\n",
+            "{\"kind\":\"generation\",\"index\":0}\n",
+        );
+        std::fs::write(&path, format!("{good}{{\"kind\":\"broken\n{{\"kind\":\"run_end\"}}\n"))
+            .unwrap();
+
+        let before = fsck(&path).unwrap();
+        assert_eq!(before.verdict, FsckVerdict::CorruptInterior { line: 3 });
+
+        let repaired = fsck_repair(&path).unwrap();
+        assert_eq!(repaired.verdict, before.verdict, "reports the pre-repair state");
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), good);
+        assert!(!dir.join("run.fsck.tmp").exists());
+
+        // Now clean: repair is a no-op that leaves the bytes alone.
+        let again = fsck_repair(&path).unwrap();
+        assert_eq!(again.verdict, FsckVerdict::Clean);
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), good);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -20,8 +20,15 @@
 //!   window, write-ahead-logs dispatch so a killed broker resumes, and
 //!   merges results **bit-identically** to the in-process path (it is
 //!   an [`audit_core::ga::EvalDispatcher`]),
-//! * [`worker`] — the worker loop: connect, handshake, evaluate, report
-//!   fitness plus resilience-counter deltas.
+//! * [`worker`] — the worker loop: connect (bounded exponential backoff
+//!   with deterministic jitter), handshake, evaluate, report fitness
+//!   plus resilience-counter deltas, and optionally rejoin after a
+//!   sever,
+//! * [`chaos`] — deterministic network-fault injection
+//!   ([`chaos::NetFaultPlan`]): drops, duplicates, bit-flips, stalled
+//!   workers, and byzantine wrong answers, every decision a pure hash
+//!   of `(seed, direction, frame key, attempt)` so a chaos campaign
+//!   replays exactly.
 //!
 //! # Determinism contract
 //!
@@ -40,13 +47,15 @@
 #![warn(missing_docs)]
 
 pub mod broker;
+pub mod chaos;
 pub mod frame;
 pub mod proto;
 pub mod transport;
 pub mod worker;
 
 pub use broker::{Broker, BrokerConfig};
-pub use frame::{read_frame, write_frame, FrameOutcome};
+pub use chaos::{Direction, FrameFate, NetFaultPlan, NetFaultRates};
+pub use frame::{crc32, read_frame, write_frame, FrameOutcome};
 pub use proto::{EvalContext, Msg, PROTOCOL_VERSION};
 pub use transport::{connect, Conn, Listener};
 pub use worker::{run_worker, WorkerOptions, WorkerStats};

@@ -29,7 +29,12 @@ use audit_measure::json::JsonValue;
 
 /// Protocol revision. A broker and worker must agree exactly — there is
 /// no negotiation, because both sides ship in one binary.
-pub const PROTOCOL_VERSION: u64 = 1;
+///
+/// History: v1 was plain length-prefixed frames; v2 added the CRC32
+/// trailer on every frame (see [`crate::frame`]), so a v1 peer cannot
+/// even parse a v2 stream — the version bump makes the mismatch a clean
+/// handshake rejection instead of a garbled-frame error.
+pub const PROTOCOL_VERSION: u64 = 2;
 
 /// One protocol message.
 #[derive(Debug, Clone, PartialEq)]

@@ -5,6 +5,12 @@
 //! [`Listener::local_addr_string`]) or `unix:/path/to.sock` (Unix
 //! domain socket; the path is unlinked before binding so a stale socket
 //! file from a killed broker does not block a restart).
+//!
+//! The transport itself is a faithful byte pipe: framing and integrity
+//! live one layer up in [`crate::frame`], and deterministic network
+//! fault injection ([`crate::chaos::NetFaultPlan`]) is applied by the
+//! broker at its side of the frame boundary — never inside the
+//! transport — so a worker binary contains no chaos code at all.
 
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};

@@ -7,14 +7,32 @@
 //! [`Shutdown`](crate::proto::Msg::Shutdown) or hangs up. Each result
 //! carries the evaluation's resilience-counter delta so the broker can
 //! merge accounting exactly once, in any arrival order.
+//!
+//! Connection management is fleet-friendly: connect retries use
+//! bounded exponential backoff with deterministic jitter (a thousand
+//! workers pointed at a dead broker spread their retries out instead of
+//! thundering in lockstep), and with [`WorkerOptions::rejoin`] a worker
+//! severed mid-run — evicted by cross-validation, declared dead by a
+//! missed heartbeat, or cut by a flaky network — reconnects and keeps
+//! serving instead of exiting. A severed worker whose broker is truly
+//! gone exits cleanly after a short probe: the broker's disappearance
+//! is its release.
 
 use std::time::{Duration, Instant};
 
 use audit_error::AuditError;
+use audit_measure::fault::{mix, uniform};
 
 use crate::frame::{read_frame, write_frame, FrameOutcome};
 use crate::proto::{Msg, PROTOCOL_VERSION};
-use crate::transport::connect;
+use crate::transport::{connect, Conn};
+
+/// Ceiling on one backoff sleep, however many attempts have failed.
+const BACKOFF_CAP: Duration = Duration::from_secs(5);
+
+/// How many base retry intervals a severed worker probes for a live
+/// broker before concluding it is gone and exiting cleanly.
+const REJOIN_WINDOW: u32 = 8;
 
 /// Worker knobs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -22,8 +40,19 @@ pub struct WorkerOptions {
     /// How long to keep retrying the initial connect (the broker may
     /// not be up yet when workers start).
     pub connect_for: Duration,
-    /// Interval between connect attempts.
+    /// Base interval between connect attempts; attempt `n` waits
+    /// `connect_retry · 2ⁿ` (capped at 5 s), jittered deterministically
+    /// into `[50 %, 100 %]` of that.
     pub connect_retry: Duration,
+    /// Salt folded into the backoff jitter hash. Give each worker
+    /// process a distinct salt (the CLI uses the PID) so a fleet
+    /// spreads out; any single worker's schedule stays reproducible.
+    pub jitter_salt: u64,
+    /// Reconnect and keep serving after an unexpected disconnect
+    /// (eviction, missed heartbeat, flaky network). A broker `Shutdown`
+    /// still ends the worker, and a severed worker whose broker no
+    /// longer answers exits cleanly after a short probe.
+    pub rejoin: bool,
     /// Fault-injection hook for tests: after completing this many
     /// evaluations the worker returns abruptly — no reply, no clean
     /// shutdown — as if the process had been killed mid-generation.
@@ -35,6 +64,8 @@ impl Default for WorkerOptions {
         WorkerOptions {
             connect_for: Duration::from_secs(30),
             connect_retry: Duration::from_millis(100),
+            jitter_salt: 0,
+            rejoin: false,
             max_evals: None,
         }
     }
@@ -43,11 +74,24 @@ impl Default for WorkerOptions {
 /// What a worker session amounted to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct WorkerStats {
-    /// Evaluations completed and reported.
+    /// Evaluations completed and reported (across rejoins).
     pub evaluations: usize,
-    /// True when the session ended by broker `Shutdown` or clean EOF
-    /// (false means the [`WorkerOptions::max_evals`] kill hook fired).
+    /// True when the session ended by broker `Shutdown`, clean EOF, or
+    /// a vanished broker after rejoin (false means the
+    /// [`WorkerOptions::max_evals`] kill hook fired).
     pub clean_exit: bool,
+}
+
+/// How one broker session ended.
+enum SessionEnd {
+    /// The broker released the worker (`Shutdown`, or clean EOF when
+    /// rejoin is off).
+    Released,
+    /// The [`WorkerOptions::max_evals`] kill hook fired.
+    Killed,
+    /// The connection died without a `Shutdown` — eviction, missed
+    /// heartbeat, or network failure. Rejoin if configured.
+    Severed,
 }
 
 /// Connects to `addr` and serves evaluations until the broker releases
@@ -57,70 +101,139 @@ pub struct WorkerStats {
 ///
 /// Returns [`AuditError::Io`] when the broker cannot be reached within
 /// [`WorkerOptions::connect_for`], and [`AuditError::Journal`] on a
-/// malformed or out-of-order protocol frame (including a torn frame —
-/// the broker died mid-send).
+/// malformed or out-of-order protocol frame (including, with rejoin
+/// off, a torn frame — the broker died mid-send).
 pub fn run_worker(addr: &str, opts: &WorkerOptions) -> Result<WorkerStats, AuditError> {
-    let deadline = Instant::now() + opts.connect_for;
-    let mut conn = loop {
-        match connect(addr) {
-            Ok(conn) => break conn,
+    let mut stats = WorkerStats::default();
+    let mut sessions: u64 = 0;
+    loop {
+        let deadline = if sessions == 0 {
+            // Initial connect: the broker may still be starting.
+            Instant::now() + opts.connect_for
+        } else {
+            // Rejoin probe: a live broker accepts instantly; a gone
+            // broker refuses every attempt in a short window.
+            Instant::now()
+                + opts
+                    .connect_retry
+                    .max(Duration::from_millis(1))
+                    .saturating_mul(REJOIN_WINDOW)
+        };
+        let conn = match connect_with_backoff(addr, deadline, opts, sessions) {
+            Ok(conn) => conn,
             Err(e) => {
-                if Instant::now() >= deadline {
-                    return Err(AuditError::io(addr, &e));
+                if sessions > 0 {
+                    // The broker vanished after releasing no Shutdown —
+                    // its disappearance is the release.
+                    stats.clean_exit = true;
+                    return Ok(stats);
                 }
-                std::thread::sleep(opts.connect_retry);
+                return Err(e);
+            }
+        };
+        sessions += 1;
+        match serve_session(conn, opts, &mut stats)? {
+            SessionEnd::Released => {
+                stats.clean_exit = true;
+                return Ok(stats);
+            }
+            SessionEnd::Killed => return Ok(stats),
+            SessionEnd::Severed => {
+                debug_assert!(opts.rejoin, "sever only surfaces with rejoin on");
+                continue;
             }
         }
-    };
+    }
+}
 
-    write_frame(
-        &mut conn,
-        &Msg::Hello {
-            protocol: PROTOCOL_VERSION,
+/// One full broker session: handshake, then serve until it ends.
+fn serve_session(
+    mut conn: Conn,
+    opts: &WorkerOptions,
+    stats: &mut WorkerStats,
+) -> Result<SessionEnd, AuditError> {
+    let hello = Msg::Hello {
+        protocol: PROTOCOL_VERSION,
+    }
+    .to_json();
+    if let Err(e) = write_frame(&mut conn, &hello) {
+        // The broker died between accept and handshake; with rejoin on,
+        // probe it again instead of failing the worker.
+        return if opts.rejoin { Ok(SessionEnd::Severed) } else { Err(e) };
+    }
+    // With rejoin on, any connection-level failure — EOF, torn frame,
+    // reset (the signature of eviction or a broker restart) — severs
+    // the session instead of erroring the worker.
+    let read = |conn: &mut Conn| match read_msg(conn) {
+        Ok(r) => Ok(r),
+        Err(e) if opts.rejoin => {
+            let _ = e;
+            Ok(Read::Torn)
         }
-        .to_json(),
-    )?;
-    let ctx = match read_msg(&mut conn)? {
-        Some(Msg::Setup { ctx }) => ctx,
-        Some(other) => {
+        Err(e) => Err(e),
+    };
+    let ctx = match read(&mut conn)? {
+        Read::Frame(Msg::Setup { ctx }) => ctx,
+        Read::Frame(other) => {
             return Err(AuditError::journal(
                 0,
                 format!("expected setup, got `{}`", msg_kind(&other)),
             ))
         }
-        None => return Err(AuditError::journal(0, "broker hung up before setup")),
+        Read::Eof | Read::Torn if opts.rejoin => return Ok(SessionEnd::Severed),
+        Read::Eof => return Err(AuditError::journal(0, "broker hung up before setup")),
+        Read::Torn => return Err(AuditError::journal(0, "broker connection died mid-frame")),
     };
     let rig = ctx.rig()?;
     let fspec = ctx.spec;
 
-    let mut stats = WorkerStats::default();
     loop {
-        match read_msg(&mut conn)? {
-            Some(Msg::Eval { id, genome }) => {
+        match read(&mut conn)? {
+            Read::Frame(Msg::Eval { id, genome }) => {
                 if opts.max_evals.is_some_and(|cap| stats.evaluations >= cap) {
                     // Kill hook: vanish without replying, like a
                     // SIGKILLed process. The OS closes the socket and
                     // the broker re-dispatches the job.
-                    return Ok(stats);
+                    return Ok(SessionEnd::Killed);
                 }
                 let (objectives, resilience) = fspec.evaluate_objectives(&rig, &genome);
-                write_frame(
-                    &mut conn,
-                    &Msg::Result {
-                        id,
-                        objectives,
-                        resilience,
+                let reply = Msg::Result {
+                    id,
+                    objectives,
+                    resilience,
+                }
+                .to_json();
+                if let Err(e) = write_frame(&mut conn, &reply) {
+                    if opts.rejoin {
+                        return Ok(SessionEnd::Severed);
                     }
-                    .to_json(),
-                )?;
+                    return Err(e);
+                }
                 stats.evaluations += 1;
             }
-            Some(Msg::Ping) => write_frame(&mut conn, &Msg::Pong.to_json())?,
-            Some(Msg::Shutdown) | None => {
-                stats.clean_exit = true;
-                return Ok(stats);
+            Read::Frame(Msg::Ping) => {
+                if let Err(e) = write_frame(&mut conn, &Msg::Pong.to_json()) {
+                    if opts.rejoin {
+                        return Ok(SessionEnd::Severed);
+                    }
+                    return Err(e);
+                }
             }
-            Some(other) => {
+            Read::Frame(Msg::Shutdown) => return Ok(SessionEnd::Released),
+            Read::Eof => {
+                return Ok(if opts.rejoin {
+                    SessionEnd::Severed
+                } else {
+                    // Historical semantics: a clean EOF releases the
+                    // worker like a Shutdown.
+                    SessionEnd::Released
+                })
+            }
+            Read::Torn if opts.rejoin => return Ok(SessionEnd::Severed),
+            Read::Torn => {
+                return Err(AuditError::journal(0, "broker connection died mid-frame"))
+            }
+            Read::Frame(other) => {
                 return Err(AuditError::journal(
                     0,
                     format!("unexpected `{}` frame", msg_kind(&other)),
@@ -130,17 +243,60 @@ pub fn run_worker(addr: &str, opts: &WorkerOptions) -> Result<WorkerStats, Audit
     }
 }
 
-/// Reads one message; `None` is a clean EOF. A torn frame is an error
-/// here — unlike the broker, a worker has nothing to salvage from a
-/// half-dead broker and should exit loudly.
-fn read_msg(conn: &mut crate::transport::Conn) -> Result<Option<Msg>, AuditError> {
-    match read_frame(conn)? {
-        FrameOutcome::Frame(v) => Ok(Some(Msg::from_json(&v)?)),
-        FrameOutcome::Eof => Ok(None),
-        FrameOutcome::TruncatedTail => {
-            Err(AuditError::journal(0, "broker connection died mid-frame"))
+/// One read outcome a session must act on. CRC-rejected frames never
+/// surface: they are dropped inside [`read_msg`] and the stream keeps
+/// going (the broker's dispatch lease re-issues whatever they carried).
+#[allow(clippy::large_enum_variant)] // one short-lived value per frame
+enum Read {
+    Frame(Msg),
+    Eof,
+    Torn,
+}
+
+fn read_msg(conn: &mut Conn) -> Result<Read, AuditError> {
+    loop {
+        return Ok(match read_frame(conn)? {
+            FrameOutcome::Frame(v) => Read::Frame(Msg::from_json(&v)?),
+            FrameOutcome::Corrupt => continue,
+            FrameOutcome::Eof => Read::Eof,
+            FrameOutcome::TruncatedTail => Read::Torn,
+        });
+    }
+}
+
+/// Retries `connect(addr)` under bounded exponential backoff until
+/// `deadline`.
+fn connect_with_backoff(
+    addr: &str,
+    deadline: Instant,
+    opts: &WorkerOptions,
+    session: u64,
+) -> Result<Conn, AuditError> {
+    let mut attempt: u32 = 0;
+    loop {
+        match connect(addr) {
+            Ok(conn) => return Ok(conn),
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    return Err(AuditError::io(addr, &e));
+                }
+                std::thread::sleep(backoff_delay(opts, session, attempt));
+                attempt = attempt.saturating_add(1);
+            }
         }
     }
+}
+
+/// Attempt `n` sleeps `connect_retry · 2ⁿ`, capped at [`BACKOFF_CAP`],
+/// scaled into `[50 %, 100 %]` by a pure hash of
+/// `(jitter_salt, session, attempt)` — the SplitMix64 discipline of
+/// `audit_measure::fault`, so a worker's schedule is reproducible while
+/// a fleet with distinct salts decorrelates.
+fn backoff_delay(opts: &WorkerOptions, session: u64, attempt: u32) -> Duration {
+    let base = opts.connect_retry.max(Duration::from_millis(1));
+    let exp = base.saturating_mul(1u32 << attempt.min(20)).min(BACKOFF_CAP);
+    let factor = 0.5 + 0.5 * uniform(mix(mix(opts.jitter_salt, session), u64::from(attempt)));
+    exp.mul_f64(factor)
 }
 
 fn msg_kind(msg: &Msg) -> &'static str {
@@ -164,7 +320,7 @@ mod tests {
         let opts = WorkerOptions {
             connect_for: Duration::from_millis(50),
             connect_retry: Duration::from_millis(10),
-            max_evals: None,
+            ..WorkerOptions::default()
         };
         // Nothing listens on a fresh unix path.
         let addr = format!(
@@ -174,5 +330,38 @@ mod tests {
                 .display()
         );
         assert!(run_worker(&addr, &opts).is_err());
+    }
+
+    #[test]
+    fn backoff_is_bounded_exponential_with_deterministic_jitter() {
+        let opts = WorkerOptions {
+            connect_retry: Duration::from_millis(100),
+            jitter_salt: 7,
+            ..WorkerOptions::default()
+        };
+        for n in 0..24u32 {
+            let d = backoff_delay(&opts, 0, n);
+            // Deterministic: the same (salt, session, attempt) always
+            // sleeps the same.
+            assert_eq!(d, backoff_delay(&opts, 0, n), "attempt {n}");
+            // Jitter keeps every sleep within [50 %, 100 %] of the
+            // capped exponential.
+            let ceiling = Duration::from_millis(100)
+                .saturating_mul(1u32 << n.min(20))
+                .min(BACKOFF_CAP);
+            assert!(d <= ceiling, "attempt {n}: {d:?} > {ceiling:?}");
+            assert!(d >= ceiling / 2, "attempt {n}: {d:?} < half of {ceiling:?}");
+        }
+        // Growth: attempt 3's floor (8x · 50 %) clears attempt 0's
+        // ceiling (1x · 100 %).
+        assert!(backoff_delay(&opts, 0, 3) > backoff_delay(&opts, 0, 0));
+        // The cap holds forever.
+        assert!(backoff_delay(&opts, 0, 40) <= BACKOFF_CAP);
+        // Distinct salts decorrelate the fleet.
+        let other = WorkerOptions {
+            jitter_salt: 8,
+            ..opts
+        };
+        assert!((0..24).any(|n| backoff_delay(&opts, 0, n) != backoff_delay(&other, 0, n)));
     }
 }

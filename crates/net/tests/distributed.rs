@@ -8,6 +8,7 @@
 //! prefix plus its write-ahead log.
 
 use std::sync::Mutex;
+use std::time::Duration;
 
 use audit_core::ga::{self, CostFunction, GaConfig, GaRun, ObjectiveSet};
 use audit_core::resilient::genome_key;
@@ -16,7 +17,10 @@ use audit_core::{
 };
 use audit_cpu::isa::Opcode;
 use audit_measure::fault::FaultPlan;
-use audit_net::{run_worker, Broker, BrokerConfig, EvalContext, WorkerOptions};
+use audit_net::{
+    connect, read_frame, run_worker, write_frame, Broker, BrokerConfig, EvalContext,
+    FrameOutcome, Msg, NetFaultPlan, WorkerOptions, PROTOCOL_VERSION,
+};
 
 const GENOME_LEN: usize = 10;
 
@@ -83,15 +87,23 @@ fn distributed_run(
     worker_opts: &[WorkerOptions],
     wait_for: usize,
 ) -> (GaRun, MemJournal, ResilienceReport) {
-    let mut broker = Broker::bind(
-        "127.0.0.1:0",
-        &ctx(spec),
-        BrokerConfig {
-            seed: cfg.seed,
-            ..BrokerConfig::default()
-        },
-    )
-    .unwrap();
+    let broker_cfg = BrokerConfig {
+        seed: cfg.seed,
+        ..BrokerConfig::default()
+    };
+    distributed_run_with(spec, cfg, worker_opts, wait_for, broker_cfg)
+}
+
+/// Like [`distributed_run`] but with full control of the broker config,
+/// so chaos tests can switch on fault injection and cross-validation.
+fn distributed_run_with(
+    spec: FitnessSpec,
+    cfg: &GaConfig,
+    worker_opts: &[WorkerOptions],
+    wait_for: usize,
+    broker_cfg: BrokerConfig,
+) -> (GaRun, MemJournal, ResilienceReport) {
+    let mut broker = Broker::bind("127.0.0.1:0", &ctx(spec), broker_cfg).unwrap();
     let addr = broker.addr().to_string();
     let handles: Vec<_> = worker_opts
         .iter()
@@ -412,4 +424,200 @@ fn broker_with_no_live_workers_serves_fully_prefilled_rounds() {
         3
     );
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A hostile-but-survivable network: drops, duplicates, bit-flips,
+/// stalled workers, and byzantine lies, all at the same time.
+fn chaos_cfg(seed: u64) -> BrokerConfig {
+    BrokerConfig {
+        seed,
+        // The lease must sit safely above worst-case eval latency on a
+        // loaded test machine (~1 s), or busy workers get falsely
+        // declared dead and their attempts spiral; 3 s keeps dropped
+        // frames re-dispatched in test time without that spiral.
+        heartbeat: Duration::from_millis(100),
+        dead_after: Duration::from_secs(3),
+        // A deep retry budget: the contract under test is bit-identity
+        // *below* the quarantine budget, so the budget must not bind.
+        retries: 20,
+        // Cross-validate every job: a lie on an unverified job is
+        // undetectable by construction, and this test is about the
+        // defended contract, not the undefended corner.
+        verify_fraction: 1.0,
+        // Drops and corruptions cost a lease expiry each, so keep them
+        // rarer than the cheap-to-recover duplicates and lies.
+        chaos: NetFaultPlan::parse("3:drop=0.02,dup=0.05,corrupt=0.02,stall=0.01,lie=0.05")
+            .unwrap(),
+        ..BrokerConfig::default()
+    }
+}
+
+/// Chaos workers rejoin after evictions and severs, each with its own
+/// jitter salt so their reconnect schedules decorrelate.
+fn chaos_workers(n: usize) -> Vec<WorkerOptions> {
+    (0..n)
+        .map(|i| WorkerOptions {
+            connect_retry: Duration::from_millis(25),
+            jitter_salt: 0xC4A0_5000 + i as u64,
+            rejoin: true,
+            ..WorkerOptions::default()
+        })
+        .collect()
+}
+
+#[test]
+fn chaos_storm_is_bit_identical_across_worker_counts() {
+    // The tentpole contract: with frames being dropped, duplicated,
+    // corrupted, workers stalling out, and workers lying, the defended
+    // broker still produces the exact bytes of the in-process run —
+    // CRC32 catches the flips, leases re-dispatch the drops, request-id
+    // retirement eats the duplicates, and cross-validation votes out
+    // the liars.
+    let spec = fspec(MeasurePolicy::disabled());
+    let cfg = ga_cfg();
+    let (local, local_journal, local_report) = local_run(spec, &cfg);
+    for workers in [1usize, 2, 4] {
+        let (dist, dist_journal, dist_report) = distributed_run_with(
+            spec,
+            &cfg,
+            &chaos_workers(workers),
+            workers,
+            chaos_cfg(cfg.seed),
+        );
+        assert_eq!(dist, local, "GaRun diverged at {workers} workers under chaos");
+        assert_eq!(
+            dist_journal.records, local_journal.records,
+            "journal diverged at {workers} workers under chaos"
+        );
+        assert_eq!(
+            dist_report, local_report,
+            "resilience accounting diverged at {workers} workers under chaos"
+        );
+    }
+}
+
+#[test]
+fn chaos_plus_killed_worker_still_matches() {
+    // Compound failure: the network is hostile *and* one worker dies
+    // outright (kill hook, no goodbye) two evaluations in. The
+    // rejoining survivor absorbs everything.
+    let spec = fspec(MeasurePolicy::disabled());
+    let cfg = ga_cfg();
+    let (local, local_journal, _) = local_run(spec, &cfg);
+    // Worker 0 keeps rejoin on (a chaos sever before the kill hook
+    // fires must not surface as a worker error); once the hook fires it
+    // returns without rejoining, like a SIGKILL.
+    let mut opts = chaos_workers(2);
+    opts[0].max_evals = Some(2);
+    let (dist, dist_journal, _) =
+        distributed_run_with(spec, &cfg, &opts, 2, chaos_cfg(cfg.seed));
+    assert_eq!(dist, local);
+    assert_eq!(dist_journal.records, local_journal.records);
+}
+
+#[test]
+fn replayed_duplicate_result_is_ignored_with_accounting_unchanged() {
+    // Satellite defense: a worker (or a confused middlebox) replaying a
+    // result frame for an already-settled (key, attempt) must be a
+    // no-op. The fake worker here answers every Eval *twice* with
+    // byte-identical Result frames. The fault-injected policy makes the
+    // resilience deltas nonzero, so double-merging would be visible.
+    let policy = MeasurePolicy {
+        faults: FaultPlan::parse("5:noise=0.001,crash=0.2").unwrap(),
+        ..MeasurePolicy::disabled()
+    };
+    let spec = fspec(policy);
+    let rig = Rig::bulldozer();
+    let population: Vec<Vec<audit_core::ga::Gene>> = (0..3)
+        .map(|i| {
+            vec![
+                audit_core::ga::Gene {
+                    opcode: if i == 0 { Opcode::Load } else { Opcode::SimdFma },
+                    dst: i as u8,
+                    src1: 1,
+                    src2: 2,
+                    miss: i == 2,
+                };
+                GENOME_LEN
+            ]
+        })
+        .collect();
+    let mut expected_report = ResilienceReport::default();
+    let expected: Vec<f64> = population
+        .iter()
+        .map(|g| {
+            let (objectives, delta) = spec.evaluate_objectives(&rig, g);
+            expected_report.merge(&delta);
+            objectives.primary()
+        })
+        .collect();
+    assert!(
+        expected_report.evaluations > 0,
+        "fault policy was not active — a double-merge would be invisible"
+    );
+
+    let mut broker = Broker::bind("127.0.0.1:0", &ctx(spec), BrokerConfig::default()).unwrap();
+    let addr = broker.addr().to_string();
+    let replayer = std::thread::spawn(move || {
+        let mut conn = connect(&addr).unwrap();
+        write_frame(
+            &mut conn,
+            &Msg::Hello {
+                protocol: PROTOCOL_VERSION,
+            }
+            .to_json(),
+        )
+        .unwrap();
+        let fspec = loop {
+            match read_frame(&mut conn).unwrap() {
+                FrameOutcome::Frame(payload) => match Msg::from_json(&payload).unwrap() {
+                    Msg::Setup { ctx } => break ctx.spec,
+                    other => panic!("expected setup, got {other:?}"),
+                },
+                FrameOutcome::Eof => panic!("broker hung up before setup"),
+                _ => continue,
+            }
+        };
+        let rig = Rig::bulldozer();
+        let mut answered = 0usize;
+        loop {
+            match read_frame(&mut conn).unwrap() {
+                FrameOutcome::Frame(payload) => match Msg::from_json(&payload).unwrap() {
+                    Msg::Eval { id, genome } => {
+                        let (objectives, resilience) = fspec.evaluate_objectives(&rig, &genome);
+                        let reply = Msg::Result {
+                            id,
+                            objectives,
+                            resilience,
+                        }
+                        .to_json();
+                        // The answer, then its replay.
+                        write_frame(&mut conn, &reply).unwrap();
+                        write_frame(&mut conn, &reply).unwrap();
+                        answered += 1;
+                    }
+                    Msg::Ping => write_frame(&mut conn, &Msg::Pong.to_json()).unwrap(),
+                    Msg::Shutdown => return answered,
+                    other => panic!("unexpected frame {other:?}"),
+                },
+                FrameOutcome::Eof => return answered,
+                _ => continue,
+            }
+        }
+    });
+    broker.wait_for_workers(1).unwrap();
+    let mut scores =
+        audit_core::ga::EvalDispatcher::evaluate(&mut broker, &population, &[0, 1, 2]).unwrap();
+    scores.sort_unstable_by_key(|&(slot, _)| slot);
+    let got: Vec<f64> = scores.iter().map(|(_, o)| o.primary()).collect();
+    assert_eq!(got, expected, "replayed results corrupted the scores");
+    // Accounting: exactly one resilience merge per key, despite every
+    // result arriving twice — a double-merge would double every counter.
+    assert_eq!(
+        audit_core::ga::EvalDispatcher::resilience(&broker),
+        expected_report
+    );
+    broker.shutdown();
+    let answered = replayer.join().unwrap();
+    assert_eq!(answered, population.len(), "every job answered exactly once");
 }

@@ -183,4 +183,58 @@ cmp <(strip_wall "$smoke_dir/dist.ndjson") <(strip_wall "$smoke_dir/dist-local.n
 [[ -e "$smoke_dir/dist.ndjson.wal" ]] \
     && { echo "broker left its write-ahead log behind after a clean finish" >&2; exit 1; }
 
+echo "==> chaos gate (2 workers under net faults + cross-validation, byte-identical journal)"
+# The same campaign with the full threat model injected at the broker's
+# wire boundary — drops, duplicates, bit-flips, stalls, byzantine lies —
+# and every defense engaged (docs/ROBUSTNESS.md). The journal must still
+# match the in-process run byte for byte modulo wall-clock telemetry.
+csock="$smoke_dir/chaos.sock"
+( sleep 0.3; "${audit[@]}" work --connect "unix:$csock" --connect-retry 25 \
+    > "$smoke_dir/cw1.out" 2>&1 ) &
+cw1=$!
+( sleep 0.3; "${audit[@]}" work --connect "unix:$csock" --connect-retry 25 \
+    > "$smoke_dir/cw2.out" 2>&1 ) &
+cw2=$!
+"${audit[@]}" serve --fast --threads 2 --seed 3 --listen "unix:$csock" \
+    --min-workers 2 --heartbeat 100 --dead-after 2000 --verify-fraction 1.0 \
+    --net-faults 3:drop=0.02,dup=0.05,corrupt=0.02,stall=0.01,lie=0.05 \
+    --checkpoint "$smoke_dir/chaos.ndjson" > "$smoke_dir/chaos.out"
+wait "$cw1" "$cw2" \
+    || { echo "a chaos worker exited non-zero" >&2; exit 1; }
+cmp <(strip_wall "$smoke_dir/chaos.ndjson") <(strip_wall "$smoke_dir/dist-local.ndjson") \
+    || { echo "chaos journal drifted from the in-process run (beyond wall_s)" >&2; exit 1; }
+[[ -e "$smoke_dir/chaos.ndjson.wal" ]] \
+    && { echo "broker left its write-ahead log behind after a chaos finish" >&2; exit 1; }
+
+echo "==> journal fsck smoke (corrupt interior -> repair -> resume byte-identity)"
+# A checkpoint with a bit-rotted interior line must be flagged
+# non-resumable, repaired to its valid prefix atomically, and then
+# resume to the uninterrupted run's bytes (docs/ROBUSTNESS.md).
+cp "$smoke_dir/gen.ndjson" "$smoke_dir/sick.ndjson"
+rot=$(grep -n '"kind":"generation"' "$smoke_dir/sick.ndjson" | head -1 | cut -d: -f1)
+sed -i "${rot}s/.*/{\"kind\":\"gene<BITROT>/" "$smoke_dir/sick.ndjson"
+if "${audit[@]}" journal fsck "$smoke_dir/sick.ndjson" > "$smoke_dir/fsck.out" 2>&1; then
+    echo "fsck exited zero on a corrupt-interior journal" >&2; exit 1
+fi
+grep -q "corrupt interior" "$smoke_dir/fsck.out" \
+    || { echo "fsck missed the corrupt interior" >&2; exit 1; }
+"${audit[@]}" journal fsck "$smoke_dir/sick.ndjson" --repair > "$smoke_dir/fsck-repair.out"
+grep -q "repaired: truncated" "$smoke_dir/fsck-repair.out" \
+    || { echo "fsck --repair did not truncate" >&2; exit 1; }
+"${audit[@]}" journal fsck "$smoke_dir/sick.ndjson" > "$smoke_dir/fsck-clean.out"
+grep -q ": clean" "$smoke_dir/fsck-clean.out" \
+    || { echo "repaired journal is not fsck-clean" >&2; exit 1; }
+"${audit[@]}" generate --resume "$smoke_dir/sick.ndjson" > "$smoke_dir/sick-resumed.out"
+cmp <(strip_wall "$smoke_dir/gen.ndjson") <(strip_wall "$smoke_dir/sick.ndjson") \
+    || { echo "repair+resume journal drifted (beyond wall_s)" >&2; exit 1; }
+grep -F "$(grep 'best droop' "$smoke_dir/gen.out")" "$smoke_dir/sick-resumed.out" > /dev/null \
+    || { echo "repair+resume result drifted from the uninterrupted run" >&2; exit 1; }
+# A torn tail (kill mid-append) is the benign case: fsck classifies it
+# and exits zero, because --resume already drops a torn final line.
+printf '{"kind":"generation","ind' >> "$smoke_dir/sick.ndjson"
+"${audit[@]}" journal fsck "$smoke_dir/sick.ndjson" > "$smoke_dir/fsck-torn.out" \
+    || { echo "fsck refused a benign torn tail" >&2; exit 1; }
+grep -q "torn tail" "$smoke_dir/fsck-torn.out" \
+    || { echo "fsck missed the torn tail" >&2; exit 1; }
+
 echo "OK"
