@@ -71,6 +71,8 @@ const VALUE_FLAGS: &[&str] = &[
     "--grid-clocks",
     "--retain",
     "--input",
+    "--weight",
+    "--campaigns",
 ];
 
 /// Value flags that may be given more than once; repeats accumulate

@@ -23,7 +23,7 @@ use crate::args::{ArgError, Args};
 use crate::platform;
 
 /// Maps a core error to a CLI error.
-fn core_err(e: AuditError) -> ArgError {
+pub(crate) fn core_err(e: AuditError) -> ArgError {
     ArgError(e.to_string())
 }
 
@@ -119,6 +119,36 @@ USAGE:
       jittered exponential backoff. A worker severed mid-run (broker
       restart, eviction, network fault) automatically rejoins while
       the broker is reachable and exits cleanly once it is gone.
+
+  audit fleet      serve [--listen HOST:PORT|unix:/path] [--min-workers N]
+                   [--campaigns N] [--window N] [--heartbeat MS]
+                   [--dead-after MS] [--net-faults SEED:drop=P,…]
+                   [--verify-fraction F]
+      Host a multi-tenant campaign manager: many concurrent GA
+      campaigns fair-share-scheduled (deterministic weighted
+      round-robin) over one shared worker pool, with worker-side eval
+      caches shared across campaigns. Workers join exactly as for
+      `serve` (`audit work --connect`). Each campaign's journal is
+      byte-identical to its solo run regardless of co-tenants, worker
+      count, chaos, or manager restarts (see docs/FLEET.md).
+      --campaigns N exits after N campaigns complete (0 = serve
+      forever); the remaining knobs match `audit serve`, applied
+      per campaign.
+
+  audit fleet      submit --connect ADDR [--weight N]
+                   (--checkpoint run.ndjson | --resume run.ndjson)
+                   [generate flags]
+      Submit a campaign to a fleet manager and block until it
+      finishes. Generate flags (--chip, --seed, --objective, …) shape
+      the campaign exactly as for `audit generate`; the checkpoint
+      path is resolved on the manager's filesystem. --weight (default
+      1) is the campaign's fair-share weight; --resume continues a
+      checkpoint from a previous (possibly killed) manager.
+
+  audit fleet      (status | metrics) --connect ADDR
+      Fetch the manager's per-campaign progress report or its
+      plain-text metrics scrape (same format as the broker's
+      `audit serve` metrics endpoint).
 
   audit journal    fsck <run.ndjson> [--repair]
       Classify a checkpoint journal or dispatch WAL: clean, torn tail
@@ -522,7 +552,10 @@ fn run_distributed(
 }
 
 /// Builds the worker-setup context from the platform flags.
-fn eval_context(plat: &Args, fspec: audit_core::FitnessSpec) -> Result<EvalContext, ArgError> {
+pub(crate) fn eval_context(
+    plat: &Args,
+    fspec: audit_core::FitnessSpec,
+) -> Result<EvalContext, ArgError> {
     let volts = match plat.opt_flag("--volts") {
         Some(v) => Some(
             v.parse::<f64>()

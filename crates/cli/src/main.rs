@@ -16,6 +16,12 @@
 //!                  [--heartbeat MS] [--dead-after MS]
 //!                  [--net-faults SEED:drop=P,…] [--verify-fraction F]
 //! audit work       --connect ADDR [--connect-for MS] [--connect-retry MS]
+//! audit fleet      serve [--listen ADDR] [--min-workers N] [--campaigns N]
+//!                        [--window N] [--heartbeat MS] [--dead-after MS]
+//!                        [--net-faults SEED:drop=P,…] [--verify-fraction F]
+//! audit fleet      submit --connect ADDR (--checkpoint run.ndjson | --resume run.ndjson)
+//!                        [--weight N] [generate flags]
+//! audit fleet      (status | metrics) --connect ADDR
 //! audit journal    fsck <run.ndjson> [--repair]
 //! audit lint       (<file.prog> | --builtin NAME | --all-builtins)
 //!                  [--chip C] [--json] [--deny-warnings] [--allow AUD###] [--deny AUD###]
@@ -25,6 +31,7 @@
 
 mod args;
 mod commands;
+mod fleet;
 mod platform;
 
 use std::process::ExitCode;
@@ -57,6 +64,7 @@ fn run(raw: Vec<String>) -> Result<(), String> {
         "minimize" => commands::minimize(&parsed),
         "serve" => commands::serve(&parsed),
         "work" => commands::work(&parsed),
+        "fleet" => fleet::fleet(&parsed),
         "journal" => commands::journal(&parsed),
         "lint" => commands::lint(&parsed),
         "list" => commands::list(&parsed),

@@ -1,0 +1,1332 @@
+//! The shared worker pool: one event-loop thread, many campaigns.
+//!
+//! The pool thread owns every worker connection and every campaign's
+//! round state. Campaign runner threads talk to it through
+//! [`PoolHandle`]; each runner hands the GA engine a
+//! [`CampaignDispatcher`] (an [`EvalDispatcher`]), whose `evaluate`
+//! ships the round to the pool and blocks until every slot is scored.
+//! Inside the pool, the single-campaign broker's defense stack is
+//! replicated *per campaign*:
+//!
+//! * content-addressed jobs ([`genome_key`]) with per-campaign
+//!   deterministic worker assignment (the campaign's own seed feeds the
+//!   FNV hash, so its schedule matches its solo run's),
+//! * per-`(worker, campaign)` in-flight windows — one tenant's
+//!   backpressure never consumes another's window,
+//! * dispatch leases, retry-with-requeue on worker loss, quarantine
+//!   after the retry budget,
+//! * cross-validation votes with byzantine eviction,
+//! * a per-campaign write-ahead log (prefill served before dispatch),
+//! * deterministic chaos injection at the wire boundary (the plan
+//!   carries its own seed, so per-key fates match a solo run under the
+//!   same plan).
+//!
+//! Which campaign dispatches next is decided by the
+//! [`FairShare`](crate::scheduler::FairShare) arbiter — and by
+//! construction none of that scheduling can reach any campaign's
+//! results (see the crate docs).
+//!
+//! A worker is bound to one campaign's [`EvalContext`] at a time; the
+//! pool re-sends `Setup` lazily, only when the next dispatch for that
+//! worker belongs to a campaign whose context differs from the one the
+//! worker currently holds. Setup frames are always written cleanly —
+//! chaos applies to `Eval` frames only — so a worker's binding is never
+//! ambiguous.
+//!
+//! When every campaign is between rounds the pool thread parks on its
+//! event channel (a condvar wait) instead of polling the heartbeat
+//! timer; any message wakes it, and on wake it refreshes worker
+//! liveness clocks so a long park cannot read as mass worker death.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::path::PathBuf;
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::time::{Duration, Instant};
+
+use audit_core::ga::{EvalDispatcher, Gene, Objectives};
+use audit_core::resilient::genome_key;
+use audit_core::ResilienceReport;
+use audit_error::AuditError;
+use audit_measure::fault::{mix, uniform, KeyHasher};
+use audit_net::chaos::{Direction, FrameFate, NetFaultPlan};
+use audit_net::frame::{write_corrupted_frame, write_frame};
+use audit_net::metrics::Scrape;
+use audit_net::proto::{EvalContext, Msg};
+use audit_net::transport::Conn;
+use audit_net::wal::{Prefill, Wal};
+
+/// Stream discriminator for the cross-validation selection hash — the
+/// same constant the single-campaign broker uses, so a campaign's
+/// verified-job set matches its solo run's.
+const STREAM_VERIFY: u64 = 0x5645_5246; // "VERF"
+
+/// Pool tuning knobs: the single-campaign [`audit_net::BrokerConfig`]
+/// minus the seed (each campaign brings its own). Results are invariant
+/// to every one of them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetConfig {
+    /// Maximum in-flight evaluations per `(worker, campaign)` pair.
+    pub window: usize,
+    /// Idle interval between liveness pings while rounds are active.
+    pub heartbeat: Duration,
+    /// Worker silence threshold and dispatch lease duration.
+    pub dead_after: Duration,
+    /// Worker-loss re-dispatches allowed per job before quarantine.
+    pub retries: u32,
+    /// Fitness assigned to a job that exhausted its re-dispatch budget.
+    pub quarantine_fitness: f64,
+    /// Fraction of each campaign's jobs cross-validated on two workers.
+    pub verify_fraction: f64,
+    /// Deterministic network fault injection at the pool's wire
+    /// boundary (Eval/Result frames only; Setup is always clean).
+    pub chaos: NetFaultPlan,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            window: 2,
+            heartbeat: Duration::from_millis(1000),
+            dead_after: Duration::from_millis(10_000),
+            retries: 4,
+            quarantine_fitness: 0.0,
+            verify_fraction: 0.0,
+            chaos: NetFaultPlan::disabled(),
+        }
+    }
+}
+
+/// Everything the pool needs to run one campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignSpec {
+    /// Display name (used in status and metric labels).
+    pub name: String,
+    /// The evaluation context workers are set up with.
+    pub ctx: EvalContext,
+    /// The campaign's GA seed — feeds its worker-assignment and
+    /// cross-validation hashes, exactly as in its solo run.
+    pub seed: u64,
+    /// Fair-share weight (≥ 1).
+    pub weight: u32,
+    /// Dispatch WAL path (`<checkpoint>.wal`); `None` disables
+    /// write-ahead logging for this campaign.
+    pub wal: Option<PathBuf>,
+}
+
+/// What one settled round hands back to the campaign's dispatcher.
+pub(crate) struct RoundReply {
+    scores: Vec<(usize, Objectives)>,
+    report: ResilienceReport,
+    workers: usize,
+}
+
+/// Messages into the pool thread, from worker connection threads (via
+/// the service accept loop) and from campaign runner threads.
+pub(crate) enum PoolMsg {
+    /// A worker finished its handshake; the pool owns its writer half.
+    Joined { worker: u64, writer: Conn },
+    /// A result frame arrived from a worker.
+    Result {
+        worker: u64,
+        id: u64,
+        objectives: Objectives,
+        resilience: ResilienceReport,
+        cached: bool,
+    },
+    /// A liveness reply (or unsolicited ping) from a worker.
+    Pong { worker: u64 },
+    /// A worker's connection ended.
+    Lost { worker: u64 },
+    /// Register a campaign; replies with its id.
+    Register {
+        spec: Box<CampaignSpec>,
+        reply: Sender<Result<u64, AuditError>>,
+    },
+    /// Score one round (generation) for a campaign.
+    Evaluate {
+        campaign: u64,
+        population: Vec<Vec<Gene>>,
+        jobs: Vec<usize>,
+        reply: Sender<Result<RoundReply, AuditError>>,
+    },
+    /// Tear down a finished campaign; replies once it is gone.
+    Finish {
+        campaign: u64,
+        discard_wal: bool,
+        reply: Sender<ResilienceReport>,
+    },
+    /// Block the caller until `n` workers are connected.
+    WaitWorkers { n: usize, reply: Sender<()> },
+    /// Render the metrics scrape text.
+    MetricsText { reply: Sender<String> },
+    /// Render the status report text.
+    StatusText { reply: Sender<String> },
+    /// Release every worker and exit the pool thread.
+    Shutdown,
+}
+
+/// A clonable sender into the pool thread.
+#[derive(Clone)]
+pub struct PoolHandle {
+    tx: Sender<PoolMsg>,
+}
+
+impl PoolHandle {
+    fn dead() -> AuditError {
+        AuditError::io(
+            "fleet pool",
+            &std::io::Error::new(std::io::ErrorKind::BrokenPipe, "pool thread terminated"),
+        )
+    }
+
+    pub(crate) fn send(&self, msg: PoolMsg) -> bool {
+        self.tx.send(msg).is_ok()
+    }
+
+    /// Registers a campaign and returns its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuditError::Io`] if the pool thread is gone, or the
+    /// campaign's WAL cannot be opened.
+    pub fn register(&self, spec: CampaignSpec) -> Result<u64, AuditError> {
+        let (reply, rx) = channel();
+        self.tx
+            .send(PoolMsg::Register {
+                spec: Box::new(spec),
+                reply,
+            })
+            .map_err(|_| Self::dead())?;
+        rx.recv().map_err(|_| Self::dead())?
+    }
+
+    /// Builds the [`EvalDispatcher`] for a registered campaign.
+    pub fn dispatcher(&self, campaign: u64) -> CampaignDispatcher {
+        CampaignDispatcher {
+            pool: self.clone(),
+            campaign,
+            report: ResilienceReport::default(),
+            workers: 1,
+        }
+    }
+
+    /// Tears down a finished campaign, returning its final resilience
+    /// report. With `discard_wal` the campaign's WAL file is deleted
+    /// (the run completed; the journal supersedes it) — otherwise it is
+    /// kept for a future resume.
+    pub fn finish(&self, campaign: u64, discard_wal: bool) -> ResilienceReport {
+        let (reply, rx) = channel();
+        if self
+            .tx
+            .send(PoolMsg::Finish {
+                campaign,
+                discard_wal,
+                reply,
+            })
+            .is_err()
+        {
+            return ResilienceReport::default();
+        }
+        rx.recv().unwrap_or_default()
+    }
+
+    /// Blocks until at least `n` workers are connected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuditError::Io`] if the pool thread is gone.
+    pub fn wait_for_workers(&self, n: usize) -> Result<(), AuditError> {
+        let (reply, rx) = channel();
+        self.tx
+            .send(PoolMsg::WaitWorkers { n, reply })
+            .map_err(|_| Self::dead())?;
+        rx.recv().map_err(|_| Self::dead())
+    }
+
+    /// The plain-text metrics scrape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuditError::Io`] if the pool thread is gone.
+    pub fn metrics_text(&self) -> Result<String, AuditError> {
+        let (reply, rx) = channel();
+        self.tx
+            .send(PoolMsg::MetricsText { reply })
+            .map_err(|_| Self::dead())?;
+        rx.recv().map_err(|_| Self::dead())
+    }
+
+    /// The plain-text status report (per-campaign progress).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuditError::Io`] if the pool thread is gone.
+    pub fn status_text(&self) -> Result<String, AuditError> {
+        let (reply, rx) = channel();
+        self.tx
+            .send(PoolMsg::StatusText { reply })
+            .map_err(|_| Self::dead())?;
+        rx.recv().map_err(|_| Self::dead())
+    }
+}
+
+/// The pool thread's owner handle: spawns on [`Pool::start`], releases
+/// workers and joins on [`Pool::shutdown`] (or drop).
+pub struct Pool {
+    handle: PoolHandle,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Pool {
+    /// Spawns the pool event-loop thread.
+    pub fn start(cfg: FleetConfig) -> Pool {
+        let (tx, rx) = channel();
+        let thread = std::thread::spawn(move || PoolState::new(cfg, rx).run());
+        Pool {
+            handle: PoolHandle { tx },
+            thread: Some(thread),
+        }
+    }
+
+    /// A clonable sender into the pool thread.
+    pub fn handle(&self) -> PoolHandle {
+        self.handle.clone()
+    }
+
+    /// Releases every worker (a `Shutdown` frame each) and joins the
+    /// pool thread. Idempotent; also called on drop.
+    pub fn shutdown(&mut self) {
+        self.handle.tx.send(PoolMsg::Shutdown).ok();
+        if let Some(thread) = self.thread.take() {
+            thread.join().ok();
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The per-campaign [`EvalDispatcher`] handed to the GA engine: ships
+/// each round to the pool thread and blocks until it settles.
+pub struct CampaignDispatcher {
+    pool: PoolHandle,
+    campaign: u64,
+    report: ResilienceReport,
+    workers: usize,
+}
+
+impl EvalDispatcher for CampaignDispatcher {
+    fn evaluate(
+        &mut self,
+        population: &[Vec<Gene>],
+        jobs: &[usize],
+    ) -> Result<Vec<(usize, Objectives)>, AuditError> {
+        let (reply, rx) = channel();
+        self.pool
+            .tx
+            .send(PoolMsg::Evaluate {
+                campaign: self.campaign,
+                population: population.to_vec(),
+                jobs: jobs.to_vec(),
+                reply,
+            })
+            .map_err(|_| PoolHandle::dead())?;
+        let settled = rx.recv().map_err(|_| PoolHandle::dead())??;
+        self.report = settled.report;
+        self.workers = settled.workers;
+        Ok(settled.scores)
+    }
+
+    fn workers(&self) -> usize {
+        self.workers.max(1)
+    }
+
+    fn resilience(&self) -> ResilienceReport {
+        self.report
+    }
+}
+
+/// One connected worker, pool-side.
+struct PWorker {
+    writer: Conn,
+    last_seen: Instant,
+    /// In-flight evaluations per campaign (the per-tenant window).
+    in_flight: HashMap<u64, usize>,
+    /// The campaign context the worker is currently set up with
+    /// (interned id), if any.
+    ctx: Option<u64>,
+    /// Results served (throughput metric).
+    results: u64,
+}
+
+impl PWorker {
+    fn in_flight_total(&self) -> usize {
+        self.in_flight.values().sum()
+    }
+}
+
+/// One queued dispatch copy.
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    slot: usize,
+    key: u64,
+    attempt: u32,
+    copy: u32,
+}
+
+struct InFlight {
+    slot: usize,
+    key: u64,
+    attempt: u32,
+    copy: u32,
+    worker: u64,
+    sent_at: Instant,
+}
+
+struct Vote {
+    id: u64,
+    worker: u64,
+    objectives: Objectives,
+    resilience: ResilienceReport,
+}
+
+struct KeyState {
+    slot: usize,
+    needed: usize,
+    dispatched: u32,
+    votes: Vec<Vote>,
+}
+
+/// One campaign's open round.
+struct ActiveRound {
+    population: Vec<Vec<Gene>>,
+    target: usize,
+    scores: Vec<(usize, Objectives)>,
+    pending: VecDeque<Pending>,
+    in_flight: HashMap<u64, InFlight>,
+    keys: HashMap<u64, KeyState>,
+    settled: HashSet<u64>,
+    reply: Sender<Result<RoundReply, AuditError>>,
+}
+
+impl ActiveRound {
+    fn outstanding(&self, key: u64) -> bool {
+        self.pending.iter().any(|p| p.key == key)
+            || self.in_flight.values().any(|j| j.key == key)
+    }
+}
+
+/// One registered campaign.
+struct Campaign {
+    name: String,
+    ctx: EvalContext,
+    ctx_id: u64,
+    fingerprint: u64,
+    seed: u64,
+    n_objectives: usize,
+    wal: Option<Wal>,
+    prefill: Prefill,
+    report: ResilienceReport,
+    round: Option<ActiveRound>,
+    rounds_done: u64,
+    quarantined: u64,
+}
+
+fn objective_bits(objectives: &Objectives) -> Vec<u64> {
+    objectives.0.iter().map(|x| x.to_bits()).collect()
+}
+
+/// The pool thread's state. Single-threaded by construction: every
+/// mutation happens on the event loop, so no counter here needs an
+/// atomic and no map needs a lock.
+struct PoolState {
+    cfg: FleetConfig,
+    rx: Receiver<PoolMsg>,
+    workers: HashMap<u64, PWorker>,
+    campaigns: HashMap<u64, Campaign>,
+    scheduler: crate::scheduler::FairShare,
+    /// Request id → owning campaign, for result routing.
+    owner: HashMap<u64, u64>,
+    next_req: u64,
+    next_campaign: u64,
+    ctx_intern: HashMap<String, u64>,
+    waiters: Vec<(usize, Sender<()>)>,
+    dispatches: u64,
+    results: u64,
+    cache_hits: u64,
+    quarantined: u64,
+    evictions: u64,
+}
+
+impl PoolState {
+    fn new(cfg: FleetConfig, rx: Receiver<PoolMsg>) -> PoolState {
+        PoolState {
+            cfg,
+            rx,
+            workers: HashMap::new(),
+            campaigns: HashMap::new(),
+            scheduler: crate::scheduler::FairShare::new(),
+            owner: HashMap::new(),
+            next_req: 0,
+            next_campaign: 0,
+            ctx_intern: HashMap::new(),
+            waiters: Vec::new(),
+            dispatches: 0,
+            results: 0,
+            cache_hits: 0,
+            quarantined: 0,
+            evictions: 0,
+        }
+    }
+
+    fn run(mut self) {
+        loop {
+            self.pump();
+            // Idle parking: with every campaign between rounds there is
+            // nothing in flight, no lease to expire, and no reason to
+            // ping — block on the channel instead of spinning the
+            // heartbeat timer.
+            let parked = self.campaigns.values().all(|c| c.round.is_none());
+            let msg = if parked {
+                match self.rx.recv() {
+                    Ok(msg) => Some(msg),
+                    Err(_) => return,
+                }
+            } else {
+                match self.rx.recv_timeout(self.cfg.heartbeat) {
+                    Ok(msg) => Some(msg),
+                    Err(RecvTimeoutError::Timeout) => None,
+                    Err(RecvTimeoutError::Disconnected) => return,
+                }
+            };
+            let Some(msg) = msg else {
+                self.heartbeat_tick();
+                continue;
+            };
+            if parked {
+                // Waking from a possibly-long park: the liveness clocks
+                // are stale, not the workers. Refresh before anything
+                // can read the staleness as mass death.
+                let now = Instant::now();
+                for w in self.workers.values_mut() {
+                    w.last_seen = now;
+                }
+            }
+            if !self.handle(msg) {
+                return;
+            }
+        }
+    }
+
+    /// Folds one message in; false means shutdown.
+    fn handle(&mut self, msg: PoolMsg) -> bool {
+        match msg {
+            PoolMsg::Joined { worker, writer } => {
+                self.workers.insert(
+                    worker,
+                    PWorker {
+                        writer,
+                        last_seen: Instant::now(),
+                        in_flight: HashMap::new(),
+                        ctx: None,
+                        results: 0,
+                    },
+                );
+                let live = self.workers.len();
+                self.waiters.retain(|(n, reply)| {
+                    if live >= *n {
+                        reply.send(()).ok();
+                        false
+                    } else {
+                        true
+                    }
+                });
+            }
+            PoolMsg::Pong { worker } => {
+                if let Some(w) = self.workers.get_mut(&worker) {
+                    w.last_seen = Instant::now();
+                }
+            }
+            PoolMsg::Lost { worker } => self.lose_worker(worker),
+            PoolMsg::Result {
+                worker,
+                id,
+                objectives,
+                resilience,
+                cached,
+            } => self.admit_result(worker, id, objectives, resilience, cached),
+            PoolMsg::Register { spec, reply } => {
+                let result = self.register(*spec);
+                reply.send(result).ok();
+            }
+            PoolMsg::Evaluate {
+                campaign,
+                population,
+                jobs,
+                reply,
+            } => self.start_round(campaign, population, jobs, reply),
+            PoolMsg::Finish {
+                campaign,
+                discard_wal,
+                reply,
+            } => {
+                self.scheduler.unregister(campaign);
+                let report = match self.campaigns.remove(&campaign) {
+                    Some(mut c) => {
+                        if let Some(round) = c.round.take() {
+                            round
+                                .reply
+                                .send(Err(AuditError::journal(
+                                    0,
+                                    "campaign finished with a round open",
+                                )))
+                                .ok();
+                        }
+                        if discard_wal {
+                            if let Some(wal) = c.wal.take() {
+                                wal.discard();
+                            }
+                        }
+                        c.report
+                    }
+                    None => ResilienceReport::default(),
+                };
+                reply.send(report).ok();
+            }
+            PoolMsg::WaitWorkers { n, reply } => {
+                if self.workers.len() >= n {
+                    reply.send(()).ok();
+                } else {
+                    self.waiters.push((n, reply));
+                }
+            }
+            PoolMsg::MetricsText { reply } => {
+                let text = self.render_metrics();
+                reply.send(text).ok();
+            }
+            PoolMsg::StatusText { reply } => {
+                let text = self.render_status();
+                reply.send(text).ok();
+            }
+            PoolMsg::Shutdown => {
+                let frame = Msg::Shutdown.to_json();
+                for w in self.workers.values_mut() {
+                    write_frame(&mut w.writer, &frame).ok();
+                    w.writer.shutdown();
+                }
+                for (_, c) in self.campaigns.iter_mut() {
+                    if let Some(round) = c.round.take() {
+                        round
+                            .reply
+                            .send(Err(AuditError::journal(0, "fleet pool shut down mid-round")))
+                            .ok();
+                    }
+                }
+                return false;
+            }
+        }
+        true
+    }
+
+    fn register(&mut self, spec: CampaignSpec) -> Result<u64, AuditError> {
+        let encoded = spec.ctx.to_json().encode();
+        let next_ctx = self.ctx_intern.len() as u64;
+        let ctx_id = *self.ctx_intern.entry(encoded).or_insert(next_ctx);
+        let (wal, prefill) = match &spec.wal {
+            Some(path) => {
+                let (wal, prefill) = Wal::open(path)?;
+                (Some(wal), prefill)
+            }
+            None => (None, HashMap::new()),
+        };
+        let id = self.next_campaign;
+        self.next_campaign += 1;
+        self.scheduler.register(id, spec.weight);
+        self.campaigns.insert(
+            id,
+            Campaign {
+                name: spec.name,
+                fingerprint: spec.ctx.fingerprint(),
+                n_objectives: spec.ctx.spec.objectives.len(),
+                ctx: spec.ctx,
+                ctx_id,
+                seed: spec.seed,
+                wal,
+                prefill,
+                report: ResilienceReport::default(),
+                round: None,
+                rounds_done: 0,
+                quarantined: 0,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Opens a round: prefill is served immediately; the rest queues
+    /// for fair-share dispatch. An all-prefilled round settles without
+    /// touching a worker.
+    fn start_round(
+        &mut self,
+        campaign: u64,
+        population: Vec<Vec<Gene>>,
+        jobs: Vec<usize>,
+        reply: Sender<Result<RoundReply, AuditError>>,
+    ) {
+        let Some(c) = self.campaigns.get_mut(&campaign) else {
+            reply
+                .send(Err(AuditError::journal(0, "evaluate for unknown campaign")))
+                .ok();
+            return;
+        };
+        if c.round.is_some() {
+            reply
+                .send(Err(AuditError::journal(0, "campaign already has a round open")))
+                .ok();
+            return;
+        }
+        let verify_fraction = self.cfg.verify_fraction;
+        let mut round = ActiveRound {
+            target: jobs.len(),
+            scores: Vec::with_capacity(jobs.len()),
+            pending: VecDeque::new(),
+            in_flight: HashMap::new(),
+            keys: HashMap::new(),
+            settled: HashSet::new(),
+            reply,
+            population,
+        };
+        for &slot in &jobs {
+            let key = genome_key(&round.population[slot]);
+            if let Some((objectives, delta)) = c.prefill.remove(&key) {
+                c.report.merge(&delta);
+                round.scores.push((slot, objectives));
+                continue;
+            }
+            let needed = if verify_fraction > 0.0
+                && uniform(mix(mix(c.seed, STREAM_VERIFY), key)) < verify_fraction
+            {
+                2
+            } else {
+                1
+            };
+            round.keys.insert(
+                key,
+                KeyState {
+                    slot,
+                    needed,
+                    dispatched: needed as u32,
+                    votes: Vec::new(),
+                },
+            );
+            for copy in 0..needed as u32 {
+                round.pending.push_back(Pending {
+                    slot,
+                    key,
+                    attempt: 0,
+                    copy,
+                });
+            }
+        }
+        c.round = Some(round);
+        self.maybe_complete(campaign);
+    }
+
+    /// Settles a finished round: hands the scores (and the campaign's
+    /// running resilience report) back to its dispatcher.
+    fn maybe_complete(&mut self, campaign: u64) {
+        let workers = self.workers.len().max(1);
+        let Some(c) = self.campaigns.get_mut(&campaign) else {
+            return;
+        };
+        if c.round.as_ref().is_some_and(|r| r.scores.len() >= r.target) {
+            let round = c.round.take().expect("checked above");
+            c.rounds_done += 1;
+            round
+                .reply
+                .send(Ok(RoundReply {
+                    scores: round.scores,
+                    report: c.report,
+                    workers,
+                }))
+                .ok();
+        }
+    }
+
+    /// Fails a campaign's open round (WAL write error and the like).
+    fn fail_round(&mut self, campaign: u64, err: AuditError) {
+        if let Some(c) = self.campaigns.get_mut(&campaign) {
+            if let Some(round) = c.round.take() {
+                round.reply.send(Err(err)).ok();
+            }
+        }
+    }
+
+    /// Deterministic per-campaign worker choice: FNV over the
+    /// campaign's `(seed, key, attempt, copy)` indexes the sorted
+    /// live-worker list, probing linearly for a worker with window
+    /// slack *for this campaign*.
+    fn pick_worker(&self, campaign: u64, seed: u64, key: u64, attempt: u32, copy: u32) -> Option<u64> {
+        let mut ids: Vec<u64> = self.workers.keys().copied().collect();
+        ids.sort_unstable();
+        if ids.is_empty() {
+            return None;
+        }
+        let mut h = KeyHasher::new();
+        h.write_u64(seed)
+            .write_u64(key)
+            .write_u64(u64::from(attempt))
+            .write_u64(u64::from(copy));
+        let start = (h.finish() % ids.len() as u64) as usize;
+        for probe in 0..ids.len() {
+            let id = ids[(start + probe) % ids.len()];
+            let used = self.workers[&id].in_flight.get(&campaign).copied().unwrap_or(0);
+            if used < self.cfg.window.max(1) {
+                return Some(id);
+            }
+        }
+        None
+    }
+
+    /// True when `campaign` could usefully receive a dispatch grant
+    /// right now.
+    fn runnable(&self, campaign: u64) -> bool {
+        let Some(c) = self.campaigns.get(&campaign) else {
+            return false;
+        };
+        let Some(round) = c.round.as_ref() else {
+            return false;
+        };
+        let Some(front) = round.pending.front() else {
+            return false;
+        };
+        front.attempt > self.cfg.retries
+            || self
+                .pick_worker(campaign, c.seed, front.key, front.attempt, front.copy)
+                .is_some()
+    }
+
+    /// The fair-share dispatch loop: grant one dispatch at a time to
+    /// the arbiter's pick until nothing is runnable.
+    fn pump(&mut self) {
+        loop {
+            let runnable: HashSet<u64> = self
+                .campaigns
+                .keys()
+                .copied()
+                .filter(|&cid| self.runnable(cid))
+                .collect();
+            if runnable.is_empty() {
+                return;
+            }
+            let mut scheduler = std::mem::take(&mut self.scheduler);
+            let grant = scheduler.next(|id| runnable.contains(&id));
+            self.scheduler = scheduler;
+            let Some(cid) = grant else {
+                return;
+            };
+            if let Err(e) = self.dispatch_one(cid) {
+                self.fail_round(cid, e);
+            }
+        }
+    }
+
+    /// Dispatches (or quarantines) one pending copy for `campaign`.
+    fn dispatch_one(&mut self, campaign: u64) -> Result<(), AuditError> {
+        let (front, seed, ctx_id) = {
+            let Some(c) = self.campaigns.get(&campaign) else {
+                return Ok(());
+            };
+            let Some(round) = c.round.as_ref() else {
+                return Ok(());
+            };
+            let Some(&front) = round.pending.front() else {
+                return Ok(());
+            };
+            (front, c.seed, c.ctx_id)
+        };
+        if front.attempt > self.cfg.retries {
+            if let Some(c) = self.campaigns.get_mut(&campaign) {
+                if let Some(round) = c.round.as_mut() {
+                    round.pending.pop_front();
+                }
+            }
+            self.quarantine_key(campaign, front.slot, front.key)?;
+            return Ok(());
+        }
+        let Some(worker) =
+            self.pick_worker(campaign, seed, front.key, front.attempt, front.copy)
+        else {
+            return Ok(());
+        };
+        // Lazy setup: bind the worker to this campaign's context if it
+        // holds a different one. Setup frames are never chaos-injected;
+        // a failed write is a worker loss (nothing dispatched yet).
+        if self.workers[&worker].ctx != Some(ctx_id) {
+            let ctx = self.campaigns[&campaign].ctx.clone();
+            let w = self.workers.get_mut(&worker).expect("picked worker live");
+            if write_frame(&mut w.writer, &Msg::Setup { ctx }.to_json()).is_err() {
+                self.lose_worker(worker);
+                return Ok(());
+            }
+            w.ctx = Some(ctx_id);
+        }
+        // Commit: pop the job, log, send.
+        let Pending {
+            slot,
+            key,
+            attempt,
+            copy,
+        } = front;
+        let genome = {
+            let c = self.campaigns.get_mut(&campaign).expect("campaign live");
+            let round = c.round.as_mut().expect("round open");
+            round.pending.pop_front();
+            let genome = round.population[slot].clone();
+            if let Some(wal) = &mut c.wal {
+                wal.log_dispatch(key, slot, attempt)?;
+            }
+            genome
+        };
+        let id = self.next_req;
+        self.next_req += 1;
+        self.dispatches += 1;
+        let fate = self.cfg.chaos.frame_fate(Direction::Outbound, key, attempt, copy);
+        let flip = self.cfg.chaos.corrupt_bit(Direction::Outbound, key, attempt, copy);
+        let write = if fate == FrameFate::Drop {
+            // The network ate the frame; the dispatch lease recovers
+            // the job.
+            Ok(())
+        } else {
+            let frame = Msg::Eval { id, genome }.to_json();
+            let w = self.workers.get_mut(&worker).expect("picked worker live");
+            match fate {
+                FrameFate::Corrupt => write_corrupted_frame(&mut w.writer, &frame, flip),
+                FrameFate::Duplicate => write_frame(&mut w.writer, &frame)
+                    .and_then(|()| write_frame(&mut w.writer, &frame)),
+                _ => write_frame(&mut w.writer, &frame),
+            }
+        };
+        match write {
+            Ok(()) => {
+                let w = self.workers.get_mut(&worker).expect("live");
+                *w.in_flight.entry(campaign).or_insert(0) += 1;
+                self.owner.insert(id, campaign);
+                let c = self.campaigns.get_mut(&campaign).expect("campaign live");
+                let round = c.round.as_mut().expect("round open");
+                round.in_flight.insert(
+                    id,
+                    InFlight {
+                        slot,
+                        key,
+                        attempt,
+                        copy,
+                        worker,
+                        sent_at: Instant::now(),
+                    },
+                );
+            }
+            Err(_) => {
+                // The write failing IS the loss signal; this job was
+                // never sent, so requeue it at the same attempt.
+                let c = self.campaigns.get_mut(&campaign).expect("campaign live");
+                let round = c.round.as_mut().expect("round open");
+                round.pending.push_front(Pending {
+                    slot,
+                    key,
+                    attempt,
+                    copy,
+                });
+                self.lose_worker(worker);
+            }
+        }
+        Ok(())
+    }
+
+    /// Admits one result frame: chaos at the inbound boundary, then
+    /// vote accounting for the owning campaign.
+    fn admit_result(
+        &mut self,
+        worker: u64,
+        id: u64,
+        objectives: Objectives,
+        resilience: ResilienceReport,
+        cached: bool,
+    ) {
+        if cached {
+            self.cache_hits += 1;
+        }
+        let Some(&campaign) = self.owner.get(&id) else {
+            // Retired request id: replay or superseded dispatch. Keep
+            // the liveness signal only.
+            if let Some(w) = self.workers.get_mut(&worker) {
+                w.last_seen = Instant::now();
+            }
+            return;
+        };
+        let Some((key, attempt, copy)) = self
+            .campaigns
+            .get(&campaign)
+            .and_then(|c| c.round.as_ref())
+            .and_then(|r| r.in_flight.get(&id))
+            .map(|j| (j.key, j.attempt, j.copy))
+        else {
+            self.owner.remove(&id);
+            if let Some(w) = self.workers.get_mut(&worker) {
+                w.last_seen = Instant::now();
+            }
+            return;
+        };
+        // Chaos: the worker stalls instead of answering.
+        if self.cfg.chaos.stalls(key, attempt, copy) {
+            self.lose_worker(worker);
+            return;
+        }
+        // Chaos: the result frame is lost or CRC-rejected on the wire;
+        // the dispatch lease recovers the job.
+        let fate = self.cfg.chaos.frame_fate(Direction::Inbound, key, attempt, copy);
+        if matches!(fate, FrameFate::Drop | FrameFate::Corrupt) {
+            return;
+        }
+        if let Some(w) = self.workers.get_mut(&worker) {
+            w.last_seen = Instant::now();
+            w.results += 1;
+            if let Some(used) = w.in_flight.get_mut(&campaign) {
+                *used = used.saturating_sub(1);
+            }
+        }
+        self.owner.remove(&id);
+        let job = {
+            let c = self.campaigns.get_mut(&campaign).expect("owner maps live campaign");
+            let round = c.round.as_mut().expect("checked above");
+            round.in_flight.remove(&id).expect("checked above")
+        };
+        self.results += 1;
+        // Chaos: a byzantine worker's answer is perturbed in the low
+        // mantissa bits — plausible but wrong.
+        let mut objectives = objectives;
+        let mask = self.cfg.chaos.lie_mask(key, attempt, copy);
+        if mask != 0 {
+            if let Some(primary) = objectives.0.first_mut() {
+                *primary = f64::from_bits(primary.to_bits() ^ mask);
+            }
+        }
+        if let Err(e) = self.register_vote(campaign, &job, id, objectives.clone(), resilience) {
+            self.fail_round(campaign, e);
+            return;
+        }
+        if fate == FrameFate::Duplicate {
+            if let Err(e) = self.register_vote(campaign, &job, id, objectives, resilience) {
+                self.fail_round(campaign, e);
+                return;
+            }
+        }
+        self.maybe_complete(campaign);
+    }
+
+    /// Folds one answer into its job's vote set; settles on enough
+    /// bit-identical votes, evicting disagreeing (byzantine) voters.
+    fn register_vote(
+        &mut self,
+        campaign: u64,
+        job: &InFlight,
+        id: u64,
+        objectives: Objectives,
+        resilience: ResilienceReport,
+    ) -> Result<(), AuditError> {
+        let mut evicted: Vec<u64> = Vec::new();
+        {
+            let Some(c) = self.campaigns.get_mut(&campaign) else {
+                return Ok(());
+            };
+            let Some(round) = c.round.as_mut() else {
+                return Ok(());
+            };
+            if round.settled.contains(&job.key) {
+                return Ok(());
+            }
+            let Some(state) = round.keys.get_mut(&job.key) else {
+                return Ok(());
+            };
+            if state.votes.iter().any(|v| v.id == id) {
+                return Ok(());
+            }
+            state.votes.push(Vote {
+                id,
+                worker: job.worker,
+                objectives,
+                resilience,
+            });
+            let needed = state.needed;
+            let winner = state.votes.iter().position(|v| {
+                let bits = objective_bits(&v.objectives);
+                state
+                    .votes
+                    .iter()
+                    .filter(|o| objective_bits(&o.objectives) == bits)
+                    .count()
+                    >= needed
+            });
+            match winner {
+                Some(idx) => {
+                    let win_bits = objective_bits(&state.votes[idx].objectives);
+                    let verdict = state.votes[idx].objectives.clone();
+                    let delta = state.votes[idx].resilience;
+                    let slot = state.slot;
+                    evicted = state
+                        .votes
+                        .iter()
+                        .filter(|v| objective_bits(&v.objectives) != win_bits)
+                        .map(|v| v.worker)
+                        .collect();
+                    evicted.sort_unstable();
+                    evicted.dedup();
+                    round.keys.remove(&job.key);
+                    round.settled.insert(job.key);
+                    if let Some(wal) = &mut c.wal {
+                        wal.log_result(job.key, &verdict, &delta)?;
+                    }
+                    c.report.merge(&delta);
+                    round
+                        .scores
+                        .push((slot, verdict));
+                }
+                None => {
+                    // All copies answered and still no agreement: break
+                    // the tie with a fresh dispatch.
+                    if !round.outstanding(job.key) {
+                        let state = round.keys.get_mut(&job.key).expect("no winner, still open");
+                        let copy = state.dispatched;
+                        state.dispatched += 1;
+                        round.pending.push_front(Pending {
+                            slot: job.slot,
+                            key: job.key,
+                            attempt: job.attempt,
+                            copy,
+                        });
+                    }
+                }
+            }
+        }
+        for loser in evicted {
+            self.evict_worker(campaign, loser, job.key)?;
+        }
+        Ok(())
+    }
+
+    /// Evicts a worker caught lying on `key` (WAL evidence in the
+    /// catching campaign, then severed like a lost worker — its
+    /// in-flight jobs across *every* campaign are requeued).
+    fn evict_worker(&mut self, campaign: u64, worker: u64, key: u64) -> Result<(), AuditError> {
+        let quarantined = self
+            .campaigns
+            .values()
+            .filter_map(|c| c.round.as_ref())
+            .flat_map(|r| r.in_flight.values())
+            .filter(|j| j.worker == worker)
+            .count() as u64;
+        if let Some(c) = self.campaigns.get_mut(&campaign) {
+            if let Some(wal) = &mut c.wal {
+                wal.log_worker_evicted(worker, key, quarantined)?;
+            }
+        }
+        self.evictions += 1;
+        self.lose_worker(worker);
+        Ok(())
+    }
+
+    /// Scores a job that exhausted its retry budget like a quarantined
+    /// candidate, logging the verdict so a resume does not retry it.
+    fn quarantine_key(&mut self, campaign: u64, slot: usize, key: u64) -> Result<(), AuditError> {
+        let quarantine_fitness = self.cfg.quarantine_fitness;
+        {
+            let Some(c) = self.campaigns.get_mut(&campaign) else {
+                return Ok(());
+            };
+            let Some(round) = c.round.as_mut() else {
+                return Ok(());
+            };
+            if round.settled.contains(&key) {
+                return Ok(());
+            }
+            round.settled.insert(key);
+            round.keys.remove(&key);
+            round.pending.retain(|p| p.key != key);
+            let delta = ResilienceReport {
+                evaluations: 1,
+                retries: 0,
+                quarantined: 1,
+                backoff_cycles: 0,
+            };
+            let verdict = Objectives(vec![quarantine_fitness; c.n_objectives.max(1)]);
+            if let Some(wal) = &mut c.wal {
+                wal.log_result(key, &verdict, &delta)?;
+            }
+            c.report.merge(&delta);
+            c.quarantined += 1;
+            round.scores.push((slot, verdict));
+        }
+        self.quarantined += 1;
+        self.maybe_complete(campaign);
+        Ok(())
+    }
+
+    /// Removes a worker and requeues its in-flight jobs — in every
+    /// campaign — at the next attempt.
+    fn lose_worker(&mut self, worker: u64) {
+        if let Some(w) = self.workers.remove(&worker) {
+            w.writer.shutdown();
+        }
+        for c in self.campaigns.values_mut() {
+            let Some(round) = c.round.as_mut() else {
+                continue;
+            };
+            let orphaned: Vec<u64> = round
+                .in_flight
+                .iter()
+                .filter(|(_, j)| j.worker == worker)
+                .map(|(&id, _)| id)
+                .collect();
+            for id in orphaned {
+                let job = round.in_flight.remove(&id).expect("orphan id present");
+                self.owner.remove(&id);
+                round.pending.push_front(Pending {
+                    slot: job.slot,
+                    key: job.key,
+                    attempt: job.attempt + 1,
+                    copy: job.copy,
+                });
+            }
+        }
+    }
+
+    /// Lease expiry, liveness pings, silent-worker collection.
+    fn heartbeat_tick(&mut self) {
+        for (&cid, c) in self.campaigns.iter_mut() {
+            let Some(round) = c.round.as_mut() else {
+                continue;
+            };
+            let expired: Vec<u64> = round
+                .in_flight
+                .iter()
+                .filter(|(_, j)| j.sent_at.elapsed() >= self.cfg.dead_after)
+                .map(|(&id, _)| id)
+                .collect();
+            for id in expired {
+                let job = round.in_flight.remove(&id).expect("expired id present");
+                self.owner.remove(&id);
+                // Free the lapsed job's window slot: the worker may be
+                // alive but slow, and its window must not leak.
+                if let Some(w) = self.workers.get_mut(&job.worker) {
+                    if let Some(used) = w.in_flight.get_mut(&cid) {
+                        *used = used.saturating_sub(1);
+                    }
+                }
+                round.pending.push_front(Pending {
+                    slot: job.slot,
+                    key: job.key,
+                    attempt: job.attempt + 1,
+                    copy: job.copy,
+                });
+            }
+        }
+        let ping = Msg::Ping.to_json();
+        let mut lost: Vec<u64> = Vec::new();
+        for (&id, w) in self.workers.iter_mut() {
+            if w.last_seen.elapsed() >= self.cfg.dead_after
+                || write_frame(&mut w.writer, &ping).is_err()
+            {
+                lost.push(id);
+            }
+        }
+        for id in lost {
+            self.lose_worker(id);
+        }
+    }
+
+    fn render_metrics(&self) -> String {
+        let queue_depth: u64 = self
+            .campaigns
+            .values()
+            .filter_map(|c| c.round.as_ref())
+            .map(|r| r.pending.len() as u64)
+            .sum();
+        let mut s = Scrape::new();
+        s.comment("audit fleet metrics");
+        s.sample("audit_fleet_workers", self.workers.len() as u64);
+        s.sample("audit_fleet_campaigns", self.campaigns.len() as u64);
+        s.sample("audit_fleet_dispatches_total", self.dispatches);
+        s.sample("audit_fleet_results_total", self.results);
+        s.sample("audit_fleet_cache_hits_total", self.cache_hits);
+        s.sample("audit_fleet_quarantined_total", self.quarantined);
+        s.sample("audit_fleet_worker_evictions_total", self.evictions);
+        s.sample("audit_fleet_queue_depth", queue_depth);
+        let mut worker_ids: Vec<u64> = self.workers.keys().copied().collect();
+        worker_ids.sort_unstable();
+        for id in worker_ids {
+            let w = &self.workers[&id];
+            let label = id.to_string();
+            s.labelled(
+                "audit_fleet_worker_results_total",
+                &[("worker", &label)],
+                w.results,
+            );
+            s.labelled(
+                "audit_fleet_worker_in_flight",
+                &[("worker", &label)],
+                w.in_flight_total() as u64,
+            );
+        }
+        let mut campaign_ids: Vec<u64> = self.campaigns.keys().copied().collect();
+        campaign_ids.sort_unstable();
+        for id in campaign_ids {
+            let c = &self.campaigns[&id];
+            let labels = [("campaign", c.name.as_str())];
+            s.labelled("audit_fleet_campaign_rounds_total", &labels, c.rounds_done);
+            s.labelled(
+                "audit_fleet_campaign_queue_depth",
+                &labels,
+                c.round.as_ref().map_or(0, |r| r.pending.len() as u64),
+            );
+            s.labelled(
+                "audit_fleet_campaign_quarantined_total",
+                &labels,
+                c.quarantined,
+            );
+        }
+        s.render()
+    }
+
+    fn render_status(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "fleet: {} worker(s), {} campaign(s)\n",
+            self.workers.len(),
+            self.campaigns.len()
+        ));
+        let mut ids: Vec<u64> = self.campaigns.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            let c = &self.campaigns[&id];
+            let state = match &c.round {
+                Some(r) => format!(
+                    "round open ({}/{} scored, {} pending, {} in flight)",
+                    r.scores.len(),
+                    r.target,
+                    r.pending.len(),
+                    r.in_flight.len()
+                ),
+                None => "between rounds".to_string(),
+            };
+            out.push_str(&format!(
+                "campaign {id} `{name}`: {rounds} round(s) done, {state}, ctx {fp:016x}\n",
+                name = c.name,
+                rounds = c.rounds_done,
+                fp = c.fingerprint,
+            ));
+        }
+        out
+    }
+}

@@ -1,0 +1,431 @@
+//! The fleet front door: one socket, three kinds of peer.
+//!
+//! [`Fleet::bind`] opens a single listening socket and sorts each
+//! connection by its first frame's `kind`:
+//!
+//! * `hello` — a worker (`audit work`, byte-for-byte the same binary
+//!   that serves a single-campaign broker). Its writer half goes to the
+//!   pool thread; its reader half pumps results in. Unlike the broker,
+//!   no `Setup` is sent at handshake — the pool binds the worker to a
+//!   campaign's context lazily, at its first dispatch.
+//! * `submit` / `status` — a tenant client ([`FleetMsg`]). Submissions
+//!   surface through [`Fleet::next_submission`]; the caller (the CLI's
+//!   `fleet serve`) registers the campaign, runs it, and answers on the
+//!   held connection via [`Submission::respond_accepted`] and
+//!   [`Submission::finish`].
+//! * `metrics_req` — a scrape. It gets one plain-text
+//!   [`Msg::Metrics`] snapshot and the socket closes.
+//!
+//! The matching client sides are the free functions [`submit`],
+//! [`status`], and [`scrape`].
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use audit_error::AuditError;
+use audit_measure::json::JsonValue;
+use audit_net::frame::{read_frame, write_frame, FrameOutcome};
+use audit_net::proto::{Msg, PROTOCOL_VERSION};
+use audit_net::transport::{connect, Conn, Listener};
+
+use crate::pool::{FleetConfig, Pool, PoolHandle, PoolMsg};
+use crate::proto::FleetMsg;
+
+/// A campaign submission pulled off the socket, with the tenant's
+/// connection held open so the manager can answer when the campaign
+/// finishes.
+pub struct Submission {
+    /// Normalized `audit generate` argv (flags only).
+    pub argv: Vec<String>,
+    /// Journal checkpoint path on the manager's filesystem.
+    pub checkpoint: String,
+    /// Fair-share weight (≥ 1).
+    pub weight: u32,
+    /// Resume the checkpoint instead of starting fresh.
+    pub resume: bool,
+    conn: Conn,
+}
+
+impl Submission {
+    /// Tells the tenant its campaign is registered and running.
+    pub fn respond_accepted(&mut self, campaign: u64) {
+        write_frame(&mut self.conn, &FleetMsg::Accepted { campaign }.to_json()).ok();
+    }
+
+    /// Tells the tenant its campaign completed (or failed) and closes
+    /// the connection.
+    pub fn finish(mut self, campaign: u64, ok: bool, summary: &str) {
+        write_frame(
+            &mut self.conn,
+            &FleetMsg::Done {
+                campaign,
+                ok,
+                summary: summary.to_string(),
+            }
+            .to_json(),
+        )
+        .ok();
+        self.conn.shutdown();
+    }
+}
+
+/// The running campaign manager: listener, accept loop, worker pool.
+pub struct Fleet {
+    addr: String,
+    pool: Pool,
+    handle: PoolHandle,
+    submissions: Receiver<Submission>,
+    stop: Arc<AtomicBool>,
+    conns: Arc<Mutex<Vec<Conn>>>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Fleet {
+    /// Binds `addr` (`host:port` or `unix:/path`) and starts accepting
+    /// workers, tenants, and scrapes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuditError::Io`] if the address cannot be bound.
+    pub fn bind(addr: &str, cfg: FleetConfig) -> Result<Fleet, AuditError> {
+        let listener = Listener::bind(addr).map_err(|e| AuditError::io(addr, &e))?;
+        let bound = listener.local_addr_string();
+        set_nonblocking(&listener).map_err(|e| AuditError::io(addr, &e))?;
+        let pool = Pool::start(cfg);
+        let handle = pool.handle();
+        let (sub_tx, submissions) = channel();
+        let stop = Arc::new(AtomicBool::new(false));
+        let conns = Arc::new(Mutex::new(Vec::new()));
+        let accept_stop = Arc::clone(&stop);
+        let accept_conns = Arc::clone(&conns);
+        let accept_pool = handle.clone();
+        let accept_thread = std::thread::spawn(move || {
+            accept_loop(&listener, &accept_pool, &sub_tx, &accept_stop, &accept_conns);
+        });
+        Ok(Fleet {
+            addr: bound,
+            pool,
+            handle,
+            submissions,
+            stop,
+            conns,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address in connectable form (`:0` resolved).
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// A clonable handle into the worker pool (campaign registration,
+    /// dispatchers, metrics).
+    pub fn handle(&self) -> PoolHandle {
+        self.handle.clone()
+    }
+
+    /// Blocks until at least `n` workers are connected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuditError::Io`] if the pool thread has died.
+    pub fn wait_for_workers(&self, n: usize) -> Result<(), AuditError> {
+        self.handle.wait_for_workers(n)
+    }
+
+    /// Waits up to `timeout` for the next campaign submission.
+    pub fn next_submission(&self, timeout: Duration) -> Option<Submission> {
+        self.submissions.recv_timeout(timeout).ok()
+    }
+
+    /// The plain-text metrics scrape (what [`scrape`] returns remotely).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuditError::Io`] if the pool thread has died.
+    pub fn metrics_text(&self) -> Result<String, AuditError> {
+        self.handle.metrics_text()
+    }
+
+    /// The plain-text status report (what [`status`] returns remotely).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuditError::Io`] if the pool thread has died.
+    pub fn status_text(&self) -> Result<String, AuditError> {
+        self.handle.status_text()
+    }
+
+    /// Stops accepting, releases every connection (workers get a
+    /// `Shutdown` frame), and joins the pool thread. Called
+    /// automatically on drop.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Join the accept loop before draining the registry, so a peer
+        // connecting during shutdown is registered and released too.
+        if let Some(handle) = self.accept_thread.take() {
+            handle.join().ok();
+        }
+        self.pool.shutdown();
+        let shutdown_frame = Msg::Shutdown.to_json();
+        if let Ok(mut conns) = self.conns.lock() {
+            for conn in conns.iter_mut() {
+                write_frame(conn, &shutdown_frame).ok();
+                conn.shutdown();
+            }
+            conns.clear();
+        }
+    }
+}
+
+impl Drop for Fleet {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn set_nonblocking(listener: &Listener) -> std::io::Result<()> {
+    match listener {
+        Listener::Tcp(l) => l.set_nonblocking(true),
+        #[cfg(unix)]
+        Listener::Unix(l) => l.set_nonblocking(true),
+    }
+}
+
+/// Polls for connections until told to stop; each accepted socket gets
+/// a sniff/session thread.
+fn accept_loop(
+    listener: &Listener,
+    pool: &PoolHandle,
+    submissions: &Sender<Submission>,
+    stop: &AtomicBool,
+    conns: &Mutex<Vec<Conn>>,
+) {
+    let ids = AtomicUsize::new(0);
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok(conn) => {
+                if let Ok(clone) = conn.try_clone() {
+                    if let Ok(mut registry) = conns.lock() {
+                        registry.push(clone);
+                    }
+                }
+                let worker = ids.fetch_add(1, Ordering::SeqCst) as u64;
+                let pool = pool.clone();
+                let submissions = submissions.clone();
+                std::thread::spawn(move || session(conn, worker, &pool, &submissions));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(100)),
+        }
+    }
+}
+
+/// Reads a connection's first frame and routes it: worker handshake,
+/// tenant request, or scrape.
+fn session(mut conn: Conn, worker: u64, pool: &PoolHandle, submissions: &Sender<Submission>) {
+    let first = match read_frame(&mut conn) {
+        Ok(FrameOutcome::Frame(v)) => v,
+        _ => {
+            conn.shutdown();
+            return;
+        }
+    };
+    match first.get("kind").and_then(JsonValue::as_str) {
+        Some("hello") => worker_session(conn, worker, &first, pool),
+        Some("metrics_req") => {
+            let (reply, rx) = channel();
+            if pool.send(PoolMsg::MetricsText { reply }) {
+                if let Ok(text) = rx.recv() {
+                    write_frame(&mut conn, &Msg::Metrics { text }.to_json()).ok();
+                }
+            }
+            conn.shutdown();
+        }
+        Some("status") => {
+            let (reply, rx) = channel();
+            if pool.send(PoolMsg::StatusText { reply }) {
+                if let Ok(text) = rx.recv() {
+                    write_frame(&mut conn, &FleetMsg::Status { text }.to_json()).ok();
+                }
+            }
+            conn.shutdown();
+        }
+        Some("submit") => {
+            let Ok(FleetMsg::Submit {
+                argv,
+                checkpoint,
+                weight,
+                resume,
+            }) = FleetMsg::from_json(&first)
+            else {
+                conn.shutdown();
+                return;
+            };
+            // The connection rides along: the serve loop answers on it
+            // when the campaign is accepted and again when it finishes.
+            submissions
+                .send(Submission {
+                    argv,
+                    checkpoint,
+                    weight,
+                    resume,
+                    conn,
+                })
+                .ok();
+        }
+        _ => conn.shutdown(),
+    }
+}
+
+/// Completes a worker handshake and pumps its frames into the pool
+/// until the stream ends.
+fn worker_session(mut conn: Conn, worker: u64, first: &JsonValue, pool: &PoolHandle) {
+    match Msg::from_json(first) {
+        Ok(Msg::Hello { protocol }) if protocol == PROTOCOL_VERSION => {}
+        _ => {
+            conn.shutdown();
+            return;
+        }
+    }
+    let Ok(writer) = conn.try_clone() else {
+        conn.shutdown();
+        return;
+    };
+    if !pool.send(PoolMsg::Joined { worker, writer }) {
+        return;
+    }
+    // Clean EOF, a torn tail, or a read error ends the session and
+    // reports the worker lost; a CRC-rejected frame is dropped and the
+    // stream stays alive (the dispatch lease re-issues whatever it
+    // carried).
+    loop {
+        let v = match read_frame(&mut conn) {
+            Ok(FrameOutcome::Frame(v)) => v,
+            Ok(FrameOutcome::Corrupt) => continue,
+            _ => break,
+        };
+        match Msg::from_json(&v) {
+            Ok(Msg::Result {
+                id,
+                objectives,
+                resilience,
+                cached,
+            }) => {
+                if !pool.send(PoolMsg::Result {
+                    worker,
+                    id,
+                    objectives,
+                    resilience,
+                    cached,
+                }) {
+                    return;
+                }
+            }
+            Ok(Msg::Pong | Msg::Ping) => {
+                if !pool.send(PoolMsg::Pong { worker }) {
+                    return;
+                }
+            }
+            _ => break,
+        }
+    }
+    pool.send(PoolMsg::Lost { worker });
+}
+
+/// Reads one frame, treating EOF and corruption as errors — the client
+/// side of a strictly request/response exchange.
+fn expect_frame(conn: &mut Conn, what: &str) -> Result<JsonValue, AuditError> {
+    match read_frame(conn)? {
+        FrameOutcome::Frame(v) => Ok(v),
+        _ => Err(AuditError::journal(0, format!("fleet: {what}: stream ended"))),
+    }
+}
+
+/// Submits a campaign to the manager at `addr` and blocks until it
+/// completes, returning `(campaign id, ok, summary)`.
+///
+/// # Errors
+///
+/// Returns [`AuditError::Io`] on connect/write failure and
+/// [`AuditError::Journal`] on a malformed or unexpected reply.
+pub fn submit(
+    addr: &str,
+    argv: Vec<String>,
+    checkpoint: &str,
+    weight: u32,
+    resume: bool,
+) -> Result<(u64, bool, String), AuditError> {
+    let mut conn = connect(addr).map_err(|e| AuditError::io(addr, &e))?;
+    write_frame(
+        &mut conn,
+        &FleetMsg::Submit {
+            argv,
+            checkpoint: checkpoint.to_string(),
+            weight,
+            resume,
+        }
+        .to_json(),
+    )?;
+    let accepted = expect_frame(&mut conn, "awaiting accept")?;
+    let campaign = match FleetMsg::from_json(&accepted)? {
+        FleetMsg::Accepted { campaign } => campaign,
+        // A submission the manager rejects before registration answers
+        // with `done` directly, no `accepted` frame.
+        FleetMsg::Done {
+            campaign,
+            ok,
+            summary,
+        } => return Ok((campaign, ok, summary)),
+        _ => return Err(AuditError::journal(0, "fleet: expected `accepted`")),
+    };
+    let done = expect_frame(&mut conn, "awaiting completion")?;
+    let FleetMsg::Done {
+        campaign: done_campaign,
+        ok,
+        summary,
+    } = FleetMsg::from_json(&done)?
+    else {
+        return Err(AuditError::journal(0, "fleet: expected `done`"));
+    };
+    if done_campaign != campaign {
+        return Err(AuditError::journal(0, "fleet: done for a different campaign"));
+    }
+    Ok((campaign, ok, summary))
+}
+
+/// Fetches the manager's plain-text status report.
+///
+/// # Errors
+///
+/// Returns [`AuditError::Io`] on connect/write failure and
+/// [`AuditError::Journal`] on a malformed reply.
+pub fn status(addr: &str) -> Result<String, AuditError> {
+    let mut conn = connect(addr).map_err(|e| AuditError::io(addr, &e))?;
+    write_frame(&mut conn, &FleetMsg::StatusReq.to_json())?;
+    let reply = expect_frame(&mut conn, "awaiting status")?;
+    let FleetMsg::Status { text } = FleetMsg::from_json(&reply)? else {
+        return Err(AuditError::journal(0, "fleet: expected `status_text`"));
+    };
+    Ok(text)
+}
+
+/// Fetches the manager's plain-text metrics scrape.
+///
+/// # Errors
+///
+/// Returns [`AuditError::Io`] on connect/write failure and
+/// [`AuditError::Journal`] on a malformed reply.
+pub fn scrape(addr: &str) -> Result<String, AuditError> {
+    let mut conn = connect(addr).map_err(|e| AuditError::io(addr, &e))?;
+    write_frame(&mut conn, &Msg::MetricsReq.to_json())?;
+    let reply = expect_frame(&mut conn, "awaiting metrics")?;
+    let Msg::Metrics { text } = Msg::from_json(&reply)? else {
+        return Err(AuditError::journal(0, "fleet: expected `metrics`"));
+    };
+    Ok(text)
+}

@@ -1,0 +1,156 @@
+//! The no-busy-wait contract: an idle fleet parks.
+//!
+//! With no round open anywhere, the pool thread blocks on its channel
+//! (a condvar wait) instead of spinning its heartbeat timer — the same
+//! fix the single-campaign broker got for its no-worker idle loop.
+//! Two observables pin it: a connected worker receives *no* pings
+//! while the pool is parked (heartbeat ticks only fire between rounds
+//! in flight), and the whole process burns (almost) no CPU across an
+//! idle window even with a pathologically short heartbeat. This file
+//! is its own test binary so the CPU measurement is not contaminated
+//! by sibling tests.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use audit_core::ga::{CostFunction, ObjectiveSet};
+use audit_core::{FitnessSpec, MeasurePolicy, MeasureSpec};
+use audit_fleet::{CampaignSpec, Fleet, FleetConfig, PoolHandle};
+use audit_net::{
+    connect, read_frame, write_frame, EvalContext, FrameOutcome, Msg, PROTOCOL_VERSION,
+};
+
+fn ctx() -> EvalContext {
+    EvalContext {
+        chip: "bulldozer".into(),
+        volts: None,
+        throttle: None,
+        spec: FitnessSpec {
+            threads: 1,
+            sub_blocks: 2,
+            lp_slots: 2,
+            cost: CostFunction::MaxDroop,
+            spec: MeasureSpec::ga_eval(),
+            policy: MeasurePolicy::disabled(),
+            objectives: ObjectiveSet::default(),
+        },
+        fast_tier_budget: 0,
+    }
+}
+
+/// Cumulative on-CPU nanoseconds of this process, from
+/// `/proc/self/schedstat` (first field).
+#[cfg(target_os = "linux")]
+fn on_cpu_ns() -> u64 {
+    std::fs::read_to_string("/proc/self/schedstat")
+        .unwrap()
+        .split_whitespace()
+        .next()
+        .unwrap()
+        .parse()
+        .unwrap()
+}
+
+#[test]
+fn parked_pool_neither_pings_nor_spins() {
+    // A pathologically short heartbeat: a non-parking event loop would
+    // tick ~100×/s and ping the worker every tick.
+    let cfg = FleetConfig {
+        heartbeat: Duration::from_millis(10),
+        dead_after: Duration::from_secs(30),
+        ..FleetConfig::default()
+    };
+    let mut manager = Fleet::bind("127.0.0.1:0", cfg).unwrap();
+    let addr = manager.addr().to_string();
+
+    // A hand-rolled worker that counts pings and answers nothing.
+    let pings = Arc::new(AtomicUsize::new(0));
+    let ping_count = Arc::clone(&pings);
+    let silent = std::thread::spawn(move || {
+        let mut conn = connect(&addr).unwrap();
+        write_frame(
+            &mut conn,
+            &Msg::Hello {
+                protocol: PROTOCOL_VERSION,
+            }
+            .to_json(),
+        )
+        .unwrap();
+        loop {
+            match read_frame(&mut conn) {
+                Ok(FrameOutcome::Frame(v)) => match Msg::from_json(&v) {
+                    Ok(Msg::Ping) => {
+                        ping_count.fetch_add(1, Ordering::SeqCst);
+                    }
+                    Ok(Msg::Shutdown) => return,
+                    _ => {}
+                },
+                _ => return,
+            }
+        }
+    });
+    manager.wait_for_workers(1).unwrap();
+
+    // Idle window: no campaign, no round — the pool must park.
+    #[cfg(target_os = "linux")]
+    let before = on_cpu_ns();
+    std::thread::sleep(Duration::from_millis(400));
+    assert_eq!(
+        pings.load(Ordering::SeqCst),
+        0,
+        "a parked pool has no heartbeat tick, so no pings"
+    );
+    #[cfg(target_os = "linux")]
+    {
+        let spent = on_cpu_ns() - before;
+        // A busy-spinning loop would burn ~the whole 400 ms window on
+        // CPU; the parked loop (plus this thread and the blocked
+        // reader) should cost a small fraction of it.
+        assert!(
+            spent < 200_000_000,
+            "idle fleet burned {spent} ns CPU over a 400 ms window"
+        );
+    }
+
+    // Control for the ping half: open a round (the silent worker never
+    // answers, leaving it in flight) and the heartbeat timer resumes —
+    // pings flow again, proving their absence above was the park, not
+    // a missing feature.
+    let pool: PoolHandle = manager.handle();
+    let id = pool
+        .register(CampaignSpec {
+            name: "waker".into(),
+            ctx: ctx(),
+            seed: 1,
+            weight: 1,
+            wal: None,
+        })
+        .unwrap();
+    let mut dispatcher = pool.dispatcher(id);
+    let round = std::thread::spawn(move || {
+        let population = vec![vec![
+            audit_core::ga::Gene {
+                opcode: audit_cpu::isa::Opcode::SimdFma,
+                dst: 0,
+                src1: 1,
+                src2: 2,
+                miss: false,
+            };
+            8
+        ]];
+        // Fails when the manager shuts down mid-round — expected.
+        let _ = audit_core::ga::EvalDispatcher::evaluate(&mut dispatcher, &population, &[0]);
+    });
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while pings.load(Ordering::SeqCst) == 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(
+        pings.load(Ordering::SeqCst) > 0,
+        "heartbeat pings did not resume once a round was in flight"
+    );
+    manager.shutdown();
+    round.join().unwrap();
+    silent.join().unwrap();
+}

@@ -75,8 +75,13 @@ pub fn write_frame(w: &mut impl Write, payload: &JsonValue) -> Result<(), AuditE
 /// payload length) is flipped *after* the CRC trailer is computed — the
 /// receiver sees a frame whose checksum fails. This is the chaos
 /// plan's wire-corruption primitive (`chaos::FrameFate::Corrupt`);
-/// nothing outside fault injection should call it.
-pub(crate) fn write_corrupted_frame(
+/// nothing outside fault injection (here or in the fleet pool) should
+/// call it.
+///
+/// # Errors
+///
+/// Returns [`AuditError::Io`] on any socket write failure.
+pub fn write_corrupted_frame(
     w: &mut impl Write,
     payload: &JsonValue,
     flip_bit: u64,

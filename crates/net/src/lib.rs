@@ -28,7 +28,13 @@
 //!   ([`chaos::NetFaultPlan`]): drops, duplicates, bit-flips, stalled
 //!   workers, and byzantine wrong answers, every decision a pure hash
 //!   of `(seed, direction, frame key, attempt)` so a chaos campaign
-//!   replays exactly.
+//!   replays exactly,
+//! * [`wal`] — the dispatch write-ahead log ([`wal::Wal`]), shared by
+//!   the single-campaign broker and the multi-campaign `audit-fleet`
+//!   pool (one WAL per campaign there),
+//! * [`metrics`] — scrapeable serving counters
+//!   ([`metrics::ServeMetrics`]) and the plain-text snapshot builder
+//!   ([`metrics::Scrape`]) behind the `MetricsReq`/`Metrics` frames.
 //!
 //! # Determinism contract
 //!
@@ -49,13 +55,17 @@
 pub mod broker;
 pub mod chaos;
 pub mod frame;
+pub mod metrics;
 pub mod proto;
 pub mod transport;
+pub mod wal;
 pub mod worker;
 
 pub use broker::{Broker, BrokerConfig};
 pub use chaos::{Direction, FrameFate, NetFaultPlan, NetFaultRates};
 pub use frame::{crc32, read_frame, write_frame, FrameOutcome};
+pub use metrics::{Scrape, ServeMetrics};
 pub use proto::{EvalContext, Msg, PROTOCOL_VERSION};
 pub use transport::{connect, Conn, Listener};
+pub use wal::{Prefill, Wal};
 pub use worker::{run_worker, WorkerOptions, WorkerStats};

@@ -24,7 +24,7 @@ use audit_core::ga::{CostFunction, Gene, ObjectiveSet, Objectives};
 use audit_core::journal::{decode_genome, decode_u64, encode_genome, encode_u64};
 use audit_core::{FitnessSpec, MeasurePolicy, MeasureSpec, ResilienceReport, Rig};
 use audit_error::AuditError;
-use audit_measure::fault::FaultPlan;
+use audit_measure::fault::{FaultPlan, KeyHasher};
 use audit_measure::json::JsonValue;
 
 /// Protocol revision. A broker and worker must agree exactly — there is
@@ -67,6 +67,12 @@ pub enum Msg {
         /// This evaluation's resilience-counter delta (zeros on the
         /// plain path).
         resilience: ResilienceReport,
+        /// True when the worker served the answer from its
+        /// cross-campaign eval cache instead of simulating. Pure
+        /// observability (the cached answer is bit-identical to a
+        /// fresh one); omitted from the wire when false, so
+        /// cache-miss traffic keeps its prior bytes.
+        cached: bool,
     },
     /// Broker → worker liveness probe.
     Ping,
@@ -74,6 +80,15 @@ pub enum Msg {
     Pong,
     /// Broker → worker: the run is over, disconnect.
     Shutdown,
+    /// Scraper → server: request a metrics snapshot. Must be the first
+    /// frame on its connection; the server answers with one
+    /// [`Msg::Metrics`] and closes (see [`crate::metrics`]).
+    MetricsReq,
+    /// Server → scraper: the plain-text metrics snapshot.
+    Metrics {
+        /// Line-oriented scrape text ([`crate::metrics::Scrape`]).
+        text: String,
+    },
 }
 
 impl Msg {
@@ -94,6 +109,7 @@ impl Msg {
                 id,
                 objectives,
                 resilience,
+                cached,
             } => {
                 let mut fields = vec![
                     kind("result"),
@@ -106,12 +122,20 @@ impl Msg {
                 if objectives.len() > 1 {
                     fields.push(("objectives", encode_objectives(objectives)));
                 }
+                if *cached {
+                    fields.push(("cached", JsonValue::Bool(true)));
+                }
                 fields.push(("resilience", encode_resilience(resilience)));
                 JsonValue::object(fields)
             }
             Msg::Ping => JsonValue::object(vec![kind("ping")]),
             Msg::Pong => JsonValue::object(vec![kind("pong")]),
             Msg::Shutdown => JsonValue::object(vec![kind("shutdown")]),
+            Msg::MetricsReq => JsonValue::object(vec![kind("metrics_req")]),
+            Msg::Metrics { text } => JsonValue::object(vec![
+                kind("metrics"),
+                ("text", JsonValue::String(text.clone())),
+            ]),
         }
     }
 
@@ -156,11 +180,20 @@ impl Msg {
                         v.get("resilience")
                             .ok_or_else(|| AuditError::journal(0, "result has no `resilience`"))?,
                     )?,
+                    cached: v.get("cached").and_then(JsonValue::as_bool).unwrap_or(false),
                 })
             }
             "ping" => Ok(Msg::Ping),
             "pong" => Ok(Msg::Pong),
             "shutdown" => Ok(Msg::Shutdown),
+            "metrics_req" => Ok(Msg::MetricsReq),
+            "metrics" => Ok(Msg::Metrics {
+                text: v
+                    .get("text")
+                    .and_then(JsonValue::as_str)
+                    .ok_or_else(|| AuditError::journal(0, "metrics has no `text`"))?
+                    .to_string(),
+            }),
             other => Err(AuditError::journal(0, format!("unknown message kind `{other}`"))),
         }
     }
@@ -277,6 +310,19 @@ impl EvalContext {
             spec,
             fast_tier_budget,
         })
+    }
+
+    /// A stable content hash of the context (FNV over its canonical
+    /// wire encoding): two contexts fingerprint equal exactly when
+    /// their encodings are byte-equal. Used for display and metrics —
+    /// the worker's cross-campaign cache is keyed by the *full*
+    /// encoding (interned), never by this hash, so a fingerprint
+    /// collision can mislabel a metric line but can never leak a
+    /// result between tenants.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = KeyHasher::new();
+        h.write_bytes(self.to_json().encode().as_bytes());
+        h.finish()
     }
 
     /// Builds the worker-side rig this context describes.
@@ -507,15 +553,21 @@ mod tests {
                 quarantined: 0,
                 backoff_cycles: 4096,
             },
+            cached: false,
         });
         round_trip(Msg::Result {
             id: 43,
             objectives: Objectives(vec![-0.08125, 14.5, -0.03]),
             resilience: ResilienceReport::default(),
+            cached: true,
         });
         round_trip(Msg::Ping);
         round_trip(Msg::Pong);
         round_trip(Msg::Shutdown);
+        round_trip(Msg::MetricsReq);
+        round_trip(Msg::Metrics {
+            text: "# audit serve metrics\naudit_workers 2\n".into(),
+        });
     }
 
     #[test]
@@ -553,9 +605,13 @@ mod tests {
             id: 7,
             objectives: Objectives::scalar(-0.0625),
             resilience: ResilienceReport::default(),
+            cached: false,
         };
         let encoded = msg.to_json();
         assert!(encoded.get("objectives").is_none());
+        // A cache miss (the historical case) is omitted from the wire,
+        // so miss traffic keeps its prior bytes.
+        assert!(encoded.get("cached").is_none());
         assert_eq!(encoded.get("fitness").and_then(JsonValue::as_f64), Some(-0.0625));
         assert_eq!(Msg::from_json(&encoded).unwrap(), msg);
     }
@@ -566,6 +622,7 @@ mod tests {
             id: 8,
             objectives: Objectives(vec![-0.0625, 12.0]),
             resilience: ResilienceReport::default(),
+            cached: false,
         };
         let encoded = msg.to_json();
         // The primary axis still rides the `fitness` field so scalar
@@ -573,6 +630,25 @@ mod tests {
         assert_eq!(encoded.get("fitness").and_then(JsonValue::as_f64), Some(-0.0625));
         assert!(encoded.get("objectives").is_some());
         assert_eq!(Msg::from_json(&encoded).unwrap(), msg);
+    }
+
+    #[test]
+    fn fingerprint_tracks_the_wire_encoding_exactly() {
+        let ctx = sample_ctx();
+        // Stable across calls and across equal contexts.
+        assert_eq!(ctx.fingerprint(), ctx.fingerprint());
+        assert_eq!(ctx.fingerprint(), sample_ctx().fingerprint());
+        // Any field that changes the encoding changes the print.
+        let other = EvalContext {
+            volts: Some(1.2),
+            ..sample_ctx()
+        };
+        assert_ne!(ctx.fingerprint(), other.fingerprint());
+        let other = EvalContext {
+            chip: "bulldozer".into(),
+            ..sample_ctx()
+        };
+        assert_ne!(ctx.fingerprint(), other.fingerprint());
     }
 
     #[test]

@@ -8,6 +8,19 @@
 //! carries the evaluation's resilience-counter delta so the broker can
 //! merge accounting exactly once, in any arrival order.
 //!
+//! A multi-tenant manager (`audit fleet serve`) re-sends `Setup`
+//! mid-session whenever it switches the worker between campaigns; the
+//! worker rebinds its rig and fitness function in stream order, so
+//! every `Eval` is scored under the context most recently set up
+//! before it. Completed evaluations land in a **cross-campaign eval
+//! cache** keyed by the full setup encoding (interned) plus the genome
+//! content hash: identical jobs from different campaigns — or
+//! re-dispatched retries of the same job — are answered from the cache
+//! with bit-identical objectives *and* the identical resilience delta
+//! (evaluation is deterministic), flagged `cached` on the wire for the
+//! manager's hit-rate metrics. The cache survives rejoins; contexts
+//! that differ in any encoded byte can never share an entry.
+//!
 //! Connection management is fleet-friendly: connect retries use
 //! bounded exponential backoff with deterministic jitter (a thousand
 //! workers pointed at a dead broker spread their retries out instead of
@@ -18,8 +31,12 @@
 //! gone exits cleanly after a short probe: the broker's disappearance
 //! is its release.
 
+use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
+use audit_core::ga::Objectives;
+use audit_core::resilient::genome_key;
+use audit_core::{FitnessSpec, ResilienceReport, Rig};
 use audit_error::AuditError;
 use audit_measure::fault::{mix, uniform};
 
@@ -33,6 +50,46 @@ const BACKOFF_CAP: Duration = Duration::from_secs(5);
 /// How many base retry intervals a severed worker probes for a live
 /// broker before concluding it is gone and exiting cleanly.
 const REJOIN_WINDOW: u32 = 8;
+
+/// Entries the cross-campaign eval cache holds before a wholesale
+/// flush — the same reset idiom as the engine-side eval cache: simple
+/// and bounded beats LRU bookkeeping at this size.
+const WORKER_CACHE_CAPACITY: usize = 4096;
+
+/// The cross-campaign eval cache (see the module docs). Lives in
+/// [`run_worker`], outside the session loop, so it survives rejoins.
+#[derive(Default)]
+struct EvalStore {
+    /// Full setup encodings interned to dense ids. Two contexts share
+    /// an id only when every encoded byte of their wire form matches —
+    /// fingerprint *hashes* of the encoding are for metrics display,
+    /// never for cache keying, so hash collisions cannot leak results
+    /// between tenants.
+    intern: HashMap<String, u64>,
+    map: HashMap<(u64, u64), (Objectives, ResilienceReport)>,
+}
+
+impl EvalStore {
+    fn ctx_id(&mut self, encoded: &str) -> u64 {
+        if let Some(&id) = self.intern.get(encoded) {
+            return id;
+        }
+        let id = self.intern.len() as u64;
+        self.intern.insert(encoded.to_string(), id);
+        id
+    }
+
+    fn lookup(&self, ctx: u64, key: u64) -> Option<(Objectives, ResilienceReport)> {
+        self.map.get(&(ctx, key)).cloned()
+    }
+
+    fn insert(&mut self, ctx: u64, key: u64, objectives: Objectives, resilience: ResilienceReport) {
+        if self.map.len() >= WORKER_CACHE_CAPACITY {
+            self.map.clear();
+        }
+        self.map.insert((ctx, key), (objectives, resilience));
+    }
+}
 
 /// Worker knobs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -76,6 +133,9 @@ impl Default for WorkerOptions {
 pub struct WorkerStats {
     /// Evaluations completed and reported (across rejoins).
     pub evaluations: usize,
+    /// Of those, how many were answered from the cross-campaign eval
+    /// cache instead of being recomputed.
+    pub cache_hits: usize,
     /// True when the session ended by broker `Shutdown`, clean EOF, or
     /// a vanished broker after rejoin (false means the
     /// [`WorkerOptions::max_evals`] kill hook fired).
@@ -105,6 +165,7 @@ enum SessionEnd {
 /// off, a torn frame — the broker died mid-send).
 pub fn run_worker(addr: &str, opts: &WorkerOptions) -> Result<WorkerStats, AuditError> {
     let mut stats = WorkerStats::default();
+    let mut cache = EvalStore::default();
     let mut sessions: u64 = 0;
     loop {
         let deadline = if sessions == 0 {
@@ -132,7 +193,7 @@ pub fn run_worker(addr: &str, opts: &WorkerOptions) -> Result<WorkerStats, Audit
             }
         };
         sessions += 1;
-        match serve_session(conn, opts, &mut stats)? {
+        match serve_session(conn, opts, &mut stats, &mut cache)? {
             SessionEnd::Released => {
                 stats.clean_exit = true;
                 return Ok(stats);
@@ -151,6 +212,7 @@ fn serve_session(
     mut conn: Conn,
     opts: &WorkerOptions,
     stats: &mut WorkerStats,
+    cache: &mut EvalStore,
 ) -> Result<SessionEnd, AuditError> {
     let hello = Msg::Hello {
         protocol: PROTOCOL_VERSION,
@@ -172,23 +234,19 @@ fn serve_session(
         }
         Err(e) => Err(e),
     };
-    let ctx = match read(&mut conn)? {
-        Read::Frame(Msg::Setup { ctx }) => ctx,
-        Read::Frame(other) => {
-            return Err(AuditError::journal(
-                0,
-                format!("expected setup, got `{}`", msg_kind(&other)),
-            ))
-        }
-        Read::Eof | Read::Torn if opts.rejoin => return Ok(SessionEnd::Severed),
-        Read::Eof => return Err(AuditError::journal(0, "broker hung up before setup")),
-        Read::Torn => return Err(AuditError::journal(0, "broker connection died mid-frame")),
-    };
-    let rig = ctx.rig()?;
-    let fspec = ctx.spec;
+    // The single-campaign broker sends Setup right after the handshake;
+    // a fleet manager defers it until the worker's first dispatch and
+    // re-sends it mid-session to switch the worker between campaigns.
+    // Frames are processed in stream order, so every Eval is scored
+    // under the most recent Setup before it.
+    let mut bound: Option<(Rig, FitnessSpec, u64)> = None;
 
     loop {
         match read(&mut conn)? {
+            Read::Frame(Msg::Setup { ctx }) => {
+                let ctx_id = cache.ctx_id(&ctx.to_json().encode());
+                bound = Some((ctx.rig()?, ctx.spec, ctx_id));
+            }
             Read::Frame(Msg::Eval { id, genome }) => {
                 if opts.max_evals.is_some_and(|cap| stats.evaluations >= cap) {
                     // Kill hook: vanish without replying, like a
@@ -196,11 +254,26 @@ fn serve_session(
                     // the broker re-dispatches the job.
                     return Ok(SessionEnd::Killed);
                 }
-                let (objectives, resilience) = fspec.evaluate_objectives(&rig, &genome);
+                let Some((rig, fspec, ctx_id)) = bound.as_ref() else {
+                    return Err(AuditError::journal(0, "eval before setup"));
+                };
+                let key = genome_key(&genome);
+                let (objectives, resilience, cached) = match cache.lookup(*ctx_id, key) {
+                    Some((objectives, resilience)) => (objectives, resilience, true),
+                    None => {
+                        let (objectives, resilience) = fspec.evaluate_objectives(rig, &genome);
+                        cache.insert(*ctx_id, key, objectives.clone(), resilience);
+                        (objectives, resilience, false)
+                    }
+                };
+                if cached {
+                    stats.cache_hits += 1;
+                }
                 let reply = Msg::Result {
                     id,
                     objectives,
                     resilience,
+                    cached,
                 }
                 .to_json();
                 if let Err(e) = write_frame(&mut conn, &reply) {
@@ -308,6 +381,8 @@ fn msg_kind(msg: &Msg) -> &'static str {
         Msg::Ping => "ping",
         Msg::Pong => "pong",
         Msg::Shutdown => "shutdown",
+        Msg::MetricsReq => "metrics_req",
+        Msg::Metrics { .. } => "metrics",
     }
 }
 
@@ -330,6 +405,22 @@ mod tests {
                 .display()
         );
         assert!(run_worker(&addr, &opts).is_err());
+    }
+
+    #[test]
+    fn eval_store_never_shares_entries_across_contexts() {
+        let mut store = EvalStore::default();
+        let a = store.ctx_id("ctx-a");
+        let b = store.ctx_id("ctx-b");
+        assert_ne!(a, b);
+        // Interning is stable: the same encoding maps to the same id.
+        assert_eq!(store.ctx_id("ctx-a"), a);
+        store.insert(a, 42, Objectives::scalar(-1.0), ResilienceReport::default());
+        assert_eq!(
+            store.lookup(a, 42),
+            Some((Objectives::scalar(-1.0), ResilienceReport::default()))
+        );
+        assert_eq!(store.lookup(b, 42), None, "tenant isolation");
     }
 
     #[test]

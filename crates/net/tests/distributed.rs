@@ -145,6 +145,64 @@ fn two_workers_match_the_in_process_run_bit_identically() {
 }
 
 #[test]
+fn metrics_endpoint_answers_a_scrape_and_counts_work() {
+    // The "fleet of one" backport: any connection whose first frame is
+    // MetricsReq gets a plain-text scrape snapshot and the socket
+    // closes; workers and results are unaffected.
+    let spec = fspec(MeasurePolicy::disabled());
+    let cfg = ga_cfg();
+    let mut broker = Broker::bind(
+        "127.0.0.1:0",
+        &ctx(spec),
+        BrokerConfig {
+            seed: cfg.seed,
+            ..BrokerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = broker.addr().to_string();
+    let worker_addr = addr.clone();
+    let worker = std::thread::spawn(move || run_worker(&worker_addr, &WorkerOptions::default()));
+    broker.wait_for_workers(1).unwrap();
+    let mut mem = MemJournal::default();
+    ga::evolve_journaled_dispatched(
+        &cfg,
+        &Opcode::stress_menu(),
+        GENOME_LEN,
+        &[],
+        &mut broker,
+        &mut mem,
+    )
+    .unwrap();
+    let mut conn = connect(&addr).unwrap();
+    write_frame(&mut conn, &Msg::MetricsReq.to_json()).unwrap();
+    let text = match read_frame(&mut conn).unwrap() {
+        FrameOutcome::Frame(v) => match Msg::from_json(&v).unwrap() {
+            Msg::Metrics { text } => text,
+            other => panic!("expected metrics, got {other:?}"),
+        },
+        other => panic!("expected a metrics frame, got {other:?}"),
+    };
+    assert!(text.contains("audit_workers 1"), "scrape:\n{text}");
+    let results: u64 = text
+        .lines()
+        .find_map(|l| l.strip_prefix("audit_results_total "))
+        .expect("results counter present")
+        .parse()
+        .unwrap();
+    assert!(results > 0, "no results counted:\n{text}");
+    let dispatches: u64 = text
+        .lines()
+        .find_map(|l| l.strip_prefix("audit_dispatches_total "))
+        .expect("dispatch counter present")
+        .parse()
+        .unwrap();
+    assert!(dispatches >= results, "scrape:\n{text}");
+    broker.shutdown();
+    worker.join().unwrap().unwrap();
+}
+
+#[test]
 fn worker_count_never_changes_the_result() {
     let spec = fspec(MeasurePolicy::disabled());
     let cfg = ga_cfg();
@@ -589,6 +647,7 @@ fn replayed_duplicate_result_is_ignored_with_accounting_unchanged() {
                             id,
                             objectives,
                             resilience,
+                            cached: false,
                         }
                         .to_json();
                         // The answer, then its replay.

@@ -237,4 +237,77 @@ printf '{"kind":"generation","ind' >> "$smoke_dir/sick.ndjson"
 grep -q "torn tail" "$smoke_dir/fsck-torn.out" \
     || { echo "fsck missed the torn tail" >&2; exit 1; }
 
+echo "==> fleet bench gate (shared pool beats serial brokers, bit-identical)"
+# The ext_fleet bin runs two identical campaigns serially on dedicated
+# brokers and concurrently on one fleet pool, asserts both schedules
+# produce bit-identical runs and journals, that the twin hit the
+# cross-campaign eval cache, and that the shared pool's makespan beats
+# serial by the floor margin (docs/FLEET.md). Writes BENCH_fleet.json.
+AUDIT_FAST=1 cargo run --release -q -p audit-bench --bin ext_fleet
+[[ -s BENCH_fleet.json ]] \
+    || { echo "ext_fleet did not write BENCH_fleet.json" >&2; exit 1; }
+
+echo "==> fleet smoke (2 tenants on a shared pool, manager kill -9 + resume)"
+# Two campaigns with different seeds and fitness kinds, submitted
+# concurrently to one `audit fleet serve` manager sharing two Unix-socket
+# workers. The multi-tenant determinism contract (docs/FLEET.md): each
+# campaign's journal is byte-identical (modulo wall-clock telemetry) to
+# its solo `audit generate` run — including across a SIGKILL of the
+# manager mid-campaign and a `--resume` resubmission of every tenant,
+# which prefills from the per-campaign dispatch WALs.
+fsock="$smoke_dir/fleet.sock"
+"${audit[@]}" fleet serve --listen "unix:$fsock" --min-workers 2 --campaigns 2 \
+    > "$smoke_dir/fleet.out" 2>&1 &
+fleet_pid=$!
+( sleep 0.3; "${audit[@]}" work --connect "unix:$fsock" > "$smoke_dir/fw1.out" 2>&1 ) &
+( sleep 0.3; "${audit[@]}" work --connect "unix:$fsock" > "$smoke_dir/fw2.out" 2>&1 ) &
+( sleep 0.6; "${audit[@]}" fleet submit --connect "unix:$fsock" --fast --threads 2 \
+    --seed 5 --checkpoint "$smoke_dir/tenant-a.ndjson" \
+    > "$smoke_dir/sub-a.out" 2>&1 ) &
+( sleep 0.6; "${audit[@]}" fleet submit --connect "unix:$fsock" --fast --threads 2 \
+    --seed 9 --kind ex --checkpoint "$smoke_dir/tenant-b.ndjson" \
+    > "$smoke_dir/sub-b.out" 2>&1 ) &
+# Kill the manager the moment both campaigns are confirmed started:
+# mid-resonance or mid-GA, with dispatch WALs on disk.
+for _ in $(seq 1 200); do
+    started=$(grep -c "started:" "$smoke_dir/fleet.out" 2>/dev/null) || started=0
+    [[ "$started" -ge 2 ]] && break
+    sleep 0.05
+done
+[[ "$started" -ge 2 ]] \
+    || { echo "fleet manager never started both campaigns" >&2; exit 1; }
+kill -9 "$fleet_pid" 2>/dev/null || true
+wait > /dev/null 2>&1 || true
+# Second manager lineage: resume both tenants to completion.
+fsock2="$smoke_dir/fleet2.sock"
+"${audit[@]}" fleet serve --listen "unix:$fsock2" --min-workers 2 --campaigns 2 \
+    > "$smoke_dir/fleet2.out" 2>&1 &
+( sleep 0.3; "${audit[@]}" work --connect "unix:$fsock2" > "$smoke_dir/fw3.out" 2>&1 ) &
+fw3=$!
+( sleep 0.3; "${audit[@]}" work --connect "unix:$fsock2" > "$smoke_dir/fw4.out" 2>&1 ) &
+fw4=$!
+( sleep 0.6; "${audit[@]}" fleet submit --connect "unix:$fsock2" \
+    --resume "$smoke_dir/tenant-a.ndjson" > "$smoke_dir/res-a.out" 2>&1 ) &
+ra=$!
+( sleep 0.6; "${audit[@]}" fleet submit --connect "unix:$fsock2" \
+    --resume "$smoke_dir/tenant-b.ndjson" > "$smoke_dir/res-b.out" 2>&1 ) &
+rb=$!
+wait "$ra" "$rb" \
+    || { echo "a resumed fleet submission failed" >&2; exit 1; }
+wait "$fw3" "$fw4" \
+    || { echo "a fleet worker exited non-zero" >&2; exit 1; }
+# Each tenant's journal matches its solo run, byte for byte mod wall_s.
+"${audit[@]}" generate --fast --threads 2 --seed 5 \
+    --checkpoint "$smoke_dir/solo-a.ndjson" > "$smoke_dir/solo-a.out"
+"${audit[@]}" generate --fast --threads 2 --seed 9 --kind ex \
+    --checkpoint "$smoke_dir/solo-b.ndjson" > "$smoke_dir/solo-b.out"
+cmp <(strip_wall "$smoke_dir/tenant-a.ndjson") <(strip_wall "$smoke_dir/solo-a.ndjson") \
+    || { echo "tenant A journal drifted from its solo run (beyond wall_s)" >&2; exit 1; }
+cmp <(strip_wall "$smoke_dir/tenant-b.ndjson") <(strip_wall "$smoke_dir/solo-b.ndjson") \
+    || { echo "tenant B journal drifted from its solo run (beyond wall_s)" >&2; exit 1; }
+# Completed campaigns leave no dispatch WALs behind.
+leftover=$(ls "$smoke_dir"/*.wal 2>/dev/null || true)
+[[ -n "$leftover" ]] \
+    && { echo "fleet resume left dispatch WALs behind: $leftover" >&2; exit 1; }
+
 echo "OK"
